@@ -1,0 +1,110 @@
+"""E3 — Resilience to node failures, DDoS, and network partitions.
+
+Paper claim: DWeb's distribution and replication give "better resiliency
+against network partitioning and distributed-denial-of-service attacks
+(DDoS)", whereas centralized engines are "subject to DDoS attacks".
+
+This bench fails a growing fraction of QueenBee's peers and measures query
+success rate and recall against the healthy system's results; for the
+centralized baseline, "failure fraction > 0" means its single server is the
+target (one DDoS takes the whole service down).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.centralized import CentralizedSearchEngine
+from repro.net.latency import LogNormalLatency
+from repro.net.network import SimulatedNetwork
+from repro.sim.simulator import Simulator
+
+from benchmarks.common import build_corpus, build_engine, build_queries, print_table
+
+DOC_COUNT = 250
+QUERY_COUNT = 40
+FAIL_FRACTIONS = (0.0, 0.1, 0.25, 0.5)
+
+
+def _queenbee_rows(corpus, queries) -> List[Dict[str, object]]:
+    rows = []
+    for fraction in FAIL_FRACTIONS:
+        engine = build_engine(peer_count=32, worker_count=8, seed=500 + int(fraction * 100),
+                              storage_replication=3, dht_replicate=4)
+        engine.bootstrap_corpus(corpus.documents)
+        engine.compute_page_ranks()
+        frontend = engine.create_frontend()
+        baseline_results = {q: engine.search(q, frontend=frontend).doc_ids for q in queries}
+        engine.fail_peers(fraction)
+        rows.append(_measure("QueenBee", fraction, queries, baseline_results,
+                             lambda q: engine.search(q, frontend=frontend)))
+    return rows
+
+
+def _centralized_rows(corpus, queries) -> List[Dict[str, object]]:
+    rows = []
+    for fraction in FAIL_FRACTIONS:
+        simulator = Simulator(seed=600)
+        network = SimulatedNetwork(simulator, latency=LogNormalLatency(median=25.0, sigma=0.45))
+        network.register("client", lambda message: None)
+        engine = CentralizedSearchEngine(simulator, network)
+        for document in corpus.documents:
+            engine.index_document(document)
+        engine.recompute_page_ranks()
+        baseline_results = {q: engine.search(q, client="client").doc_ids for q in queries}
+        if fraction > 0:
+            # Any successful DDoS on the single server takes the service down.
+            network.set_offline(engine.address)
+        rows.append(_measure("Centralized", fraction, queries, baseline_results,
+                             lambda q: engine.search(q, client="client")))
+    return rows
+
+
+def _measure(system: str, fraction: float, queries, baseline_results, run_query) -> Dict[str, object]:
+    """Answered fraction over all queries; recall only over queries that had results
+    on the healthy system (so empty-result queries cannot mask an outage)."""
+    answered = 0
+    recalls = []
+    for query in queries:
+        page = run_query(query)
+        expected = baseline_results[query]
+        if page.result_count > 0 or not expected:
+            answered += 1
+        if expected:
+            recalls.append(page.recall_against(expected))
+    return {
+        "system": system,
+        "failed fraction": fraction,
+        "answered (%)": 100.0 * answered / len(queries),
+        "recall vs healthy (%)": 100.0 * sum(recalls) / max(1, len(recalls)),
+    }
+
+
+def run_experiment() -> List[Dict[str, object]]:
+    corpus = build_corpus(DOC_COUNT, seed=88)
+    queries = build_queries(corpus, QUERY_COUNT, seed=88)
+    rows = _queenbee_rows(corpus, queries) + _centralized_rows(corpus, queries)
+    print_table(
+        "E3: resilience — query success and recall under failures",
+        rows,
+        note="For the centralized system any non-zero failure is a DDoS on its only server",
+    )
+    return rows
+
+
+def test_e3_resilience(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    queenbee = [r for r in rows if r["system"] == "QueenBee"]
+    central = [r for r in rows if r["system"] == "Centralized"]
+    # The centralized service collapses under any successful DDoS.
+    assert all(r["recall vs healthy (%)"] == 0.0 for r in central if r["failed fraction"] > 0)
+    # QueenBee keeps answering most queries even with a quarter of peers gone.
+    quarter = next(r for r in queenbee if r["failed fraction"] == 0.25)
+    assert quarter["recall vs healthy (%)"] > 50.0
+    # And degrades gracefully rather than falling off a cliff.
+    recalls = [r["recall vs healthy (%)"] for r in queenbee]
+    assert recalls[0] >= recalls[-1]
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,122 @@
+"""E9 — Ad economics and tamper evidence.
+
+Paper claims: "advertisers directly make advertisements through our smart
+contract and the ad revenue is shared among the content creators and worker
+bees" (pay-per-click billing, challenge (I) asks for a fair charging scheme),
+and "DWeb provides tamper-proof contents because each content piece is
+uniquely identified by a cryptographic hash".
+
+This bench (a) drives a click stream through the ad contract and checks where
+every unit of revenue ends up — conservation and the configured split — and
+(b) measures the tamper-detection rate of content addressing when a provider
+serves corrupted blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.incentives.simulation import EconomySimulation
+from repro.storage.block import Block
+from repro.storage.cid import compute_cid, verify_cid
+
+from benchmarks.common import build_corpus, build_engine, print_table
+
+DOC_COUNT = 180
+EPOCHS = 3
+TAMPER_TRIALS = 200
+
+
+def _ad_economy_rows() -> List[Dict[str, object]]:
+    corpus = build_corpus(DOC_COUNT, seed=1300, owner_count=25)
+    engine = build_engine(peer_count=20, worker_count=5, seed=1300,
+                          creator_share=0.6, worker_share=0.3, treasury_share=0.1)
+    simulation = EconomySimulation(
+        engine,
+        documents=corpus.documents,
+        queries_per_epoch=12,
+        publishes_per_epoch=6,
+        click_probability=0.8,
+        ad_keywords=["decentralized", "search", "crypto", "network"],
+        ad_budget=100_000,
+        ad_bid=100,
+        seed=1300,
+    )
+    simulation.run(epochs=EPOCHS, initial_documents=120)
+    clicks = sum(epoch.ad_clicks for epoch in simulation.epochs)
+    revenue = engine.chain.query("ads", "revenue_summary")
+    total = revenue["creators"] + revenue["workers"] + revenue["treasury"]
+    rows = [{
+        "metric": "clicks billed",
+        "value": clicks,
+        "detail": f"{EPOCHS} epochs, bid 100/click",
+    }, {
+        "metric": "revenue conserved",
+        "value": total == clicks * 100,
+        "detail": f"distributed {total} of {clicks * 100} escrowed",
+    }, {
+        "metric": "creator share (%)",
+        "value": 100.0 * revenue["creators"] / total if total else 0.0,
+        "detail": "configured 60%",
+    }, {
+        "metric": "worker share (%)",
+        "value": 100.0 * revenue["workers"] / total if total else 0.0,
+        "detail": "configured 30%",
+    }, {
+        "metric": "treasury share (%)",
+        "value": 100.0 * revenue["treasury"] / total if total else 0.0,
+        "detail": "configured 10%",
+    }]
+    return rows
+
+
+def _tamper_rows() -> List[Dict[str, object]]:
+    detected = 0
+    for trial in range(TAMPER_TRIALS):
+        original = f"page body {trial} about decentralized search"
+        cid = compute_cid(original)
+        tampered = original.replace("decentralized", "centralized")
+        if not verify_cid(cid, tampered):
+            detected += 1
+    block_detected = 0
+    for trial in range(TAMPER_TRIALS):
+        block = Block.create(f"block payload {trial}".encode("utf-8"))
+        forged = Block(cid=block.cid, data=block.data + b"!", links=block.links)
+        if not forged.verify():
+            block_detected += 1
+    return [{
+        "metric": "tampered pages detected (%)",
+        "value": 100.0 * detected / TAMPER_TRIALS,
+        "detail": f"{TAMPER_TRIALS} single-word substitutions",
+    }, {
+        "metric": "tampered blocks detected (%)",
+        "value": 100.0 * block_detected / TAMPER_TRIALS,
+        "detail": f"{TAMPER_TRIALS} one-byte appends",
+    }]
+
+
+def run_experiment() -> List[Dict[str, object]]:
+    rows = _ad_economy_rows() + _tamper_rows()
+    print_table(
+        "E9: pay-per-click ad economics and tamper evidence",
+        rows,
+        note="Revenue split among creators, worker bees, and the treasury via the ad contract",
+    )
+    return rows
+
+
+def test_e9_ads(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    by_metric = {row["metric"]: row for row in rows}
+    assert by_metric["clicks billed"]["value"] > 0
+    assert by_metric["revenue conserved"]["value"] is True
+    # The configured 60/30/10 split holds to within integer-rounding slack.
+    assert abs(by_metric["creator share (%)"]["value"] - 60.0) < 2.0
+    assert abs(by_metric["worker share (%)"]["value"] - 30.0) < 2.0
+    # Content addressing catches every tampered page and block.
+    assert by_metric["tampered pages detected (%)"]["value"] == 100.0
+    assert by_metric["tampered blocks detected (%)"]["value"] == 100.0
+
+
+if __name__ == "__main__":
+    run_experiment()

@@ -1,0 +1,87 @@
+"""Scenario: a breaking-news site on QueenBee vs a crawler-fed search engine.
+
+The paper's core argument for *no-crawling* is freshness: a crawler only sees
+an update on its next visit, while QueenBee indexes a page the moment its
+creator publishes it through the smart contract.  This example replays the
+same stream of news updates into both systems and reports how long each
+update stayed invisible to searchers.
+
+Run with::
+
+    python examples/freshness_vs_crawler.py
+"""
+
+from __future__ import annotations
+
+from repro import CorpusGenerator, PublishWorkloadGenerator, QueenBeeConfig, QueenBeeEngine
+from repro.baselines.centralized import CentralizedSearchEngine
+from repro.baselines.crawler import Crawler
+from repro.core.freshness import FreshnessTracker
+from repro.net.latency import LogNormalLatency
+from repro.net.network import SimulatedNetwork
+from repro.sim.simulator import Simulator
+
+CRAWL_INTERVAL = 30_000.0  # the crawler revisits the site every 30 simulated seconds
+
+
+def build_newsroom_workload():
+    """A small corpus where half the pages exist up front and the rest arrive
+    as breaking stories and revisions."""
+    corpus = CorpusGenerator(vocabulary_size=400, owner_count=6, mean_document_length=60,
+                             seed=2019).generate(120)
+    generator = PublishWorkloadGenerator(
+        corpus, initial_fraction=0.5, mean_interarrival=1_000.0, update_probability=0.5, seed=3,
+    )
+    return corpus, generator, generator.generate(50)
+
+
+def run_queenbee(generator, workload) -> FreshnessTracker:
+    engine = QueenBeeEngine(QueenBeeConfig(peer_count=20, worker_count=5, seed=11))
+    engine.bootstrap_corpus(generator.initial_documents())
+    for event in workload:
+        if event.time > engine.simulator.now:
+            engine.simulator.clock.advance_to(event.time)
+        engine.publish_document(event.document)
+    return engine.freshness
+
+
+def run_crawler(generator, workload) -> FreshnessTracker:
+    simulator = Simulator(seed=12)
+    network = SimulatedNetwork(simulator, latency=LogNormalLatency(median=25.0, sigma=0.45))
+    engine = CentralizedSearchEngine(simulator, network)
+    tracker = FreshnessTracker()
+    crawler = Crawler(simulator, engine, workload, crawl_interval=CRAWL_INTERVAL, freshness=tracker)
+    crawler.register_initial(generator.initial_documents())
+    crawler.start()
+    simulator.run(until=workload.horizon + 2 * CRAWL_INTERVAL)
+    crawler.stop()
+    return tracker
+
+
+def main() -> None:
+    _, generator, workload = build_newsroom_workload()
+    print(f"replaying {len(workload)} publish/update events "
+          f"(mean interarrival 1 s, crawler interval {CRAWL_INTERVAL / 1000:.0f} s)\n")
+
+    queenbee = run_queenbee(generator, workload)
+    crawler = run_crawler(generator, workload)
+
+    def report(name: str, tracker: FreshnessTracker) -> None:
+        summary = tracker.summary()
+        print(f"{name}")
+        print(f"  mean publish→searchable lag : {summary.mean / 1000:8.2f} s")
+        print(f"  p50                         : {summary.p50 / 1000:8.2f} s")
+        print(f"  p99                         : {summary.p99 / 1000:8.2f} s")
+
+    report("QueenBee (publish-driven indexing)", queenbee)
+    print()
+    report(f"Crawler-fed engine ({CRAWL_INTERVAL / 1000:.0f} s revisit interval)", crawler)
+
+    speedup = crawler.summary().mean / max(1e-9, queenbee.summary().mean)
+    print(f"\nQueenBee surfaces an update ~{speedup:.1f}x sooner on average — and the gap "
+          "grows linearly with the crawler's revisit interval, which for most of the "
+          "real web is minutes to days, not seconds.")
+
+
+if __name__ == "__main__":
+    main()

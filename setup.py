@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments without the ``wheel`` package
+(offline boxes), via ``python setup.py develop`` or legacy
+``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

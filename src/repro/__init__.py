@@ -1,0 +1,40 @@
+"""QueenBee: a reproduction of "Decentralized Search on Decentralized Web"
+(Lai et al., CIDR 2019).
+
+The public API re-exports the objects most users need:
+
+* :class:`~repro.core.engine.QueenBeeEngine` / :class:`~repro.core.config.QueenBeeConfig`
+  — build and drive a whole simulated deployment.
+* :class:`~repro.workloads.corpus.CorpusGenerator` and friends — synthetic
+  DWeb corpora, link graphs, query and publish workloads.
+* The substrates (:mod:`repro.dht`, :mod:`repro.storage`, :mod:`repro.chain`,
+  :mod:`repro.contracts`) for users who want to build on the pieces directly.
+* The baselines (:mod:`repro.baselines`) and attacks (:mod:`repro.attacks`)
+  used in the experiment suite.
+
+See README.md for a quickstart and EXPERIMENTS.md for the reproduction of the
+paper's claims.
+"""
+
+from repro.core.config import QueenBeeConfig
+from repro.core.engine import QueenBeeEngine
+from repro.index.document import Document
+from repro.search.results import ResultPage, SearchResult
+from repro.workloads.corpus import CorpusGenerator, GeneratedCorpus
+from repro.workloads.queries import QueryWorkloadGenerator
+from repro.workloads.updates import PublishWorkloadGenerator
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "QueenBeeConfig",
+    "QueenBeeEngine",
+    "Document",
+    "ResultPage",
+    "SearchResult",
+    "CorpusGenerator",
+    "GeneratedCorpus",
+    "QueryWorkloadGenerator",
+    "PublishWorkloadGenerator",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Attacks on QueenBee, and the defenses the design anticipates.
+
+Research challenge (II) of the paper: "this new model of decentralized search
+engine may induce new attacks", naming two concretely:
+
+* **Collusion attack** — "an attack from colluded worker bees that aim at
+  manipulating QueenBee's indexes or page ranking data maliciously"
+  (:mod:`repro.attacks.collusion`), defended by redundant task assignment
+  with majority voting plus stake slashing.
+* **Scraper-site attack** — "scrapper site attack may exist that tries to
+  mirror popular websites for QueenBee's honey"
+  (:mod:`repro.attacks.scraper`), defended by content-hash deduplication in
+  the publish contract (first publisher of a CID owns it).
+
+:mod:`repro.attacks.sybil` adds the classic Sybil amplification of the
+collusion attack, and :mod:`repro.attacks.defenses` gathers the defense
+evaluation helpers the E6/E7 benches use.
+"""
+
+from repro.attacks.collusion import CollusionAttack, CollusionOutcome
+from repro.attacks.scraper import ScraperAttack, ScraperOutcome
+from repro.attacks.sybil import SybilAttack, SybilOutcome
+from repro.attacks.defenses import DefenseEvaluation, evaluate_rank_manipulation
+
+__all__ = [
+    "CollusionAttack",
+    "CollusionOutcome",
+    "ScraperAttack",
+    "ScraperOutcome",
+    "SybilAttack",
+    "SybilOutcome",
+    "DefenseEvaluation",
+    "evaluate_rank_manipulation",
+]

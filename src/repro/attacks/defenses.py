@@ -1,0 +1,80 @@
+"""Defense evaluation helpers.
+
+The defenses themselves live where they act:
+
+* redundant task assignment + majority voting — :mod:`repro.ranking.distributed`;
+* stake slashing of out-voted workers — :meth:`repro.core.engine.QueenBeeEngine.compute_page_ranks`;
+* content-hash deduplication against scraper sites — :mod:`repro.contracts.registry`;
+* tamper-evident content — CID verification in :mod:`repro.storage`.
+
+This module provides the sweep harness the attack experiments (E6/E7) use to
+quantify how well those defenses work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.collusion import CollusionAttack, CollusionOutcome
+from repro.core.engine import QueenBeeEngine
+
+
+@dataclass
+class DefenseEvaluation:
+    """One cell of the collusion-vs-redundancy grid."""
+
+    colluding_fraction: float
+    redundancy: int
+    manipulation_succeeded: bool
+    inflation_factor: float
+    colluders_slashed: int
+
+
+def evaluate_rank_manipulation(
+    engine_factory: Callable[[], Tuple[QueenBeeEngine, int]],
+    colluding_fractions: Sequence[float],
+    redundancies: Sequence[int],
+    boost: float = 0.05,
+) -> List[DefenseEvaluation]:
+    """Sweep colluding fraction × redundancy and report attack success per cell.
+
+    ``engine_factory`` must return a *fresh, bootstrapped* engine plus the
+    target doc_id each time it is called, because an attacked engine's index
+    and contract state are permanently altered by the attack.
+    """
+    evaluations: List[DefenseEvaluation] = []
+    for fraction in colluding_fractions:
+        for redundancy in redundancies:
+            engine, target_doc_id = engine_factory()
+            attack = CollusionAttack(
+                engine,
+                colluding_fraction=fraction,
+                target_doc_id=target_doc_id,
+                boost=boost,
+            )
+            outcome = attack.run(redundancy=redundancy)
+            evaluations.append(
+                DefenseEvaluation(
+                    colluding_fraction=fraction,
+                    redundancy=redundancy,
+                    manipulation_succeeded=outcome.manipulation_succeeded,
+                    inflation_factor=outcome.inflation_factor,
+                    colluders_slashed=outcome.colluders_slashed,
+                )
+            )
+    return evaluations
+
+
+def success_rate_by_redundancy(
+    evaluations: Sequence[DefenseEvaluation],
+) -> Dict[int, float]:
+    """Fraction of cells (across colluding fractions) where the attack succeeded,
+    grouped by redundancy — the headline series of the E6 figure."""
+    grouped: Dict[int, List[bool]] = {}
+    for evaluation in evaluations:
+        grouped.setdefault(evaluation.redundancy, []).append(evaluation.manipulation_succeeded)
+    return {
+        redundancy: (sum(successes) / len(successes) if successes else 0.0)
+        for redundancy, successes in grouped.items()
+    }

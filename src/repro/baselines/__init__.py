@@ -1,0 +1,21 @@
+"""Comparison systems.
+
+The paper positions QueenBee against two kinds of existing systems:
+
+* contemporary ("Web 2.0") **centralized search engines**, which crawl, run on
+  dedicated servers, and are therefore subject to staleness, DDoS, and
+  censorship — :mod:`repro.baselines.centralized` and
+  :mod:`repro.baselines.crawler`;
+* existing **P2P search engines such as YaCy**, which "only work on Web 2.0,
+  without an incentive scheme or a security incentive that guard against
+  practical attacks" — :mod:`repro.baselines.yacy`.
+
+Both baselines run on the same simulated network and the same workloads as
+QueenBee so the comparisons in E1–E3 are apples-to-apples.
+"""
+
+from repro.baselines.centralized import CentralizedSearchEngine
+from repro.baselines.crawler import Crawler
+from repro.baselines.yacy import YaCyStyleEngine
+
+__all__ = ["CentralizedSearchEngine", "Crawler", "YaCyStyleEngine"]

@@ -1,0 +1,171 @@
+"""The centralized ("Web 2.0") search engine baseline.
+
+A single server owns the whole index and answers queries over the network.
+It is fast when healthy — one round trip — but it is a single point of
+failure (E3's DDoS scenario simply takes its address offline) and its index
+is only as fresh as its crawler's last pass (E2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import NetworkError, NodeUnreachableError, TermNotFoundError
+from repro.index.analysis import Analyzer
+from repro.index.document import Document, DocumentStore
+from repro.index.inverted_index import LocalInvertedIndex
+from repro.net.message import Message, Response
+from repro.net.network import SimulatedNetwork
+from repro.ranking.bm25 import BM25Scorer
+from repro.ranking.graph import LinkGraph
+from repro.ranking.pagerank import pagerank
+from repro.ranking.scoring import CombinedScorer
+from repro.search.planner import QueryPlanner
+from repro.search.query import parse_query
+from repro.search.executor import QueryExecutor
+from repro.search.results import ResultPage, SearchResult
+from repro.sim.simulator import Simulator
+
+QUERY_RPC = "central.query"
+DEFAULT_SERVER_ADDRESS = "central-server"
+# Fixed per-query processing time charged by the server (ticks); a healthy
+# data-centre engine is fast, which is why the centralized baseline wins E1's
+# latency column while losing freshness (E2) and resilience (E3).
+SERVER_PROCESSING_TICKS = 2.0
+
+
+@dataclass
+class CentralizedStats:
+    queries: int = 0
+    failed_queries: int = 0
+    documents_indexed: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+
+class CentralizedSearchEngine:
+    """One server, one index, one crawler feeding it.
+
+    Clients call :meth:`search` with their own peer address; the query
+    travels over the simulated network, so server outages and partitions
+    affect it exactly as they would in the real world.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: SimulatedNetwork,
+        address: str = DEFAULT_SERVER_ADDRESS,
+        analyzer: Optional[Analyzer] = None,
+        top_k: int = 10,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.address = address
+        self.analyzer = analyzer or Analyzer()
+        self.top_k = top_k
+        self.index = LocalInvertedIndex(self.analyzer)
+        self.documents = DocumentStore()
+        self.link_graph = LinkGraph()
+        self.page_ranks: Dict[int, float] = {}
+        self.combiner = CombinedScorer()
+        self.stats = CentralizedStats()
+        network.register(address, self.handle_message)
+
+    # -- indexing (driven by the crawler) ------------------------------------------
+
+    def index_document(self, document: Document) -> None:
+        """Add or update one document in the server's index."""
+        self.documents.add(document)
+        self.index.add_document(document)
+        self.link_graph.add_node(document.doc_id)
+        for target_url in document.links:
+            target = self.documents.maybe_get_by_url(target_url)
+            if target is not None:
+                self.link_graph.add_edge(document.doc_id, target.doc_id)
+        self.stats.documents_indexed += 1
+
+    def recompute_page_ranks(self) -> None:
+        """Centralized PageRank over everything crawled so far."""
+        self.page_ranks = pagerank(self.link_graph).ranks
+
+    # -- server side -----------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> Response:
+        if message.msg_type != QUERY_RPC:
+            return Response.failure(self.address, message.msg_type, "unknown message type")
+        raw_query = message.payload.get("query", "")
+        self.simulator.clock.advance(SERVER_PROCESSING_TICKS)
+        results = self._answer(raw_query)
+        return Response(self.address, QUERY_RPC, {"results": results})
+
+    def _answer(self, raw_query: str) -> List[Dict[str, object]]:
+        try:
+            query = parse_query(raw_query, self.analyzer)
+        except Exception:
+            return []
+        planner = QueryPlanner(self.index.statistics.df)
+        plan = planner.plan(query)
+
+        def fetch(term: str):
+            postings = self.index.maybe_postings(term)
+            if postings is None:
+                raise TermNotFoundError(term)
+            return postings
+
+        executor = QueryExecutor(
+            fetch_postings=fetch,
+            statistics=self.index.statistics,
+            page_ranks=self.page_ranks,
+            bm25=BM25Scorer(self.index.statistics),
+            combiner=self.combiner,
+            top_k=self.top_k,
+        )
+        outcome = executor.execute(plan)
+        results = []
+        for doc_id, score in outcome.scores.items():
+            document = self.documents.maybe_get(doc_id)
+            results.append(
+                {
+                    "doc_id": doc_id,
+                    "score": score,
+                    "url": document.url if document else "",
+                    "title": document.title if document else "",
+                    "owner": document.owner if document else "",
+                    "page_rank": self.page_ranks.get(doc_id, 0.0),
+                }
+            )
+        results.sort(key=lambda row: (-row["score"], row["doc_id"]))
+        return results
+
+    # -- client side -------------------------------------------------------------------
+
+    def search(self, raw_query: str, client: str) -> ResultPage:
+        """Issue a query from ``client``'s device to the central server."""
+        started = self.simulator.now
+        self.stats.queries += 1
+        try:
+            response = self.network.rpc(client, self.address, QUERY_RPC, {"query": raw_query})
+        except (NodeUnreachableError, NetworkError):
+            self.stats.failed_queries += 1
+            return ResultPage(query=raw_query, latency=self.simulator.now - started,
+                              diagnostics={"error": "server unreachable"})
+        results = [
+            SearchResult(
+                doc_id=row["doc_id"],
+                score=row["score"],
+                url=row["url"],
+                title=row["title"],
+                owner=row["owner"],
+                page_rank=row["page_rank"],
+            )
+            for row in response.payload.get("results", [])
+        ]
+        latency = self.simulator.now - started
+        self.stats.latencies.append(latency)
+        return ResultPage(
+            query=raw_query,
+            results=results,
+            total_candidates=len(results),
+            latency=latency,
+        )

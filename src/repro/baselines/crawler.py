@@ -1,0 +1,105 @@
+"""A periodic crawler feeding an index that does not receive publish events.
+
+This is the mechanism the paper argues against: "crawling inevitably reduces
+the freshness of the search results".  The crawler visits the simulated web
+every ``crawl_interval`` ticks and indexes whatever it finds; anything
+published between two passes is invisible until the next pass, and the
+freshness tracker records exactly that lag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol
+
+from repro.core.freshness import FreshnessTracker
+from repro.index.document import Document
+from repro.sim.simulator import Simulator
+from repro.workloads.updates import PublishWorkload
+
+
+class CrawlTarget(Protocol):
+    """Anything a crawler can feed (both baselines implement this)."""
+
+    def index_document(self, document: Document) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Crawler:
+    """Re-crawls the published web on a fixed period.
+
+    The "web" is represented by a :class:`PublishWorkload`: the set of pages
+    that exist at crawl time is every event with ``time <= now``.  This is
+    exactly the information a real crawler could observe by fetching pages —
+    it has no access to the publish notifications QueenBee gets from its
+    smart contract.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        target: CrawlTarget,
+        workload: PublishWorkload,
+        crawl_interval: float = 1_000.0,
+        freshness: Optional[FreshnessTracker] = None,
+        pages_per_crawl: Optional[int] = None,
+        on_crawl_complete: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if crawl_interval <= 0:
+            raise ValueError(f"crawl_interval must be positive, got {crawl_interval!r}")
+        self.simulator = simulator
+        self.target = target
+        self.workload = workload
+        self.crawl_interval = crawl_interval
+        self.freshness = freshness or FreshnessTracker()
+        self.pages_per_crawl = pages_per_crawl
+        self.on_crawl_complete = on_crawl_complete
+        self.crawls_completed = 0
+        self.pages_crawled = 0
+        self._cursor = 0
+        self._running = False
+
+    # -- scheduling -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule crawls every ``crawl_interval`` ticks from now on."""
+        if self._running:
+            return
+        self._running = True
+        self.simulator.schedule(self.crawl_interval, self._tick, label="crawler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def register_initial(self, documents: List[Document]) -> None:
+        """Index the pages that already existed before the measurement window."""
+        for document in documents:
+            self.target.index_document(document)
+
+    # -- one crawl pass -----------------------------------------------------------------
+
+    def crawl_once(self) -> int:
+        """Index every page version published since the last pass.  Returns count."""
+        now = self.simulator.now
+        indexed = 0
+        while self._cursor < len(self.workload.events):
+            event = self.workload.events[self._cursor]
+            if event.time > now:
+                break
+            if self.pages_per_crawl is not None and indexed >= self.pages_per_crawl:
+                break
+            self._cursor += 1
+            self.target.index_document(event.document)
+            self.freshness.record_publish(event.document.doc_id, event.document.version, event.time)
+            self.freshness.record_indexed(event.document.doc_id, event.document.version, now)
+            indexed += 1
+        self.crawls_completed += 1
+        self.pages_crawled += indexed
+        if self.on_crawl_complete is not None:
+            self.on_crawl_complete(indexed)
+        return indexed
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.crawl_once()
+        self.simulator.schedule(self.crawl_interval, self._tick, label="crawler")

@@ -1,0 +1,24 @@
+"""Externally-owned accounts: balances in the chain's native currency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Account:
+    """An account on the QueenBee chain.
+
+    ``balance`` is denominated in the chain's smallest native unit ("wei" for
+    familiarity).  Honey — the incentive token the paper describes — is a
+    contract-managed balance (see :mod:`repro.contracts.honey`), not the
+    native currency, mirroring how incentive tokens are deployed on Ethereum.
+    """
+
+    address: str
+    balance: int = 0
+    nonce: int = 0
+
+    def can_spend(self, amount: int) -> bool:
+        """Whether the account holds at least ``amount`` of native currency."""
+        return amount >= 0 and self.balance >= amount

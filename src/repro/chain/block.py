@@ -1,0 +1,45 @@
+"""Chain blocks: hash-linked batches of executed transactions."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.chain.transaction import Transaction
+
+
+@dataclass
+class ChainBlock:
+    """A block appended to the QueenBee chain.
+
+    Named ``ChainBlock`` to avoid colliding with the storage layer's
+    content :class:`~repro.storage.block.Block`.
+    """
+
+    number: int
+    previous_hash: str
+    producer: str
+    timestamp: float
+    transactions: Tuple[Transaction, ...] = field(default_factory=tuple)
+
+    @property
+    def block_hash(self) -> str:
+        """Hash committing to the block header and every transaction id."""
+        body = "|".join(
+            [
+                str(self.number),
+                self.previous_hash,
+                self.producer,
+                f"{self.timestamp:.6f}",
+            ]
+            + [tx.tx_id for tx in self.transactions]
+        )
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    @property
+    def transaction_count(self) -> int:
+        return len(self.transactions)
+
+
+GENESIS_HASH = "0" * 64

@@ -1,0 +1,30 @@
+"""Gas accounting: a flat cost model that pays block producers.
+
+The experiments do not study gas markets, so the model is intentionally
+simple: every transaction costs a base fee plus a per-argument fee, deducted
+from the sender's native balance and credited to the block producer.  What
+matters for the incentive analysis (E5, E9) is only that participating in
+QueenBee has a non-zero on-chain cost.
+"""
+
+from __future__ import annotations
+
+from repro.chain.transaction import Transaction
+
+BASE_TX_GAS = 21_000
+CONTRACT_CALL_GAS = 10_000
+PER_ARG_GAS = 500
+GAS_PRICE = 1  # native units per gas
+
+
+def gas_for(tx: Transaction) -> int:
+    """Gas consumed by ``tx`` under the flat cost model."""
+    gas = BASE_TX_GAS
+    if tx.is_contract_call:
+        gas += CONTRACT_CALL_GAS + PER_ARG_GAS * len(tx.args)
+    return gas
+
+
+def fee_for(tx: Transaction) -> int:
+    """Native-currency fee for ``tx`` (gas times the fixed gas price)."""
+    return gas_for(tx) * GAS_PRICE

@@ -1,0 +1,73 @@
+"""World state: account balances/nonces plus per-contract storage.
+
+The state supports cheap snapshot/restore so that a reverting contract call
+leaves no partial writes behind — the property the incentive contracts rely
+on for conservation of honey.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import InsufficientFundsError
+from repro.chain.account import Account
+
+
+@dataclass
+class WorldState:
+    """All mutable on-chain data."""
+
+    accounts: Dict[str, Account] = field(default_factory=dict)
+    contract_storage: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def get_account(self, address: str) -> Account:
+        """Fetch an account, creating it with a zero balance on first touch."""
+        account = self.accounts.get(address)
+        if account is None:
+            account = Account(address=address)
+            self.accounts[address] = account
+        return account
+
+    def credit(self, address: str, amount: int) -> None:
+        """Add native currency to an account (minting / block rewards)."""
+        if amount < 0:
+            raise InsufficientFundsError(f"cannot credit a negative amount {amount!r}")
+        self.get_account(address).balance += amount
+
+    def transfer(self, sender: str, recipient: str, amount: int) -> None:
+        """Move native currency between accounts, raising if funds are short."""
+        if amount < 0:
+            raise InsufficientFundsError(f"cannot transfer a negative amount {amount!r}")
+        src = self.get_account(sender)
+        if not src.can_spend(amount):
+            raise InsufficientFundsError(
+                f"{sender!r} holds {src.balance} but tried to transfer {amount}"
+            )
+        src.balance -= amount
+        self.get_account(recipient).balance += amount
+
+    def storage_for(self, contract_name: str) -> Dict[str, Any]:
+        """The private key/value storage of one contract."""
+        return self.contract_storage.setdefault(contract_name, {})
+
+    def total_native_supply(self) -> int:
+        """Sum of every account balance (conservation checks in tests)."""
+        return sum(account.balance for account in self.accounts.values())
+
+    # -- snapshot / rollback --------------------------------------------------
+
+    def snapshot(self) -> "WorldState":
+        """A deep copy used to roll back a failed transaction.
+
+        Pickle round-tripping is noticeably faster than ``copy.deepcopy`` for
+        the plain dict/dataclass structures held here, and transactions are
+        snapshotted on every execution, so the speed matters at corpus scale.
+        """
+        return pickle.loads(pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def restore(self, snapshot: "WorldState") -> None:
+        """Overwrite this state with ``snapshot`` (after a revert)."""
+        self.accounts = snapshot.accounts
+        self.contract_storage = snapshot.contract_storage

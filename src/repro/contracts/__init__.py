@@ -1,0 +1,36 @@
+"""QueenBee's smart contracts.
+
+Figure 1 of the paper places a set of smart contracts at the centre of
+QueenBee's business operations.  This package implements each one on the
+:mod:`repro.chain` VM:
+
+* :class:`~repro.contracts.honey.HoneyToken` — the "honey" incentive
+  cryptocurrency (an ERC-20-style token with authorized minters).
+* :class:`~repro.contracts.registry.ContentRegistry` — the *publish* contract
+  content creators call instead of being crawled.
+* :class:`~repro.contracts.workers.WorkerRegistry` — worker-bee registration,
+  staking, and slashing.
+* :class:`~repro.contracts.ads.AdMarket` — advertisers buy keyword ads and pay
+  per click; revenue is shared among creators and worker bees.
+* :class:`~repro.contracts.rewards.RewardScheme` — mints honey to content
+  providers whose page rank exceeds a threshold and to worker bees that
+  complete index/rank tasks.
+* :class:`~repro.contracts.queenbee.QueenBeeContracts` — a deployment helper
+  that wires the above together on one chain.
+"""
+
+from repro.contracts.honey import HoneyToken
+from repro.contracts.registry import ContentRegistry
+from repro.contracts.workers import WorkerRegistry
+from repro.contracts.ads import AdMarket
+from repro.contracts.rewards import RewardScheme
+from repro.contracts.queenbee import QueenBeeContracts
+
+__all__ = [
+    "HoneyToken",
+    "ContentRegistry",
+    "WorkerRegistry",
+    "AdMarket",
+    "RewardScheme",
+    "QueenBeeContracts",
+]

@@ -1,0 +1,85 @@
+"""The honey token: QueenBee's incentive cryptocurrency."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.chain.vm import CallContext, Contract
+
+
+class HoneyToken(Contract):
+    """An ERC-20-style token with a permissioned mint.
+
+    Honey is "rewarded to worker bees" and to content creators that publish
+    through QueenBee; minting is therefore restricted to the contracts that
+    implement those reward rules (and the deployer, for bootstrapping).
+    """
+
+    name = "honey"
+
+    def __init__(self, admin: str) -> None:
+        super().__init__()
+        self._admin = admin
+
+    # -- storage accessors -----------------------------------------------------
+
+    def _balances(self) -> Dict[str, int]:
+        return self.storage.setdefault("balances", {})
+
+    def _minters(self) -> Dict[str, bool]:
+        return self.storage.setdefault("minters", {self._admin: True})
+
+    # -- externally callable methods --------------------------------------------
+
+    def add_minter(self, ctx: CallContext, minter: str) -> bool:
+        """Authorize ``minter`` to create honey (admin only)."""
+        self.require(ctx.sender == self._admin, "only the admin may add minters")
+        self._minters()[minter] = True
+        self.emit("MinterAdded", minter=minter)
+        return True
+
+    def mint(self, ctx: CallContext, to: str, amount: int) -> int:
+        """Create ``amount`` honey for ``to`` (authorized minters only)."""
+        self.require(amount > 0, "mint amount must be positive")
+        self.require(self._minters().get(ctx.sender, False), f"{ctx.sender} is not a minter")
+        balances = self._balances()
+        balances[to] = balances.get(to, 0) + amount
+        self.storage["total_supply"] = self.storage.get("total_supply", 0) + amount
+        self.emit("Mint", to=to, amount=amount)
+        return balances[to]
+
+    def transfer(self, ctx: CallContext, to: str, amount: int) -> bool:
+        """Move honey from the sender to ``to``."""
+        self.require(amount > 0, "transfer amount must be positive")
+        balances = self._balances()
+        self.require(
+            balances.get(ctx.sender, 0) >= amount,
+            f"{ctx.sender} holds {balances.get(ctx.sender, 0)} honey but tried to send {amount}",
+        )
+        balances[ctx.sender] -= amount
+        balances[to] = balances.get(to, 0) + amount
+        self.emit("Transfer", sender=ctx.sender, to=to, amount=amount)
+        return True
+
+    def burn(self, ctx: CallContext, owner: str, amount: int) -> bool:
+        """Destroy honey (used by slashing).  Minters only."""
+        self.require(self._minters().get(ctx.sender, False), f"{ctx.sender} is not a minter")
+        balances = self._balances()
+        held = balances.get(owner, 0)
+        self.require(held >= amount >= 0, f"cannot burn {amount} from balance {held}")
+        balances[owner] = held - amount
+        self.storage["total_supply"] = self.storage.get("total_supply", 0) - amount
+        self.emit("Burn", owner=owner, amount=amount)
+        return True
+
+    def balance_of(self, ctx: CallContext, owner: str) -> int:
+        """Current honey balance of ``owner``."""
+        return self._balances().get(owner, 0)
+
+    def total_supply(self, ctx: CallContext) -> int:
+        """Total honey in circulation."""
+        return self.storage.get("total_supply", 0)
+
+    def holders(self, ctx: CallContext) -> Dict[str, int]:
+        """A copy of every non-zero balance (fairness analysis reads this)."""
+        return {owner: amount for owner, amount in self._balances().items() if amount > 0}

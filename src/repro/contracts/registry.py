@@ -1,0 +1,105 @@
+"""The content registry: QueenBee's *publish* contract.
+
+"QueenBee advocates no-crawling ... QueenBee incentivizes content creators to
+publish (create or update) their contents via QueenBee's smart contract."
+Worker bees watch this contract's ``PagePublished`` events to learn what to
+index, which is what makes the index fresh without a crawler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.chain.vm import CallContext, Contract
+
+
+class ContentRegistry(Contract):
+    """On-chain record of every published page.
+
+    Storage layout::
+
+        pages:        url -> {cid, owner, version, published_at, block}
+        cid_owner:    cid -> first owner that published this exact content
+        owner_pages:  owner -> [urls]
+
+    ``dedup_enabled`` activates the scraper-site defense: republishing a CID
+    that a *different* owner already registered is rejected, so mirroring a
+    popular page cannot earn publish credit (experiment E7).
+    """
+
+    name = "registry"
+
+    def __init__(self, dedup_enabled: bool = True) -> None:
+        super().__init__()
+        self.dedup_enabled = dedup_enabled
+
+    def _pages(self) -> Dict[str, Dict[str, Any]]:
+        return self.storage.setdefault("pages", {})
+
+    def _cid_owner(self) -> Dict[str, str]:
+        return self.storage.setdefault("cid_owner", {})
+
+    def _owner_pages(self) -> Dict[str, List[str]]:
+        return self.storage.setdefault("owner_pages", {})
+
+    # -- externally callable methods ---------------------------------------------
+
+    def publish(self, ctx: CallContext, url: str, cid: str) -> Dict[str, Any]:
+        """Register (or update) the page at ``url`` with content ``cid``.
+
+        Returns the page record.  Reverts if dedup is enabled and the content
+        was first published by someone else under a different URL.
+        """
+        self.require(bool(url), "url must be non-empty")
+        self.require(bool(cid), "cid must be non-empty")
+        pages = self._pages()
+        existing = pages.get(url)
+        if existing is not None:
+            self.require(
+                existing["owner"] == ctx.sender,
+                f"url {url} is owned by {existing['owner']}",
+            )
+        cid_owner = self._cid_owner()
+        first_owner = cid_owner.get(cid)
+        if self.dedup_enabled and first_owner is not None and first_owner != ctx.sender:
+            self.require(False, f"content {cid[:16]}… was first published by {first_owner}")
+        if first_owner is None:
+            cid_owner[cid] = ctx.sender
+        version = (existing["version"] + 1) if existing is not None else 1
+        record = {
+            "url": url,
+            "cid": cid,
+            "owner": ctx.sender,
+            "version": version,
+            "published_at": ctx.block_time,
+            "block": ctx.block_number,
+        }
+        pages[url] = record
+        if existing is None:
+            self._owner_pages().setdefault(ctx.sender, []).append(url)
+        self.emit("PagePublished", url=url, cid=cid, owner=ctx.sender, version=version)
+        return dict(record)
+
+    def get_page(self, ctx: CallContext, url: str) -> Optional[Dict[str, Any]]:
+        """The current record for ``url`` (``None`` if never published)."""
+        record = self._pages().get(url)
+        return dict(record) if record is not None else None
+
+    def pages_of(self, ctx: CallContext, owner: str) -> List[str]:
+        """URLs published by ``owner``."""
+        return list(self._owner_pages().get(owner, []))
+
+    def owner_of(self, ctx: CallContext, url: str) -> Optional[str]:
+        record = self._pages().get(url)
+        return record["owner"] if record is not None else None
+
+    def page_count(self, ctx: CallContext) -> int:
+        return len(self._pages())
+
+    def all_pages(self, ctx: CallContext) -> List[Dict[str, Any]]:
+        """Every page record (worker bees and experiments read this)."""
+        return [dict(record) for record in self._pages().values()]
+
+    def pages_since(self, ctx: CallContext, block: int) -> List[Dict[str, Any]]:
+        """Pages published or updated at or after ``block`` (incremental indexing)."""
+        return [dict(r) for r in self._pages().values() if r["block"] >= block]

@@ -1,0 +1,29 @@
+"""The QueenBee engine: everything from Figure 1 of the paper, wired together.
+
+* :class:`~repro.core.config.QueenBeeConfig` — one knob object for network
+  size, replication, index compression, redundancy, and incentive policy.
+* :class:`~repro.core.publisher.ContentPublisher` — a content creator device
+  that stores a page on the DWeb and registers it through the publish
+  contract.
+* :class:`~repro.core.worker.WorkerBee` — a peer that indexes published pages
+  into the distributed index and computes page-rank partitions.
+* :class:`~repro.core.directory.DocumentDirectory` — the doc_id -> metadata
+  mapping published in the DHT so frontends can render results.
+* :class:`~repro.core.engine.QueenBeeEngine` — the facade experiments use.
+"""
+
+from repro.core.config import QueenBeeConfig
+from repro.core.directory import DocumentDirectory
+from repro.core.publisher import ContentPublisher
+from repro.core.worker import WorkerBee
+from repro.core.freshness import FreshnessTracker
+from repro.core.engine import QueenBeeEngine
+
+__all__ = [
+    "QueenBeeConfig",
+    "DocumentDirectory",
+    "ContentPublisher",
+    "WorkerBee",
+    "FreshnessTracker",
+    "QueenBeeEngine",
+]

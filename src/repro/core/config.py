@@ -1,0 +1,80 @@
+"""Configuration for a QueenBee deployment (one object, every knob)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class QueenBeeConfig:
+    """All tunables for one simulated QueenBee deployment.
+
+    The defaults describe a small but realistic overlay: 32 peers that each
+    participate in the DHT and in storage, 8 of which volunteer as worker
+    bees.  Experiments override what they sweep and leave the rest alone.
+    """
+
+    # Simulation
+    seed: int = 0
+
+    # Network / overlay
+    peer_count: int = 32
+    worker_count: int = 8
+    latency_median: float = 25.0
+    latency_sigma: float = 0.45
+    loss_rate: float = 0.0
+
+    # DHT
+    dht_k: int = 8
+    dht_alpha: int = 3
+    dht_replicate: int = 4
+
+    # Storage
+    storage_replication: int = 3
+    chunk_size: int = 8_192
+
+    # Index
+    compress_index: bool = True
+    top_k: int = 10
+
+    # Ranking
+    rank_redundancy: int = 3
+    rank_damping: float = 0.85
+    rank_max_iterations: int = 30
+    rank_tolerance: float = 1e-6
+
+    # Chain / incentives
+    block_interval: float = 1_000.0
+    min_worker_stake: int = 1_000
+    publish_reward: int = 10
+    task_reward: int = 5
+    popularity_policy: str = "threshold"
+    rank_threshold: float = 0.001
+    popularity_budget: int = 10_000
+    creator_share: float = 0.6
+    worker_share: float = 0.3
+    treasury_share: float = 0.1
+    dedup_enabled: bool = True
+    creator_funding: int = 10**9
+    worker_funding: int = 10**7
+    worker_stake: int = 2_000
+
+    # Frontend
+    max_ads: int = 2
+    planning_strategy: str = "rarest_first"
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on impossible combinations."""
+        if self.peer_count < 2:
+            raise ValueError("peer_count must be at least 2")
+        if not 0 < self.worker_count <= self.peer_count:
+            raise ValueError("worker_count must be in [1, peer_count]")
+        if self.dht_k < 1 or self.dht_alpha < 1:
+            raise ValueError("dht_k and dht_alpha must be positive")
+        if self.storage_replication < 1:
+            raise ValueError("storage_replication must be at least 1")
+        if self.rank_redundancy < 1:
+            raise ValueError("rank_redundancy must be at least 1")
+        if self.worker_stake < self.min_worker_stake:
+            raise ValueError("worker_stake must cover min_worker_stake")

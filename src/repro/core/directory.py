@@ -1,0 +1,65 @@
+"""The document directory: doc_id -> display metadata, published in the DHT.
+
+Search results must show a URL, a title, and an owner without any central
+database.  Worker bees write one small directory record per document into
+the DHT when they index it; frontends resolve the records for the handful of
+top-k results they display.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import KeyNotFoundError
+from repro.dht.dht import DHTNetwork
+from repro.index.document import Document
+
+
+def doc_key(doc_id: int) -> str:
+    return f"docmeta:{doc_id}"
+
+
+def url_key(url: str) -> str:
+    return f"docid:{url}"
+
+
+class DocumentDirectory:
+    """Publish/resolve document metadata over the DHT."""
+
+    def __init__(self, dht: DHTNetwork, snippet_length: int = 160) -> None:
+        self.dht = dht
+        self.snippet_length = snippet_length
+
+    def publish(self, document: Document, cid: str) -> None:
+        """Record the metadata of an indexed document."""
+        record = {
+            "doc_id": document.doc_id,
+            "url": document.url,
+            "title": document.title,
+            "owner": document.owner,
+            "cid": cid,
+            "version": document.version,
+            "published_at": document.published_at,
+            "snippet": document.text[: self.snippet_length],
+        }
+        self.dht.put(doc_key(document.doc_id), record)
+        self.dht.put(url_key(document.url), document.doc_id)
+
+    def resolve(self, doc_id: int) -> Dict[str, Any]:
+        """Metadata for ``doc_id`` (empty dict when unknown/unreachable)."""
+        try:
+            record = self.dht.get(doc_key(doc_id))
+        except KeyNotFoundError:
+            return {}
+        return dict(record) if isinstance(record, dict) else {}
+
+    def resolve_url(self, url: str) -> Optional[int]:
+        """The doc_id registered for ``url`` (``None`` when unknown)."""
+        try:
+            doc_id = self.dht.get(url_key(url))
+        except KeyNotFoundError:
+            return None
+        return int(doc_id) if doc_id is not None else None
+
+    def resolve_many(self, doc_ids: List[int]) -> Dict[int, Dict[str, Any]]:
+        return {doc_id: self.resolve(doc_id) for doc_id in doc_ids}

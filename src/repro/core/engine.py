@@ -1,0 +1,349 @@
+"""The QueenBee engine: one object that owns a whole simulated deployment.
+
+Experiments construct a :class:`QueenBeeEngine` from a
+:class:`~repro.core.config.QueenBeeConfig`, feed it a corpus, and then drive
+publishes, rank recomputations, and queries against it.  Everything in
+Figure 1 of the paper is here: the DWeb substrate (DHT + decentralized
+storage), the smart contracts, the worker bees, and the search frontend.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.errors import KeyNotFoundError
+from repro.chain.blockchain import Blockchain
+from repro.contracts.queenbee import QueenBeeContracts
+from repro.core.config import QueenBeeConfig
+from repro.core.directory import DocumentDirectory
+from repro.core.freshness import FreshnessTracker
+from repro.core.publisher import ContentPublisher, PublishReceipt
+from repro.core.worker import WorkerBee
+from repro.dht.dht import DHTNetwork
+from repro.index.analysis import Analyzer
+from repro.index.distributed import DistributedIndex
+from repro.index.document import Document, DocumentStore
+from repro.index.inverted_index import LocalInvertedIndex
+from repro.index.postings import PostingList
+from repro.index.statistics import CollectionStatistics
+from repro.metrics.collector import MetricsCollector
+from repro.net.latency import LogNormalLatency
+from repro.net.network import SimulatedNetwork
+from repro.ranking.distributed import DecentralizedPageRank
+from repro.ranking.graph import LinkGraph
+from repro.ranking.pagerank import PageRankResult
+from repro.search.frontend import SearchFrontend
+from repro.search.results import ResultPage
+from repro.sim.simulator import Simulator
+from repro.storage.ipfs import DecentralizedStorage
+
+RANK_VECTOR_KEY = "rank:vector"
+
+
+@dataclass
+class EngineStats:
+    """High-level counters over the lifetime of one engine."""
+
+    documents_published: int = 0
+    publishes_rejected: int = 0
+    rank_rounds: int = 0
+    workers_slashed: int = 0
+    queries_served: int = 0
+
+
+class QueenBeeEngine:
+    """A complete simulated QueenBee deployment."""
+
+    def __init__(self, config: Optional[QueenBeeConfig] = None) -> None:
+        self.config = config or QueenBeeConfig()
+        self.config.validate()
+        cfg = self.config
+
+        self.simulator = Simulator(seed=cfg.seed)
+        self.network = SimulatedNetwork(
+            self.simulator,
+            latency=LogNormalLatency(median=cfg.latency_median, sigma=cfg.latency_sigma),
+            loss_rate=cfg.loss_rate,
+        )
+        self.dht = DHTNetwork(
+            self.simulator, self.network, k=cfg.dht_k, alpha=cfg.dht_alpha, replicate=cfg.dht_replicate
+        )
+        self.storage = DecentralizedStorage(
+            self.simulator, self.network, self.dht,
+            replication=cfg.storage_replication, chunk_size=cfg.chunk_size,
+        )
+        self.chain = Blockchain(self.simulator, validators=["validator-0"], auto_mine=True)
+        self.contracts = QueenBeeContracts.deploy(
+            self.chain,
+            dedup_enabled=cfg.dedup_enabled,
+            min_stake=cfg.min_worker_stake,
+            publish_reward=cfg.publish_reward,
+            task_reward=cfg.task_reward,
+            popularity_policy=cfg.popularity_policy,
+            rank_threshold=cfg.rank_threshold,
+            popularity_budget=cfg.popularity_budget,
+            creator_share=cfg.creator_share,
+            worker_share=cfg.worker_share,
+            treasury_share=cfg.treasury_share,
+        )
+
+        self.analyzer = Analyzer()
+        self.index = DistributedIndex(self.dht, self.storage, compress=cfg.compress_index)
+        self.directory = DocumentDirectory(self.dht)
+        self.statistics = CollectionStatistics()
+        self.freshness = FreshnessTracker()
+        self.metrics = MetricsCollector()
+        self.stats = EngineStats()
+
+        # Ground-truth bookkeeping used by experiments (never by the search path).
+        self.documents = DocumentStore()
+        self.link_graph = LinkGraph()
+
+        self._rng = self.simulator.fork_rng("engine")
+        self._publishers: Dict[str, ContentPublisher] = {}
+        self._pending_links: Dict[str, List[int]] = {}
+        self.last_popularity_payouts: Dict[str, int] = {}
+        self._page_ranks: Dict[int, float] = {}
+        self._rank_cid: Optional[str] = None
+        self._publishes_since_stats = 0
+        self.stats_publish_interval = 10
+
+        # Build the peer overlay: every peer is both a DHT node and a storage peer.
+        self.peer_ids = [f"peer-{i:03d}" for i in range(cfg.peer_count)]
+        for peer_id in self.peer_ids:
+            self.dht.add_node(address=f"{peer_id}:dht")
+            self.storage.add_peer(address=f"{peer_id}:store")
+
+        # Recruit worker bees from the first `worker_count` peers.
+        self.workers: List[WorkerBee] = []
+        for i in range(cfg.worker_count):
+            worker_account = f"worker-{i:03d}"
+            self.chain.fund_account(worker_account, cfg.worker_funding)
+            self.contracts.register_worker(worker_account, cfg.worker_stake)
+            self.workers.append(
+                WorkerBee(
+                    address=worker_account,
+                    index=self.index,
+                    directory=self.directory,
+                    analyzer=self.analyzer,
+                    storage_peer=f"{self.peer_ids[i]}:store",
+                    damping=cfg.rank_damping,
+                )
+            )
+        self._next_worker = 0
+
+    # -- creators -------------------------------------------------------------------
+
+    def publisher_for(self, owner: str) -> ContentPublisher:
+        """The (lazily created and funded) publisher device of ``owner``."""
+        publisher = self._publishers.get(owner)
+        if publisher is None:
+            self.chain.fund_account(owner, self.config.creator_funding)
+            storage_peer = self._rng.choice(self.storage.peer_addresses())
+            publisher = ContentPublisher(owner, self.storage, self.contracts, storage_peer=storage_peer)
+            self._publishers[owner] = publisher
+        return publisher
+
+    # -- publishing -----------------------------------------------------------------
+
+    def publish_document(self, document: Document) -> PublishReceipt:
+        """The full publish pipeline for one page version.
+
+        Store on the DWeb, register through the contract, have a worker bee
+        index it, reward the worker, and track freshness.  Rejected publishes
+        (dedup defense) stop after the contract call.
+        """
+        published_at = self.simulator.now
+        publisher = self.publisher_for(document.owner)
+        receipt = publisher.publish(document)
+        if not receipt.accepted:
+            self.stats.publishes_rejected += 1
+            return receipt
+
+        self.freshness.record_publish(document.doc_id, document.version, published_at)
+        worker = self._pick_worker()
+        worker.index_document(document, receipt.cid, statistics=self.statistics)
+        self.contracts.reward_worker_task(worker.address, "index")
+        self.freshness.record_indexed(document.doc_id, document.version, self.simulator.now)
+
+        self._register_ground_truth(document)
+        self.stats.documents_published += 1
+        self._publishes_since_stats += 1
+        if self._publishes_since_stats >= self.stats_publish_interval:
+            self.publish_statistics()
+        return receipt
+
+    def bootstrap_corpus(self, documents: Iterable[Document]) -> int:
+        """Efficiently load an initial corpus that predates the measurement window.
+
+        The bootstrap path batches index construction: pages are stored and
+        registered individually (so contract state and honey flows are real),
+        but posting lists are built locally by the worker bees' analyzer and
+        published once per term instead of once per term per document.
+        Freshness is not tracked for bootstrapped pages.
+        """
+        documents = list(documents)
+        local = LocalInvertedIndex(self.analyzer)
+        worker_cycle = 0
+        for document in documents:
+            publisher = self.publisher_for(document.owner)
+            receipt = publisher.publish(document)
+            if not receipt.accepted:
+                self.stats.publishes_rejected += 1
+                continue
+            local.add_document(document)
+            worker = self.workers[worker_cycle % len(self.workers)]
+            worker_cycle += 1
+            worker._previous_terms[document.doc_id] = self.analyzer.term_frequencies(
+                document.full_text
+            )
+            self.directory.publish(document, receipt.cid)
+            self.statistics.add_document(
+                document.doc_id, document.length, local.term_frequencies_of(document.doc_id)
+            )
+            self._register_ground_truth(document)
+            self.stats.documents_published += 1
+
+        # Publish each term's shard once, spreading the work across workers.
+        for term_index, term in enumerate(local.terms()):
+            worker = self.workers[term_index % len(self.workers)]
+            self.index.publish_term(term, local.postings(term), publisher=worker.storage_peer)
+            self.contracts.reward_worker_task(worker.address, "index")
+        self.publish_statistics()
+        return local.document_count
+
+    def publish_statistics(self) -> None:
+        """Publish the shared collection statistics to the DWeb."""
+        self.index.publish_statistics(self.statistics)
+        self._publishes_since_stats = 0
+
+    # -- ranking ---------------------------------------------------------------------
+
+    def compute_page_ranks(self, redundancy: Optional[int] = None) -> PageRankResult:
+        """One decentralized PageRank round: compute, publish, reward, slash."""
+        cfg = self.config
+        worker_fns = {worker.address: worker.rank_worker_fn() for worker in self.workers}
+        coordinator = DecentralizedPageRank(
+            workers=worker_fns,
+            damping=cfg.rank_damping,
+            redundancy=redundancy if redundancy is not None else cfg.rank_redundancy,
+            tolerance=cfg.rank_tolerance,
+            max_iterations=cfg.rank_max_iterations,
+            rng=self.simulator.fork_rng("rank-round"),
+        )
+        result = coordinator.compute(self.link_graph)
+        self._page_ranks = dict(result.ranks)
+        self._publish_rank_vector(result.ranks)
+
+        # Reward every worker that participated, slash the ones whose answers
+        # lost a majority vote (the collusion defense's enforcement arm).
+        for worker in self.workers:
+            self.contracts.reward_worker_task(worker.address, "rank")
+        for dissenting in coordinator.dissenting_workers():
+            self.contracts.slash_worker(dissenting, self.config.worker_stake, "rank result rejected by vote")
+            self.stats.workers_slashed += 1
+
+        self.last_popularity_payouts = self.contracts.distribute_popularity_rewards(
+            self.owner_rank_mass()
+        )
+        self.stats.rank_rounds += 1
+        self.metrics.increment("rank.rounds")
+        return result
+
+    def owner_rank_mass(self) -> Dict[str, float]:
+        """Summed page rank per content owner (input to the popularity reward)."""
+        mass: Dict[str, float] = {}
+        for doc_id, rank in self._page_ranks.items():
+            document = self.documents.maybe_get(doc_id)
+            if document is None:
+                continue
+            mass[document.owner] = mass.get(document.owner, 0.0) + rank
+        return mass
+
+    def page_ranks(self) -> Dict[int, float]:
+        """The engine's latest computed rank vector (coordinator-side copy)."""
+        return dict(self._page_ranks)
+
+    def fetch_published_ranks(self) -> Dict[int, float]:
+        """The rank vector as a frontend would fetch it from the DWeb."""
+        try:
+            cid = self.dht.get(RANK_VECTOR_KEY)
+            payload = self.storage.get_text(cid)
+        except Exception:
+            return {}
+        return {int(doc_id): float(rank) for doc_id, rank in json.loads(payload).items()}
+
+    # -- searching --------------------------------------------------------------------
+
+    def create_frontend(self, requester: Optional[str] = None, top_k: Optional[int] = None) -> SearchFrontend:
+        """A search frontend running on one of the peers."""
+        requester = requester or self._rng.choice(self.storage.peer_addresses())
+        return SearchFrontend(
+            simulator=self.simulator,
+            index=self.index,
+            rank_provider=self.page_ranks,
+            metadata_resolver=self.directory.resolve,
+            ad_provider=self.contracts.ads_for,
+            analyzer=self.analyzer,
+            statistics=self.statistics,
+            top_k=top_k or self.config.top_k,
+            max_ads=self.config.max_ads,
+            planning_strategy=self.config.planning_strategy,
+            requester=requester,
+        )
+
+    def search(self, query: str, frontend: Optional[SearchFrontend] = None) -> ResultPage:
+        """Answer one query (convenience wrapper around a default frontend)."""
+        if frontend is None:
+            if not hasattr(self, "_default_frontend"):
+                self._default_frontend = self.create_frontend()
+            frontend = self._default_frontend
+        page = frontend.search(query)
+        self.stats.queries_served += 1
+        self.metrics.observe("query.latency", page.latency)
+        return page
+
+    # -- fault injection (used by the resilience experiment) ----------------------------
+
+    def fail_peers(self, fraction: float) -> List[str]:
+        """Take a random fraction of peers (their DHT + storage endpoints) offline."""
+        count = int(round(len(self.peer_ids) * fraction))
+        victims = self._rng.sample(self.peer_ids, count)
+        for peer_id in victims:
+            self.network.set_offline(f"{peer_id}:dht")
+            self.network.set_offline(f"{peer_id}:store")
+        return victims
+
+    def restore_peers(self, peer_ids: Iterable[str]) -> None:
+        for peer_id in peer_ids:
+            self.network.set_online(f"{peer_id}:dht")
+            self.network.set_online(f"{peer_id}:store")
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _pick_worker(self) -> WorkerBee:
+        worker = self.workers[self._next_worker % len(self.workers)]
+        self._next_worker += 1
+        return worker
+
+    def _register_ground_truth(self, document: Document) -> None:
+        self.documents.add(document)
+        self.link_graph.add_node(document.doc_id)
+        for target_url in document.links:
+            target = self.documents.maybe_get_by_url(target_url)
+            if target is not None:
+                self.link_graph.add_edge(document.doc_id, target.doc_id)
+            else:
+                # The link target has not been published yet; connect it when it is.
+                self._pending_links.setdefault(target_url, []).append(document.doc_id)
+        for source_doc_id in self._pending_links.pop(document.url, []):
+            self.link_graph.add_edge(source_doc_id, document.doc_id)
+
+    def _publish_rank_vector(self, ranks: Mapping[int, float]) -> None:
+        payload = json.dumps({str(doc_id): rank for doc_id, rank in ranks.items()}, sort_keys=True)
+        publisher_peer = self.workers[0].storage_peer if self.workers else None
+        cid = self.storage.add_text(payload, publisher=publisher_peer)
+        self.dht.put(RANK_VECTOR_KEY, cid)
+        self._rank_cid = cid

@@ -1,0 +1,76 @@
+"""Freshness accounting: how long after publishing does a page become searchable?
+
+"QueenBee advocates no-crawling, because crawling inevitably reduces the
+freshness of the search results."  The E2 experiment quantifies exactly that:
+the lag between a publish event and the moment the page (or its new version)
+is visible to queries, for QueenBee's publish-driven indexing versus the
+centralized baseline's periodic crawler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.summary import DistributionSummary, summarize
+
+
+@dataclass
+class FreshnessRecord:
+    """Lifecycle timestamps of one published document version."""
+
+    doc_id: int
+    version: int
+    published_at: float
+    indexed_at: Optional[float] = None
+
+    @property
+    def lag(self) -> Optional[float]:
+        if self.indexed_at is None:
+            return None
+        return self.indexed_at - self.published_at
+
+
+class FreshnessTracker:
+    """Tracks publish -> searchable lag per document version."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[int, int], FreshnessRecord] = {}
+
+    def record_publish(self, doc_id: int, version: int, time: float) -> None:
+        """A creator published ``version`` of ``doc_id`` at ``time``."""
+        self._records[(doc_id, version)] = FreshnessRecord(
+            doc_id=doc_id, version=version, published_at=time
+        )
+
+    def record_indexed(self, doc_id: int, version: int, time: float) -> None:
+        """The version became visible to queries at ``time``."""
+        record = self._records.get((doc_id, version))
+        if record is None:
+            record = FreshnessRecord(doc_id=doc_id, version=version, published_at=time)
+            self._records[(doc_id, version)] = record
+        if record.indexed_at is None:
+            record.indexed_at = time
+
+    def lags(self) -> List[float]:
+        """Every measured publish -> searchable lag."""
+        return [r.lag for r in self._records.values() if r.lag is not None]
+
+    def pending(self) -> int:
+        """Versions published but not yet searchable."""
+        return sum(1 for r in self._records.values() if r.indexed_at is None)
+
+    def stale_fraction(self, now: float) -> float:
+        """Fraction of published versions not yet searchable at ``now``."""
+        total = len(self._records)
+        if not total:
+            return 0.0
+        stale = sum(
+            1
+            for r in self._records.values()
+            if r.indexed_at is None or r.indexed_at > now
+        )
+        return stale / total
+
+    def summary(self) -> DistributionSummary:
+        return summarize(self.lags())

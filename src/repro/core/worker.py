@@ -1,0 +1,135 @@
+"""Worker bees: the peers that maintain the index and compute page ranks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.directory import DocumentDirectory
+from repro.index.analysis import Analyzer
+from repro.index.distributed import DistributedIndex
+from repro.index.document import Document
+from repro.index.postings import PostingList
+from repro.index.statistics import CollectionStatistics
+from repro.ranking.distributed import RankContribution, RankTask, compute_honest_contribution
+
+
+@dataclass
+class IndexTaskResult:
+    """Outcome of indexing one published page version."""
+
+    doc_id: int
+    terms_updated: int
+    is_update: bool
+
+
+class WorkerBee:
+    """A peer that volunteers index and rank work in exchange for honey.
+
+    The worker is deliberately stateless about the corpus: it reads the
+    published shard for each term it touches, merges, and republishes, so any
+    worker can index any page — the property that lets QueenBee parallelize
+    indexing across volunteers.
+
+    Attack hooks
+    ------------
+    ``index_tamper`` and ``rank_tamper`` are optional callables the attack
+    scenarios (E6) install on colluding workers.  Honest workers leave them
+    ``None``.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        index: DistributedIndex,
+        directory: DocumentDirectory,
+        analyzer: Optional[Analyzer] = None,
+        storage_peer: Optional[str] = None,
+        damping: float = 0.85,
+        index_tamper: Optional[Callable[[str, PostingList], PostingList]] = None,
+        rank_tamper: Optional[Callable[[RankTask, RankContribution], RankContribution]] = None,
+    ) -> None:
+        self.address = address
+        self.index = index
+        self.directory = directory
+        self.analyzer = analyzer or Analyzer()
+        self.storage_peer = storage_peer
+        self.damping = damping
+        self.index_tamper = index_tamper
+        self.rank_tamper = rank_tamper
+        self.index_tasks_completed = 0
+        self.rank_tasks_completed = 0
+        self._previous_terms: Dict[int, Dict[str, int]] = {}
+
+    @property
+    def is_malicious(self) -> bool:
+        return self.index_tamper is not None or self.rank_tamper is not None
+
+    # -- indexing -------------------------------------------------------------------
+
+    def index_document(
+        self,
+        document: Document,
+        cid: str,
+        statistics: Optional[CollectionStatistics] = None,
+    ) -> IndexTaskResult:
+        """Index one published page version into the distributed index.
+
+        Updates are handled by removing the document from terms it no longer
+        contains and merging it into the terms it does.  ``statistics`` (the
+        shared collection statistics, owned by the engine) is updated in place
+        when provided.
+        """
+        frequencies = self.analyzer.term_frequencies(document.full_text)
+        previous = self._previous_terms.get(document.doc_id, {})
+        is_update = bool(previous)
+        removed_terms = [term for term in previous if term not in frequencies]
+
+        # Per-term shard updates are independent of each other, so the worker
+        # issues them concurrently; the simulated cost is the slowest update,
+        # not the sum (cf. Simulator.parallel_region).
+        def removal_thunk(term: str):
+            return lambda: self.index.remove_document(term, document.doc_id,
+                                                      publisher=self.storage_peer)
+
+        def merge_thunk(term: str, frequency: int):
+            def run():
+                postings = PostingList()
+                postings.add(document.doc_id, frequency)
+                if self.index_tamper is not None:
+                    postings = self.index_tamper(term, postings)
+                return self.index.merge_term(term, postings, publisher=self.storage_peer)
+            return run
+
+        thunks = [removal_thunk(term) for term in removed_terms]
+        thunks.extend(merge_thunk(term, frequency) for term, frequency in frequencies.items())
+        simulator = self.index.dht.simulator
+        if thunks:
+            simulator.parallel_region(thunks)
+
+        self.directory.publish(document, cid)
+        if statistics is not None:
+            if is_update:
+                statistics.remove_document(document.doc_id, previous)
+            statistics.add_document(document.doc_id, document.length, frequencies)
+        self._previous_terms[document.doc_id] = frequencies
+        self.index_tasks_completed += 1
+        return IndexTaskResult(
+            doc_id=document.doc_id,
+            terms_updated=len(frequencies) + len(removed_terms),
+            is_update=is_update,
+        )
+
+    # -- ranking ---------------------------------------------------------------------
+
+    def rank_worker_fn(self) -> Callable[[RankTask], RankContribution]:
+        """The callable the decentralized PageRank coordinator invokes."""
+
+        def run(task: RankTask) -> RankContribution:
+            contribution = compute_honest_contribution(task, damping=self.damping)
+            if self.rank_tamper is not None:
+                contribution = self.rank_tamper(task, contribution)
+            self.rank_tasks_completed += 1
+            return contribution
+
+        return run

@@ -1,0 +1,203 @@
+"""A whole DHT overlay: node creation, bootstrap, and a put/get facade.
+
+Higher layers (decentralized storage, the distributed inverted index, the
+page-rank directory) use :class:`DHTNetwork` as "the DHT": they call
+:meth:`put` / :meth:`get` / :meth:`add_to_set` / :meth:`get_set` with string
+keys and never deal with individual Kademlia nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import KeyNotFoundError
+from repro.dht.lookup import find_node, find_value
+from repro.dht.node import KademliaNode
+from repro.dht.nodeid import key_to_id, random_node_id
+from repro.dht.routing import Contact
+from repro.net.network import SimulatedNetwork
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class DHTStats:
+    """Counters used by the scalability experiment (E4)."""
+
+    lookups: int = 0
+    total_rounds: int = 0
+    total_contacted: int = 0
+    failed_lookups: int = 0
+    stores: int = 0
+    per_lookup_rounds: List[int] = field(default_factory=list)
+
+    @property
+    def mean_rounds(self) -> float:
+        return self.total_rounds / self.lookups if self.lookups else 0.0
+
+    @property
+    def mean_contacted(self) -> float:
+        return self.total_contacted / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.lookups = 0
+        self.total_rounds = 0
+        self.total_contacted = 0
+        self.failed_lookups = 0
+        self.stores = 0
+        self.per_lookup_rounds.clear()
+
+
+class DHTNetwork:
+    """A set of Kademlia nodes sharing one simulated network.
+
+    Parameters
+    ----------
+    simulator / network:
+        Simulation substrate.  The caller may share the network with other
+        subsystems (storage peers, the chain) or dedicate one to the DHT.
+    k:
+        Bucket size and replication factor for stored values.
+    alpha:
+        Lookup parallelism.
+    replicate:
+        Number of closest nodes each value is stored on (defaults to ``k``,
+        capped at the network size).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Optional[SimulatedNetwork] = None,
+        k: int = 20,
+        alpha: int = 3,
+        replicate: Optional[int] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network or SimulatedNetwork(simulator)
+        self.k = k
+        self.alpha = alpha
+        self.replicate = replicate if replicate is not None else k
+        self.nodes: Dict[str, KademliaNode] = {}
+        self.stats = DHTStats()
+        self._rng = simulator.fork_rng("dht")
+
+    # -- membership ----------------------------------------------------------
+
+    def add_node(self, address: Optional[str] = None, node_id: Optional[int] = None) -> KademliaNode:
+        """Create a node, register it on the network, and bootstrap its routing table."""
+        if address is None:
+            address = f"dht-{len(self.nodes)}"
+        if node_id is None:
+            node_id = random_node_id(self._rng)
+        node = KademliaNode(node_id, address, self.network, k=self.k)
+        if self.nodes:
+            bootstrap = self._rng.choice(list(self.nodes.values()))
+            node.routing_table.update(bootstrap.as_contact())
+            bootstrap.routing_table.update(node.as_contact())
+            # Standard join: look up our own ID to populate routing tables on the path.
+            result = find_node(node, node.node_id, k=self.k, alpha=self.alpha)
+            for contact in result.closest:
+                node.routing_table.update(contact)
+        self.nodes[address] = node
+        return node
+
+    def build(self, count: int) -> List[KademliaNode]:
+        """Create ``count`` nodes and return them."""
+        return [self.add_node() for _ in range(count)]
+
+    def remove_node(self, address: str) -> None:
+        """Take a node off the network (crash)."""
+        node = self.nodes.pop(address, None)
+        if node is not None:
+            self.network.unregister(address)
+
+    def node_addresses(self) -> List[str]:
+        return sorted(self.nodes)
+
+    def random_node(self) -> KademliaNode:
+        """A random *online* node to originate a lookup from (client behaviour)."""
+        online = [n for a, n in self.nodes.items() if self.network.is_online(a)]
+        if not online:
+            raise KeyNotFoundError("no online DHT nodes available")
+        return self._rng.choice(online)
+
+    # -- storage facade -------------------------------------------------------
+
+    def put(self, key: str, value: Any, origin: Optional[KademliaNode] = None) -> int:
+        """Store ``value`` on the ``replicate`` nodes closest to ``key``.
+
+        Returns the number of replicas successfully written.
+        """
+        origin = origin or self.random_node()
+        target = key_to_id(key)
+        result = find_node(origin, target, k=self.k, alpha=self.alpha)
+        self._record_lookup(result.rounds, result.contacted, failed=False)
+        stored = 0
+        replicas = result.closest[: self.replicate] or [origin.as_contact()]
+        for contact in replicas:
+            if contact.address == origin.address:
+                origin.local_store(target, value)
+                stored += 1
+            elif origin.store_at(contact, target, value):
+                stored += 1
+        self.stats.stores += 1
+        return stored
+
+    def get(self, key: str, origin: Optional[KademliaNode] = None) -> Any:
+        """Fetch the value stored under ``key``.  Raises :class:`KeyNotFoundError`."""
+        origin = origin or self.random_node()
+        target = key_to_id(key)
+        result = find_value(origin, target, k=self.k, alpha=self.alpha)
+        self._record_lookup(result.rounds, result.contacted, failed=not result.found)
+        if not result.found:
+            raise KeyNotFoundError(f"key {key!r} not found in the DHT")
+        return result.value
+
+    def add_to_set(self, key: str, item: Any, origin: Optional[KademliaNode] = None) -> int:
+        """Add ``item`` to the multi-writer set stored under ``key``."""
+        origin = origin or self.random_node()
+        target = key_to_id(key)
+        result = find_node(origin, target, k=self.k, alpha=self.alpha)
+        self._record_lookup(result.rounds, result.contacted, failed=False)
+        stored = 0
+        replicas = result.closest[: self.replicate] or [origin.as_contact()]
+        for contact in replicas:
+            if contact.address == origin.address:
+                origin.sets.setdefault(target, set()).add(item)
+                stored += 1
+            elif origin.append_at(contact, target, item):
+                stored += 1
+        self.stats.stores += 1
+        return stored
+
+    def get_set(self, key: str, origin: Optional[KademliaNode] = None) -> List[Any]:
+        """Fetch the set stored under ``key`` (empty list if absent)."""
+        origin = origin or self.random_node()
+        target = key_to_id(key)
+        result = find_value(origin, target, k=self.k, alpha=self.alpha)
+        self._record_lookup(result.rounds, result.contacted, failed=not result.found)
+        if not result.found:
+            return []
+        return list(result.items or [])
+
+    def contains(self, key: str, origin: Optional[KademliaNode] = None) -> bool:
+        """Whether a value or set exists under ``key`` (without raising)."""
+        try:
+            self.get(key, origin=origin)
+        except KeyNotFoundError:
+            return False
+        return True
+
+    # -- introspection --------------------------------------------------------
+
+    def total_stored_bytes(self) -> int:
+        return sum(node.storage_bytes() for node in self.nodes.values())
+
+    def _record_lookup(self, rounds: int, contacted: int, failed: bool) -> None:
+        self.stats.lookups += 1
+        self.stats.total_rounds += rounds
+        self.stats.total_contacted += contacted
+        self.stats.per_lookup_rounds.append(rounds)
+        if failed:
+            self.stats.failed_lookups += 1

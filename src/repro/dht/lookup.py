@@ -1,0 +1,165 @@
+"""Iterative Kademlia lookups (FIND_NODE and FIND_VALUE).
+
+The lookup procedure is the paper-standard iterative algorithm: keep a
+shortlist of the ``k`` closest contacts seen so far, query the ``alpha``
+closest unqueried ones in parallel, merge the contacts they return, and stop
+when a round makes no progress (or, for value lookups, when the value is
+found).  The number of rounds is what the scalability experiment (E4) reports
+as "lookup hops".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.dht.node import FIND_NODE, FIND_VALUE, KademliaNode, sort_contacts_by_distance
+from repro.dht.nodeid import distance
+from repro.dht.routing import Contact
+
+DEFAULT_ALPHA = 3
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one iterative lookup."""
+
+    target: int
+    closest: List[Contact] = field(default_factory=list)
+    value: Any = None
+    items: Optional[List[Any]] = None
+    found: bool = False
+    rounds: int = 0
+    contacted: int = 0
+
+    @property
+    def hops(self) -> int:
+        """Alias used by the experiment tables."""
+        return self.rounds
+
+
+class IterativeLookup:
+    """Runs one iterative lookup on behalf of ``origin``."""
+
+    def __init__(
+        self,
+        origin: KademliaNode,
+        target: int,
+        k: int = 20,
+        alpha: int = DEFAULT_ALPHA,
+        find_value: bool = False,
+    ) -> None:
+        self.origin = origin
+        self.target = target
+        self.k = k
+        self.alpha = alpha
+        self.find_value = find_value
+
+    def run(self) -> LookupResult:
+        result = LookupResult(target=self.target)
+        shortlist: List[Contact] = self.origin.routing_table.closest(self.target, self.k)
+        queried: Set[str] = {self.origin.address}
+        msg_type = FIND_VALUE if self.find_value else FIND_NODE
+        # Value candidates found along the way: (stored_at, value).  The lookup
+        # runs to convergence and keeps the freshest replica, so an overwrite
+        # that moved the replica set is not shadowed by a stale holder.
+        value_candidates: List[tuple] = []
+        item_union: Set[Any] = set()
+        items_found = False
+
+        # The origin's own storage counts as hop zero for value lookups.
+        if self.find_value:
+            if self.target in self.origin.values:
+                value_candidates.append(
+                    (self.origin.store_timestamps.get(self.target, 0.0),
+                     self.origin.values[self.target])
+                )
+            if self.target in self.origin.sets:
+                items_found = True
+                item_union.update(self.origin.sets[self.target])
+
+        if not shortlist:
+            result.closest = []
+            self._finalize_value(result, value_candidates, item_union, items_found)
+            return result
+
+        while True:
+            candidates = [c for c in shortlist if c.address not in queried][: self.alpha]
+            if not candidates:
+                break
+            result.rounds += 1
+            payload_key = "key" if self.find_value else "target"
+            requests = [
+                (c.address, msg_type, dict(self.origin._base_payload(), **{payload_key: self.target}))
+                for c in candidates
+            ]
+            responses = self.origin.network.rpc_parallel(self.origin.address, requests)
+            progress = False
+            best_before = self._best_distance(shortlist)
+            for contact, response in zip(candidates, responses):
+                queried.add(contact.address)
+                result.contacted += 1
+                if response is None or not response.ok:
+                    self.origin.routing_table.remove(contact.node_id)
+                    shortlist = [c for c in shortlist if c.node_id != contact.node_id]
+                    continue
+                self.origin.routing_table.update(contact)
+                if self.find_value and response.payload.get("found"):
+                    stored_at = response.payload.get("stored_at", 0.0)
+                    if "value" in response.payload:
+                        value_candidates.append((stored_at, response.payload["value"]))
+                    if "items" in response.payload:
+                        items_found = True
+                        item_union.update(response.payload["items"])
+                returned = sort_contacts_by_distance(
+                    response.payload.get("contacts", []), self.target
+                )
+                for new_contact in returned:
+                    if new_contact.address == self.origin.address:
+                        continue
+                    if all(new_contact.node_id != c.node_id for c in shortlist):
+                        shortlist.append(new_contact)
+                        progress = True
+            shortlist.sort(key=lambda c: distance(c.node_id, self.target))
+            shortlist = shortlist[: self.k]
+            if not progress and self._best_distance(shortlist) >= best_before:
+                # No new closer contacts: the lookup has converged.
+                unqueried = [c for c in shortlist if c.address not in queried]
+                if not unqueried:
+                    break
+
+        result.closest = shortlist[: self.k]
+        self._finalize_value(result, value_candidates, item_union, items_found)
+        return result
+
+    def _best_distance(self, contacts: List[Contact]) -> int:
+        if not contacts:
+            return 1 << 200
+        return min(distance(c.node_id, self.target) for c in contacts)
+
+    @staticmethod
+    def _finalize_value(
+        result: LookupResult,
+        value_candidates: List[tuple],
+        item_union: Set[Any],
+        items_found: bool,
+    ) -> None:
+        """Fold collected replicas into the result: freshest value, unioned sets."""
+        if value_candidates:
+            result.found = True
+            result.value = max(value_candidates, key=lambda pair: pair[0])[1]
+        if items_found:
+            result.found = True
+            result.items = sorted(item_union, key=repr)
+
+
+def find_node(origin: KademliaNode, target: int, k: int = 20, alpha: int = DEFAULT_ALPHA) -> LookupResult:
+    """Locate the ``k`` closest nodes to ``target`` starting from ``origin``."""
+    lookup = IterativeLookup(origin, target, k=k, alpha=alpha, find_value=False)
+    return lookup.run()
+
+
+def find_value(origin: KademliaNode, key: int, k: int = 20, alpha: int = DEFAULT_ALPHA) -> LookupResult:
+    """Locate the value stored under ``key`` starting from ``origin``."""
+    lookup = IterativeLookup(origin, key, k=k, alpha=alpha, find_value=True)
+    return lookup.run()

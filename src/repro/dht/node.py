@@ -1,0 +1,185 @@
+"""A single Kademlia peer: RPC handlers plus local key/value storage."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.dht.nodeid import distance, key_to_id
+from repro.dht.routing import Contact, RoutingTable
+from repro.net.message import Message, Response
+from repro.net.network import SimulatedNetwork
+
+# RPC message types understood by every Kademlia node.
+PING = "dht.ping"
+STORE = "dht.store"
+APPEND = "dht.append"
+FIND_NODE = "dht.find_node"
+FIND_VALUE = "dht.find_value"
+
+
+class KademliaNode:
+    """One DHT participant.
+
+    The node keeps two kinds of local data under each 160-bit key:
+
+    * a *value* slot written by ``STORE`` (last writer wins), and
+    * a *set* slot extended by ``APPEND`` (used for provider records and
+      other multi-writer collections).
+
+    ``FIND_VALUE`` returns whichever slots are present.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        address: str,
+        network: SimulatedNetwork,
+        k: int = 20,
+    ) -> None:
+        self.node_id = node_id
+        self.address = address
+        self.network = network
+        self.routing_table = RoutingTable(node_id, k=k, is_alive=self._probe_alive)
+        self.values: Dict[int, Any] = {}
+        self.sets: Dict[int, Set[Any]] = {}
+        self.store_timestamps: Dict[int, float] = {}
+        network.register(address, self.handle_message)
+
+    # -- liveness probe used by the routing table ---------------------------
+
+    def _probe_alive(self, contact: Contact) -> bool:
+        return self.network.is_online(contact.address)
+
+    # -- RPC server side -----------------------------------------------------
+
+    def handle_message(self, message: Message) -> Response:
+        """Dispatch an incoming DHT RPC and refresh the sender's contact."""
+        sender_id = message.payload.get("sender_id")
+        if isinstance(sender_id, int):
+            self.routing_table.update(Contact(sender_id, message.sender))
+
+        if message.msg_type == PING:
+            return Response(self.address, PING, {"node_id": self.node_id})
+        if message.msg_type == STORE:
+            return self._handle_store(message)
+        if message.msg_type == APPEND:
+            return self._handle_append(message)
+        if message.msg_type == FIND_NODE:
+            return self._handle_find_node(message)
+        if message.msg_type == FIND_VALUE:
+            return self._handle_find_value(message)
+        return Response.failure(self.address, message.msg_type, "unknown DHT message type")
+
+    def _handle_store(self, message: Message) -> Response:
+        key = message.payload["key"]
+        self.values[key] = message.payload["value"]
+        self.store_timestamps[key] = self.network.simulator.now
+        return Response(self.address, STORE, {"stored": True})
+
+    def _handle_append(self, message: Message) -> Response:
+        key = message.payload["key"]
+        item = message.payload["item"]
+        self.sets.setdefault(key, set()).add(item)
+        self.store_timestamps[key] = self.network.simulator.now
+        return Response(self.address, APPEND, {"stored": True})
+
+    def _handle_find_node(self, message: Message) -> Response:
+        target = message.payload["target"]
+        contacts = self.routing_table.closest(target)
+        return Response(
+            self.address,
+            FIND_NODE,
+            {"contacts": [(c.node_id, c.address) for c in contacts]},
+        )
+
+    def _handle_find_value(self, message: Message) -> Response:
+        key = message.payload["key"]
+        payload: Dict[str, Any] = {}
+        if key in self.values:
+            payload["value"] = self.values[key]
+        if key in self.sets:
+            payload["items"] = sorted(self.sets[key], key=repr)
+        # Closest contacts are always returned so the lookup can keep
+        # converging and compare replicas for freshness.
+        contacts = self.routing_table.closest(key)
+        payload["contacts"] = [(c.node_id, c.address) for c in contacts]
+        if "value" in payload or "items" in payload:
+            payload["found"] = True
+            payload["stored_at"] = self.store_timestamps.get(key, 0.0)
+            return Response(self.address, FIND_VALUE, payload)
+        payload["found"] = False
+        return Response(self.address, FIND_VALUE, payload)
+
+    # -- RPC client side ------------------------------------------------------
+
+    def _base_payload(self) -> Dict[str, Any]:
+        return {"sender_id": self.node_id}
+
+    def ping(self, contact: Contact) -> bool:
+        """Probe a peer; returns ``True`` if it answered."""
+        try:
+            response = self.network.rpc(self.address, contact.address, PING, self._base_payload())
+        except Exception:
+            self.routing_table.remove(contact.node_id)
+            return False
+        return response.ok
+
+    def store_at(self, contact: Contact, key: int, value: Any) -> bool:
+        """Ask ``contact`` to store ``value`` under ``key``."""
+        payload = dict(self._base_payload(), key=key, value=value)
+        try:
+            response = self.network.rpc(self.address, contact.address, STORE, payload)
+        except Exception:
+            self.routing_table.remove(contact.node_id)
+            return False
+        return response.ok
+
+    def append_at(self, contact: Contact, key: int, item: Any) -> bool:
+        """Ask ``contact`` to add ``item`` to the set stored under ``key``."""
+        payload = dict(self._base_payload(), key=key, item=item)
+        try:
+            response = self.network.rpc(self.address, contact.address, APPEND, payload)
+        except Exception:
+            self.routing_table.remove(contact.node_id)
+            return False
+        return response.ok
+
+    # -- local helpers --------------------------------------------------------
+
+    def local_store(self, key: int, value: Any) -> None:
+        """Store directly on this node, bypassing the network (used at bootstrap)."""
+        self.values[key] = value
+        self.store_timestamps[key] = self.network.simulator.now
+
+    def stored_keys(self) -> List[int]:
+        """Every key this node holds in either slot."""
+        return sorted(set(self.values) | set(self.sets))
+
+    def storage_bytes(self) -> int:
+        """Rough size of everything stored locally (for the scalability tables)."""
+        from repro.net.message import estimate_size
+
+        total = 0
+        for value in self.values.values():
+            total += estimate_size(value)
+        for items in self.sets.values():
+            total += estimate_size(items)
+        return total
+
+    def as_contact(self) -> Contact:
+        return Contact(self.node_id, self.address)
+
+    def __repr__(self) -> str:
+        return f"KademliaNode(address={self.address!r}, keys={len(self.stored_keys())})"
+
+
+def sort_contacts_by_distance(contacts: List[Tuple[int, str]], target: int) -> List[Contact]:
+    """Deserialize ``(node_id, address)`` pairs and sort them by distance to ``target``."""
+    parsed = [Contact(node_id, address) for node_id, address in contacts]
+    parsed.sort(key=lambda c: distance(c.node_id, target))
+    return parsed
+
+
+def key_for(value: Any) -> int:
+    """Convenience wrapper so callers don't import :func:`key_to_id` separately."""
+    return key_to_id(value)

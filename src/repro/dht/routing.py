@@ -1,0 +1,128 @@
+"""Kademlia routing state: contacts, k-buckets, and the routing table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.dht.nodeid import ID_BITS, bucket_index, distance, id_to_hex
+
+DEFAULT_K = 20
+
+
+@dataclass(frozen=True)
+class Contact:
+    """A known peer: its DHT identifier and its network address."""
+
+    node_id: int
+    address: str
+
+    def __repr__(self) -> str:
+        return f"Contact({id_to_hex(self.node_id)[:8]}…, {self.address!r})"
+
+
+class KBucket:
+    """A list of up to ``k`` contacts, ordered least-recently seen first.
+
+    Kademlia prefers long-lived contacts: when a full bucket sees a new
+    contact, the oldest entry is only evicted if a liveness probe says it is
+    dead.  The probe is supplied by the routing table so this class stays a
+    pure data structure.
+    """
+
+    def __init__(self, k: int = DEFAULT_K) -> None:
+        if k <= 0:
+            raise ValueError(f"bucket size k must be positive, got {k!r}")
+        self.k = k
+        self._contacts: List[Contact] = []
+
+    def __len__(self) -> int:
+        return len(self._contacts)
+
+    def __contains__(self, contact: Contact) -> bool:
+        return contact in self._contacts
+
+    @property
+    def contacts(self) -> List[Contact]:
+        """Contacts ordered least-recently seen first."""
+        return list(self._contacts)
+
+    def update(
+        self,
+        contact: Contact,
+        is_alive: Optional[Callable[[Contact], bool]] = None,
+    ) -> bool:
+        """Record that ``contact`` was just seen.  Returns ``True`` if stored.
+
+        If the bucket is full the least-recently-seen contact is probed with
+        ``is_alive``; a dead head is replaced, a live head is refreshed and
+        the newcomer is dropped (the classic Kademlia policy, which resists
+        flooding attacks by favouring stable peers).
+        """
+        existing = next((c for c in self._contacts if c.node_id == contact.node_id), None)
+        if existing is not None:
+            self._contacts.remove(existing)
+            self._contacts.append(contact)
+            return True
+        if len(self._contacts) < self.k:
+            self._contacts.append(contact)
+            return True
+        head = self._contacts[0]
+        if is_alive is not None and not is_alive(head):
+            self._contacts.pop(0)
+            self._contacts.append(contact)
+            return True
+        # Refresh the live head and drop the newcomer.
+        self._contacts.pop(0)
+        self._contacts.append(head)
+        return False
+
+    def remove(self, node_id: int) -> bool:
+        """Drop a contact (e.g. after repeated RPC failures)."""
+        for contact in self._contacts:
+            if contact.node_id == node_id:
+                self._contacts.remove(contact)
+                return True
+        return False
+
+
+class RoutingTable:
+    """160 k-buckets indexed by XOR-distance prefix, plus closest-node queries."""
+
+    def __init__(
+        self,
+        own_id: int,
+        k: int = DEFAULT_K,
+        is_alive: Optional[Callable[[Contact], bool]] = None,
+    ) -> None:
+        self.own_id = own_id
+        self.k = k
+        self.is_alive = is_alive
+        self.buckets: List[KBucket] = [KBucket(k) for _ in range(ID_BITS)]
+
+    def update(self, contact: Contact) -> bool:
+        """Record a sighting of ``contact``; self-contacts are ignored."""
+        index = bucket_index(self.own_id, contact.node_id)
+        if index < 0:
+            return False
+        return self.buckets[index].update(contact, self.is_alive)
+
+    def remove(self, node_id: int) -> bool:
+        index = bucket_index(self.own_id, node_id)
+        if index < 0:
+            return False
+        return self.buckets[index].remove(node_id)
+
+    def closest(self, target_id: int, count: Optional[int] = None) -> List[Contact]:
+        """The ``count`` known contacts closest to ``target_id`` by XOR distance."""
+        count = count or self.k
+        all_contacts = [c for bucket in self.buckets for c in bucket.contacts]
+        all_contacts.sort(key=lambda c: distance(c.node_id, target_id))
+        return all_contacts[:count]
+
+    def contact_count(self) -> int:
+        """Total number of contacts across all buckets."""
+        return sum(len(bucket) for bucket in self.buckets)
+
+    def all_contacts(self) -> List[Contact]:
+        return [c for bucket in self.buckets for c in bucket.contacts]

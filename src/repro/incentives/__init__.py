@@ -1,0 +1,27 @@
+"""Incentive analysis.
+
+Research challenge (I) of the paper: "A fair incentive scheme for all
+stakeholders".  The on-chain mechanics live in :mod:`repro.contracts`; this
+package provides the analysis side — reward policies as standalone objects,
+fairness metrics (Gini, entropy, Lorenz points), revenue accounting, and an
+economy simulation that drives a whole QueenBee deployment through epochs of
+publishing, searching, clicking, and reward distribution.
+"""
+
+from repro.incentives.policy import ProportionalPolicy, RewardPolicy, ThresholdPolicy
+from repro.incentives.fairness import gini_coefficient, lorenz_points, reward_entropy
+from repro.incentives.economics import EconomyReport, RevenueBreakdown
+from repro.incentives.simulation import EconomySimulation, EpochSummary
+
+__all__ = [
+    "RewardPolicy",
+    "ThresholdPolicy",
+    "ProportionalPolicy",
+    "gini_coefficient",
+    "lorenz_points",
+    "reward_entropy",
+    "EconomyReport",
+    "RevenueBreakdown",
+    "EconomySimulation",
+    "EpochSummary",
+]

@@ -1,0 +1,87 @@
+"""Revenue and honey accounting across the QueenBee ecosystem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.contracts.queenbee import QueenBeeContracts
+from repro.incentives.fairness import gini_coefficient
+
+
+@dataclass
+class RevenueBreakdown:
+    """Where the native-currency ad revenue went."""
+
+    creators: int = 0
+    workers: int = 0
+    treasury: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.creators + self.workers + self.treasury
+
+    def shares(self) -> Dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {"creators": 0.0, "workers": 0.0, "treasury": 0.0}
+        return {
+            "creators": self.creators / total,
+            "workers": self.workers / total,
+            "treasury": self.treasury / total,
+        }
+
+
+@dataclass
+class EconomyReport:
+    """A snapshot of the whole incentive system at one moment."""
+
+    honey_by_account: Dict[str, int] = field(default_factory=dict)
+    honey_supply: int = 0
+    revenue: RevenueBreakdown = field(default_factory=RevenueBreakdown)
+    creator_honey: Dict[str, int] = field(default_factory=dict)
+    worker_honey: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def creator_gini(self) -> float:
+        return gini_coefficient(list(self.creator_honey.values()))
+
+    @property
+    def worker_gini(self) -> float:
+        return gini_coefficient(list(self.worker_honey.values()))
+
+    def honey_of_role(self, role_prefix: str) -> int:
+        """Total honey held by accounts whose name starts with ``role_prefix``."""
+        return sum(
+            amount for account, amount in self.honey_by_account.items()
+            if account.startswith(role_prefix)
+        )
+
+
+def build_economy_report(
+    contracts: QueenBeeContracts,
+    creators: Mapping[str, object] = (),
+    workers: Mapping[str, object] = (),
+) -> EconomyReport:
+    """Assemble an :class:`EconomyReport` from on-chain state.
+
+    ``creators`` / ``workers`` are iterables of account names used to slice
+    the honey distribution by role; unknown accounts are simply reported in
+    the global map.
+    """
+    holders = contracts.honey_holders()
+    revenue_summary = contracts.chain.query("ads", "revenue_summary")
+    supply = contracts.chain.query("honey", "total_supply")
+    creator_set = set(creators)
+    worker_set = set(workers)
+    return EconomyReport(
+        honey_by_account=dict(holders),
+        honey_supply=supply,
+        revenue=RevenueBreakdown(
+            creators=revenue_summary.get("creators", 0),
+            workers=revenue_summary.get("workers", 0),
+            treasury=revenue_summary.get("treasury", 0),
+        ),
+        creator_honey={c: holders.get(c, 0) for c in sorted(creator_set)},
+        worker_honey={w: holders.get(w, 0) for w in sorted(worker_set)},
+    )

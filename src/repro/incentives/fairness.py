@@ -1,0 +1,53 @@
+"""Fairness metrics over reward distributions."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def gini_coefficient(amounts: Sequence[float]) -> float:
+    """Gini coefficient of a distribution (0 = perfectly equal, 1 = one winner).
+
+    An empty or all-zero distribution is defined as perfectly equal (0.0).
+    """
+    values = sorted(float(v) for v in amounts if v >= 0)
+    n = len(values)
+    total = sum(values)
+    if n == 0 or total == 0:
+        return 0.0
+    weighted = sum((index + 1) * value for index, value in enumerate(values))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def lorenz_points(amounts: Sequence[float]) -> List[Tuple[float, float]]:
+    """Points of the Lorenz curve: (population fraction, reward fraction)."""
+    values = sorted(float(v) for v in amounts if v >= 0)
+    total = sum(values)
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    if not values or total == 0:
+        points.append((1.0, 1.0))
+        return points
+    running = 0.0
+    for index, value in enumerate(values, start=1):
+        running += value
+        points.append((index / len(values), running / total))
+    return points
+
+
+def reward_entropy(amounts: Sequence[float]) -> float:
+    """Normalized Shannon entropy of the reward shares (1 = perfectly even)."""
+    values = [float(v) for v in amounts if v > 0]
+    total = sum(values)
+    if len(values) <= 1 or total == 0:
+        return 1.0 if len(values) <= 1 else 0.0
+    entropy = -sum((v / total) * math.log(v / total) for v in values)
+    return entropy / math.log(len(values))
+
+
+def coverage(payouts: Mapping[str, float], population: Sequence[str]) -> float:
+    """Fraction of the population that received any reward at all."""
+    if not population:
+        return 0.0
+    paid = sum(1 for member in population if payouts.get(member, 0) > 0)
+    return paid / len(population)

@@ -1,0 +1,65 @@
+"""Reward policies as standalone, analyzable objects.
+
+The on-chain :class:`~repro.contracts.rewards.RewardScheme` implements the
+same two policies; having them here as pure functions of a rank vector lets
+the fairness experiment sweep parameters without redeploying contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import IncentiveError
+
+
+class RewardPolicy:
+    """Base class: distribute a honey budget over owners given their rank mass."""
+
+    def distribute(self, owner_ranks: Mapping[str, float], budget: int) -> Dict[str, int]:
+        raise NotImplementedError
+
+
+@dataclass
+class ThresholdPolicy(RewardPolicy):
+    """The paper's suggestion: owners whose rank mass exceeds a threshold split
+    the budget equally.
+
+    Simple and sybil-resistant for the long tail (tail pages earn nothing),
+    but it is a cliff: an owner just below the threshold earns nothing while
+    one just above earns a full share.
+    """
+
+    threshold: float = 0.001
+
+    def distribute(self, owner_ranks: Mapping[str, float], budget: int) -> Dict[str, int]:
+        if budget < 0:
+            raise IncentiveError(f"budget must be non-negative, got {budget!r}")
+        qualifying = sorted(owner for owner, rank in owner_ranks.items() if rank >= self.threshold)
+        if not qualifying or budget == 0:
+            return {}
+        share = budget // len(qualifying)
+        if share == 0:
+            return {}
+        return {owner: share for owner in qualifying}
+
+
+@dataclass
+class ProportionalPolicy(RewardPolicy):
+    """Each owner earns in proportion to its rank mass (no cliff, but the head
+    of the popularity distribution captures most of the budget)."""
+
+    minimum_payout: int = 1
+
+    def distribute(self, owner_ranks: Mapping[str, float], budget: int) -> Dict[str, int]:
+        if budget < 0:
+            raise IncentiveError(f"budget must be non-negative, got {budget!r}")
+        total = sum(owner_ranks.values())
+        if total <= 0 or budget == 0:
+            return {}
+        payouts: Dict[str, int] = {}
+        for owner, rank in sorted(owner_ranks.items()):
+            amount = int(budget * (rank / total))
+            if amount >= self.minimum_payout:
+                payouts[owner] = amount
+        return payouts

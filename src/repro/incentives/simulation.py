@@ -1,0 +1,139 @@
+"""The economy simulation: epochs of publishing, searching, clicking, rewarding.
+
+This drives a full QueenBee deployment the way the paper imagines it being
+used — creators keep publishing, users keep searching and occasionally click
+ads, worker bees keep the index and ranks fresh, and the contracts keep
+paying everyone — and then reports who ended up with the honey and the ad
+revenue (experiments E5 and E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import QueenBeeEngine
+from repro.incentives.economics import EconomyReport, build_economy_report
+from repro.index.document import Document
+from repro.workloads.queries import QueryWorkloadGenerator
+
+
+@dataclass
+class EpochSummary:
+    """What happened during one simulated epoch."""
+
+    epoch: int
+    documents_published: int = 0
+    queries_run: int = 0
+    ad_clicks: int = 0
+    honey_minted: int = 0
+    popularity_payouts: Dict[str, int] = field(default_factory=dict)
+
+
+class EconomySimulation:
+    """Runs epochs against an engine and snapshots the economy afterwards."""
+
+    def __init__(
+        self,
+        engine: QueenBeeEngine,
+        documents: Sequence[Document],
+        queries_per_epoch: int = 20,
+        publishes_per_epoch: int = 10,
+        click_probability: float = 0.3,
+        ad_keywords: Optional[List[str]] = None,
+        ad_budget: int = 100_000,
+        ad_bid: int = 100,
+        seed: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.documents = list(documents)
+        self.queries_per_epoch = queries_per_epoch
+        self.publishes_per_epoch = publishes_per_epoch
+        self.click_probability = click_probability
+        self.ad_keywords = ad_keywords or ["decentralized", "search", "crypto"]
+        self.ad_budget = ad_budget
+        self.ad_bid = ad_bid
+        self.rng = engine.simulator.fork_rng(f"economy-{seed}")
+        self.epochs: List[EpochSummary] = []
+        self._publish_cursor = 0
+        self._query_generator: Optional[QueryWorkloadGenerator] = None
+        self._advertiser = "advertiser-000"
+        self._ad_ids: List[int] = []
+
+    # -- setup -----------------------------------------------------------------------
+
+    def bootstrap(self, initial_documents: int) -> None:
+        """Publish the initial corpus slice and place the ad campaigns."""
+        initial = self.documents[:initial_documents]
+        self._publish_cursor = initial_documents
+        self.engine.bootstrap_corpus(initial)
+        self.engine.compute_page_ranks()
+        self._query_generator = QueryWorkloadGenerator(
+            initial or self.documents, analyzer=self.engine.analyzer, seed=self.rng.randrange(1 << 30)
+        )
+        self.engine.chain.fund_account(self._advertiser, 10**12)
+        for keyword in self.ad_keywords:
+            ad_id = self.engine.contracts.place_ad(
+                self._advertiser, [keyword], budget=self.ad_budget, bid_per_click=self.ad_bid
+            )
+            if ad_id is not None:
+                self._ad_ids.append(ad_id)
+
+    # -- the epoch loop ----------------------------------------------------------------
+
+    def run_epoch(self) -> EpochSummary:
+        """One epoch: publish new pages, serve queries (with clicks), pay rewards."""
+        epoch = EpochSummary(epoch=len(self.epochs) + 1)
+        supply_before = self.engine.chain.query("honey", "total_supply")
+
+        # Creators publish.
+        for _ in range(self.publishes_per_epoch):
+            if self._publish_cursor >= len(self.documents):
+                break
+            document = self.documents[self._publish_cursor]
+            self._publish_cursor += 1
+            receipt = self.engine.publish_document(document)
+            if receipt.accepted:
+                epoch.documents_published += 1
+
+        # Users search and sometimes click an ad next to a result.
+        frontend = self.engine.create_frontend()
+        if self._query_generator is None:
+            self._query_generator = QueryWorkloadGenerator(
+                self.documents, analyzer=self.engine.analyzer, seed=0
+            )
+        for query in self._query_generator.generate(self.queries_per_epoch):
+            page = self.engine.search(query, frontend=frontend)
+            epoch.queries_run += 1
+            if page.ads and page.results and self.rng.random() < self.click_probability:
+                ad = page.ads[0]
+                top_result = page.results[0]
+                worker = self.rng.choice(self.engine.workers)
+                outcome = self.engine.contracts.click_ad(
+                    ad.ad_id, creator=top_result.owner or "unknown-creator", worker=worker.address
+                )
+                if outcome:
+                    epoch.ad_clicks += 1
+
+        # Worker bees recompute page ranks; the engine's rank round already
+        # pays the popularity rewards through the contract.
+        self.engine.compute_page_ranks()
+        epoch.popularity_payouts = dict(self.engine.last_popularity_payouts)
+        supply_after = self.engine.chain.query("honey", "total_supply")
+        epoch.honey_minted = supply_after - supply_before
+        self.epochs.append(epoch)
+        return epoch
+
+    def run(self, epochs: int, initial_documents: Optional[int] = None) -> List[EpochSummary]:
+        """Bootstrap (if needed) and run ``epochs`` epochs."""
+        if initial_documents is not None:
+            self.bootstrap(initial_documents)
+        return [self.run_epoch() for _ in range(epochs)]
+
+    # -- reporting ---------------------------------------------------------------------------
+
+    def report(self) -> EconomyReport:
+        """Snapshot the economy (honey distribution, revenue shares) right now."""
+        creators = sorted({document.owner for document in self.documents})
+        workers = [worker.address for worker in self.engine.workers]
+        return build_economy_report(self.engine.contracts, creators=creators, workers=workers)

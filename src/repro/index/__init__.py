@@ -1,0 +1,28 @@
+"""Inverted indexing.
+
+QueenBee's search results are composed "by intersecting the matched inverted
+lists".  This package provides the text analysis chain, compressed posting
+lists, a local inverted index (used by the worker bees while building shards
+and by the centralized baseline), and the *distributed* index in which each
+term's posting list lives in decentralized storage with a pointer published
+in the DHT.
+"""
+
+from repro.index.analysis import Analyzer, tokenize
+from repro.index.document import Document, DocumentStore
+from repro.index.postings import Posting, PostingList
+from repro.index.statistics import CollectionStatistics
+from repro.index.inverted_index import LocalInvertedIndex
+from repro.index.distributed import DistributedIndex
+
+__all__ = [
+    "Analyzer",
+    "tokenize",
+    "Document",
+    "DocumentStore",
+    "Posting",
+    "PostingList",
+    "CollectionStatistics",
+    "LocalInvertedIndex",
+    "DistributedIndex",
+]

@@ -1,0 +1,80 @@
+"""Text analysis: tokenization, normalization, stopword removal, light stemming."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Set
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+# A compact English stopword list — enough to keep the most common glue words
+# out of the index without pulling in an external dependency.
+DEFAULT_STOPWORDS: Set[str] = {
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from",
+    "has", "have", "he", "her", "his", "if", "in", "into", "is", "it", "its",
+    "no", "not", "of", "on", "or", "our", "she", "so", "such", "that", "the",
+    "their", "then", "there", "these", "they", "this", "to", "was", "we",
+    "were", "which", "will", "with", "you", "your",
+}
+
+_SUFFIXES = ("ingly", "edly", "ings", "ing", "edly", "ied", "ies", "ed", "es", "s", "ly")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase ``text`` and split it into alphanumeric tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def light_stem(token: str) -> str:
+    """Strip a small set of English suffixes (a light, dependency-free stemmer).
+
+    The stem is only applied when it leaves at least three characters, which
+    avoids collapsing short tokens ("is", "as") into nonsense.
+    """
+    for suffix in _SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            return token[: -len(suffix)]
+    return token
+
+
+class Analyzer:
+    """The analysis chain applied to both documents and queries.
+
+    Using one analyzer object for both sides guarantees that query terms and
+    index terms agree, which the distributed index depends on (terms are DHT
+    keys).
+    """
+
+    def __init__(
+        self,
+        stopwords: Iterable[str] = DEFAULT_STOPWORDS,
+        stem: bool = True,
+        min_token_length: int = 2,
+    ) -> None:
+        if min_token_length < 1:
+            raise ValueError(f"min_token_length must be at least 1, got {min_token_length!r}")
+        self.stopwords = set(stopwords)
+        self.stem = stem
+        self.min_token_length = min_token_length
+
+    def analyze(self, text: str) -> List[str]:
+        """Full analysis: tokenize, drop stopwords/short tokens, stem."""
+        terms = []
+        for token in tokenize(text):
+            if len(token) < self.min_token_length:
+                continue
+            if token in self.stopwords:
+                continue
+            terms.append(light_stem(token) if self.stem else token)
+        return terms
+
+    def term_frequencies(self, text: str) -> Dict[str, int]:
+        """Term -> occurrence count for one document."""
+        frequencies: Dict[str, int] = {}
+        for term in self.analyze(text):
+            frequencies[term] = frequencies.get(term, 0) + 1
+        return frequencies
+
+    def unique_terms(self, text: str) -> List[str]:
+        """Sorted unique analyzed terms (used when a query is a bag of words)."""
+        return sorted(set(self.analyze(text)))

@@ -1,0 +1,190 @@
+"""The distributed inverted index.
+
+Each term's posting list is serialized, published to decentralized storage
+(so it is content-addressed and replicated like any other DWeb content), and
+the CID of the latest version is recorded in the DHT under ``idx:<term>``.
+The query frontend resolves a term with one DHT lookup plus one content
+fetch — exactly the cost model that drives QueenBee's query latency in E1.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import KeyNotFoundError, TermNotFoundError
+from repro.dht.dht import DHTNetwork
+from repro.index.postings import PostingList
+from repro.index.statistics import CollectionStatistics
+from repro.storage.ipfs import DecentralizedStorage
+
+STATS_KEY = "idx:__collection_statistics__"
+
+
+def term_key(term: str) -> str:
+    """DHT key under which a term's current shard CID is stored."""
+    return f"idx:{term}"
+
+
+@dataclass
+class DistributedIndexStats:
+    """Counters for the scalability and latency experiments."""
+
+    terms_published: int = 0
+    terms_fetched: int = 0
+    fetch_misses: int = 0
+    bytes_published: int = 0
+    bytes_fetched: int = 0
+    per_fetch_bytes: List[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.terms_published = 0
+        self.terms_fetched = 0
+        self.fetch_misses = 0
+        self.bytes_published = 0
+        self.bytes_fetched = 0
+        self.per_fetch_bytes.clear()
+
+
+class DistributedIndex:
+    """Publish/fetch interface to the term shards living on the DWeb.
+
+    Parameters
+    ----------
+    dht / storage:
+        The lookup and content substrates.
+    compress:
+        When true (default), posting lists use the delta+varint codec; the E4
+        ablation disables it to quantify the saving.
+    """
+
+    def __init__(
+        self,
+        dht: DHTNetwork,
+        storage: DecentralizedStorage,
+        compress: bool = True,
+    ) -> None:
+        self.dht = dht
+        self.storage = storage
+        self.compress = compress
+        self.stats = DistributedIndexStats()
+
+    # -- publishing (worker-bee side) ----------------------------------------------
+
+    def publish_term(
+        self,
+        term: str,
+        postings: PostingList,
+        publisher: Optional[str] = None,
+    ) -> str:
+        """Publish ``postings`` as the authoritative shard for ``term``.
+
+        Returns the CID of the stored shard.  The previous shard (if any)
+        stays in storage — content addressing makes old versions immutable —
+        but the DHT pointer moves to the new CID.
+        """
+        payload = self._encode_shard(term, postings)
+        cid = self.storage.add_text(payload, publisher=publisher)
+        self.dht.put(term_key(term), cid)
+        self.stats.terms_published += 1
+        self.stats.bytes_published += len(payload)
+        return cid
+
+    def merge_term(
+        self,
+        term: str,
+        new_postings: PostingList,
+        publisher: Optional[str] = None,
+    ) -> str:
+        """Fold ``new_postings`` into the published shard for ``term``.
+
+        Fetches the current shard (if one exists), merges with the new data
+        winning on conflicts, and republishes.  This is the incremental path
+        worker bees use when a publish event touches an already-indexed term.
+        """
+        try:
+            existing = self.fetch_term(term)
+        except TermNotFoundError:
+            existing = PostingList()
+        merged = existing.merge(new_postings)
+        return self.publish_term(term, merged, publisher=publisher)
+
+    def remove_document(self, term: str, doc_id: int, publisher: Optional[str] = None) -> bool:
+        """Remove one document from a term's shard (page deletion/update)."""
+        try:
+            existing = self.fetch_term(term)
+        except TermNotFoundError:
+            return False
+        if not existing.remove(doc_id):
+            return False
+        self.publish_term(term, existing, publisher=publisher)
+        return True
+
+    def publish_statistics(
+        self, statistics: CollectionStatistics, publisher: Optional[str] = None
+    ) -> str:
+        """Publish the collection statistics the frontend needs for BM25."""
+        payload = json.dumps(statistics.to_dict(), sort_keys=True)
+        cid = self.storage.add_text(payload, publisher=publisher)
+        self.dht.put(STATS_KEY, cid)
+        self.stats.bytes_published += len(payload)
+        return cid
+
+    # -- fetching (frontend side) -----------------------------------------------------
+
+    def fetch_term(self, term: str, requester: Optional[str] = None) -> PostingList:
+        """Resolve and fetch the posting list for ``term``.
+
+        Raises :class:`TermNotFoundError` when the term has never been
+        published or its shard is unreachable (the recall loss counted in E3).
+        """
+        try:
+            cid = self.dht.get(term_key(term))
+        except KeyNotFoundError as exc:
+            self.stats.fetch_misses += 1
+            raise TermNotFoundError(f"term {term!r} has no published shard") from exc
+        try:
+            payload = self.storage.get_text(cid, requester=requester)
+        except Exception as exc:
+            self.stats.fetch_misses += 1
+            raise TermNotFoundError(f"shard for term {term!r} is unreachable") from exc
+        self.stats.terms_fetched += 1
+        self.stats.bytes_fetched += len(payload)
+        self.stats.per_fetch_bytes.append(len(payload))
+        return self._decode_shard(payload)
+
+    def fetch_statistics(self, requester: Optional[str] = None) -> CollectionStatistics:
+        """Fetch the published collection statistics (empty stats if absent)."""
+        try:
+            cid = self.dht.get(STATS_KEY)
+            payload = self.storage.get_text(cid, requester=requester)
+        except Exception:
+            return CollectionStatistics()
+        return CollectionStatistics.from_dict(json.loads(payload))
+
+    def has_term(self, term: str) -> bool:
+        """Whether a shard pointer exists for ``term`` (no content fetch)."""
+        return self.dht.contains(term_key(term))
+
+    # -- serialization ----------------------------------------------------------------
+
+    def _encode_shard(self, term: str, postings: PostingList) -> str:
+        if self.compress:
+            body = {"term": term, "encoding": "delta-varint", "postings": postings.to_payload()}
+        else:
+            body = {
+                "term": term,
+                "encoding": "raw",
+                "postings": [[p.doc_id, p.term_frequency] for p in postings],
+            }
+        return json.dumps(body, sort_keys=True)
+
+    def _decode_shard(self, payload: str) -> PostingList:
+        body = json.loads(payload)
+        if body.get("encoding") == "delta-varint":
+            return PostingList.from_payload(body["postings"])
+        result = PostingList()
+        for doc_id, frequency in body.get("postings", []):
+            result.add(int(doc_id), int(frequency))
+        return result

@@ -1,0 +1,101 @@
+"""A local (single-process) inverted index.
+
+Worker bees build per-term shards with this structure before publishing them
+to decentralized storage; the centralized baseline uses it directly as its
+whole index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import TermNotFoundError
+from repro.index.analysis import Analyzer
+from repro.index.document import Document
+from repro.index.postings import PostingList
+from repro.index.statistics import CollectionStatistics
+
+
+class LocalInvertedIndex:
+    """term -> :class:`PostingList`, plus collection statistics.
+
+    Updates are supported: re-adding a document with the same ``doc_id``
+    replaces its previous postings (needed because the paper's publish
+    operation covers both "create" and "update").
+    """
+
+    def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
+        self.analyzer = analyzer or Analyzer()
+        self._postings: Dict[str, PostingList] = {}
+        self._doc_terms: Dict[int, Dict[str, int]] = {}
+        self.statistics = CollectionStatistics()
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    @property
+    def document_count(self) -> int:
+        return self.statistics.document_count
+
+    def terms(self) -> List[str]:
+        return sorted(self._postings)
+
+    # -- building ------------------------------------------------------------------
+
+    def add_document(self, document: Document) -> Dict[str, int]:
+        """Index (or re-index) ``document``.  Returns its term frequencies."""
+        if document.doc_id in self._doc_terms:
+            self.remove_document(document.doc_id)
+        frequencies = self.analyzer.term_frequencies(document.full_text)
+        for term, frequency in frequencies.items():
+            self._postings.setdefault(term, PostingList()).add(document.doc_id, frequency)
+        self._doc_terms[document.doc_id] = frequencies
+        self.statistics.add_document(document.doc_id, document.length, frequencies)
+        return frequencies
+
+    def remove_document(self, doc_id: int) -> bool:
+        """Remove every posting for ``doc_id``."""
+        frequencies = self._doc_terms.pop(doc_id, None)
+        if frequencies is None:
+            return False
+        for term in frequencies:
+            posting_list = self._postings.get(term)
+            if posting_list is None:
+                continue
+            posting_list.remove(doc_id)
+            if not len(posting_list):
+                del self._postings[term]
+        self.statistics.remove_document(doc_id, frequencies)
+        return True
+
+    # -- reading --------------------------------------------------------------------
+
+    def postings(self, term: str) -> PostingList:
+        """The posting list of ``term``.  Raises :class:`TermNotFoundError`."""
+        posting_list = self._postings.get(term)
+        if posting_list is None:
+            raise TermNotFoundError(f"term {term!r} is not in the index")
+        return posting_list
+
+    def maybe_postings(self, term: str) -> Optional[PostingList]:
+        return self._postings.get(term)
+
+    def document_frequency(self, term: str) -> int:
+        posting_list = self._postings.get(term)
+        return len(posting_list) if posting_list is not None else 0
+
+    def doc_ids(self) -> List[int]:
+        return sorted(self._doc_terms)
+
+    def term_frequencies_of(self, doc_id: int) -> Dict[str, int]:
+        """The indexed term frequencies of one document (empty if unknown)."""
+        return dict(self._doc_terms.get(doc_id, {}))
+
+    def index_size_bytes(self, compressed: bool = True) -> int:
+        """Total size of every posting list (the E4 storage column)."""
+        if compressed:
+            return sum(len(pl.to_bytes()) for pl in self._postings.values())
+        return sum(pl.uncompressed_size() for pl in self._postings.values())

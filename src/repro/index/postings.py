@@ -1,0 +1,204 @@
+"""Posting lists: the per-term document lists the frontend intersects."""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import IndexError_
+from repro.index.compression import compress_postings, decompress_postings
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One document's entry in a term's posting list."""
+
+    doc_id: int
+    term_frequency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.term_frequency < 1:
+            raise IndexError_(f"term_frequency must be positive, got {self.term_frequency!r}")
+
+
+class PostingList:
+    """A sorted-by-doc_id list of postings with merge and intersection support.
+
+    Intersection uses galloping (exponential) search from the shorter list
+    into the longer one, the standard technique for skewed list sizes; the
+    query planner orders terms rarest-first to exploit it.
+    """
+
+    def __init__(self, postings: Optional[Sequence[Posting]] = None) -> None:
+        self._postings: List[Posting] = []
+        if postings:
+            for posting in sorted(postings, key=lambda p: p.doc_id):
+                self.add(posting.doc_id, posting.term_frequency)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingList):
+            return NotImplemented
+        return self._postings == other._postings
+
+    @property
+    def doc_ids(self) -> List[int]:
+        return [posting.doc_id for posting in self._postings]
+
+    def add(self, doc_id: int, term_frequency: int = 1) -> None:
+        """Insert or update a posting, keeping the list sorted by doc_id."""
+        position = self._find(doc_id)
+        if position is not None:
+            self._postings[position] = Posting(doc_id, term_frequency)
+            return
+        new_posting = Posting(doc_id, term_frequency)
+        # Most inserts are appends (doc_ids grow monotonically during builds).
+        if not self._postings or doc_id > self._postings[-1].doc_id:
+            self._postings.append(new_posting)
+            return
+        low, high = 0, len(self._postings)
+        while low < high:
+            mid = (low + high) // 2
+            if self._postings[mid].doc_id < doc_id:
+                low = mid + 1
+            else:
+                high = mid
+        self._postings.insert(low, new_posting)
+
+    def remove(self, doc_id: int) -> bool:
+        """Drop a document from the list (page deletions / updates)."""
+        position = self._find(doc_id)
+        if position is None:
+            return False
+        self._postings.pop(position)
+        return True
+
+    def get(self, doc_id: int) -> Optional[Posting]:
+        position = self._find(doc_id)
+        return self._postings[position] if position is not None else None
+
+    def frequencies(self) -> Dict[int, int]:
+        """doc_id -> term frequency mapping (scorers use this)."""
+        return {posting.doc_id: posting.term_frequency for posting in self._postings}
+
+    # -- set operations ----------------------------------------------------------
+
+    def intersect(self, other: "PostingList") -> "PostingList":
+        """Documents present in both lists (AND semantics)."""
+        short, long_ = (self, other) if len(self) <= len(other) else (other, self)
+        long_ids = long_.doc_ids
+        result = PostingList()
+        cursor = 0
+        for posting in short:
+            cursor = _gallop_to(long_ids, posting.doc_id, cursor)
+            if cursor < len(long_ids) and long_ids[cursor] == posting.doc_id:
+                own = self.get(posting.doc_id)
+                result.add(posting.doc_id, own.term_frequency if own else posting.term_frequency)
+        return result
+
+    def union(self, other: "PostingList") -> "PostingList":
+        """Documents present in either list (OR semantics)."""
+        merged = dict(other.frequencies())
+        merged.update(self.frequencies())
+        result = PostingList()
+        for doc_id in sorted(merged):
+            result.add(doc_id, merged[doc_id])
+        return result
+
+    def merge(self, other: "PostingList") -> "PostingList":
+        """Union where the *other* list's frequencies win on conflict.
+
+        Used when a worker bee folds a freshly-built partial shard into the
+        published one: the new data is authoritative.
+        """
+        merged = dict(self.frequencies())
+        merged.update(other.frequencies())
+        result = PostingList()
+        for doc_id in sorted(merged):
+            result.add(doc_id, merged[doc_id])
+        return result
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Compressed binary encoding (delta + varint)."""
+        return compress_postings(
+            [p.doc_id for p in self._postings],
+            [p.term_frequency for p in self._postings],
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PostingList":
+        doc_ids, frequencies = decompress_postings(data)
+        result = cls()
+        for doc_id, frequency in zip(doc_ids, frequencies):
+            result.add(doc_id, frequency)
+        return result
+
+    def to_payload(self) -> str:
+        """Text-safe encoding for embedding in JSON / DHT values."""
+        return base64.b64encode(self.to_bytes()).decode("ascii")
+
+    @classmethod
+    def from_payload(cls, payload: str) -> "PostingList":
+        return cls.from_bytes(base64.b64decode(payload))
+
+    def uncompressed_size(self) -> int:
+        """Bytes needed without compression (8 bytes per doc_id + 4 per frequency)."""
+        return len(self._postings) * 12
+
+    # -- internals -------------------------------------------------------------------
+
+    def _find(self, doc_id: int) -> Optional[int]:
+        low, high = 0, len(self._postings) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            current = self._postings[mid].doc_id
+            if current == doc_id:
+                return mid
+            if current < doc_id:
+                low = mid + 1
+            else:
+                high = mid - 1
+        return None
+
+
+def _gallop_to(sorted_ids: List[int], target: int, start: int) -> int:
+    """Index of the first element >= ``target`` at or after ``start`` (galloping)."""
+    if start >= len(sorted_ids) or sorted_ids[start] >= target:
+        return start
+    step = 1
+    low = start
+    high = start + step
+    while high < len(sorted_ids) and sorted_ids[high] < target:
+        low = high
+        step *= 2
+        high = start + step
+    high = min(high, len(sorted_ids))
+    while low < high:
+        mid = (low + high) // 2
+        if sorted_ids[mid] < target:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def intersect_many(lists: Sequence[PostingList]) -> PostingList:
+    """Intersect several posting lists, shortest first (the planner's job,
+    but done defensively here as well)."""
+    if not lists:
+        return PostingList()
+    ordered = sorted(lists, key=len)
+    result = ordered[0]
+    for other in ordered[1:]:
+        if not len(result):
+            break
+        result = result.intersect(other)
+    return result

@@ -1,0 +1,86 @@
+"""Collection statistics needed by the BM25 scorer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CollectionStatistics:
+    """Document counts, lengths, and per-term document frequencies.
+
+    The distributed index publishes these alongside its shard directory so
+    the frontend can score results without seeing the whole corpus.
+    """
+
+    document_count: int = 0
+    total_length: int = 0
+    document_lengths: Dict[int, int] = field(default_factory=dict)
+    document_frequency: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def average_length(self) -> float:
+        if not self.document_count:
+            return 0.0
+        return self.total_length / self.document_count
+
+    def add_document(self, doc_id: int, length: int, terms: Dict[str, int]) -> None:
+        """Register one document's length and the terms it contains."""
+        previous = self.document_lengths.get(doc_id)
+        if previous is not None:
+            # Re-adding a document (page update): lengths are replaced, but
+            # per-term document frequencies of the old version are unknown
+            # here, so callers should remove first for exact stats.
+            self.total_length -= previous
+        else:
+            self.document_count += 1
+        self.document_lengths[doc_id] = length
+        self.total_length += length
+        for term in terms:
+            self.document_frequency[term] = self.document_frequency.get(term, 0) + (
+                0 if previous is not None else 1
+            )
+
+    def remove_document(self, doc_id: int, terms: Dict[str, int]) -> None:
+        """Unregister a document (deletions and the removal half of updates)."""
+        length = self.document_lengths.pop(doc_id, None)
+        if length is None:
+            return
+        self.document_count -= 1
+        self.total_length -= length
+        for term in terms:
+            current = self.document_frequency.get(term, 0)
+            if current <= 1:
+                self.document_frequency.pop(term, None)
+            else:
+                self.document_frequency[term] = current - 1
+
+    def df(self, term: str) -> int:
+        """Document frequency of ``term``."""
+        return self.document_frequency.get(term, 0)
+
+    def length_of(self, doc_id: int) -> int:
+        return self.document_lengths.get(doc_id, 0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot published to decentralized storage."""
+        return {
+            "document_count": self.document_count,
+            "total_length": self.total_length,
+            "document_lengths": {str(k): v for k, v in self.document_lengths.items()},
+            "document_frequency": dict(self.document_frequency),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CollectionStatistics":
+        stats = cls()
+        stats.document_count = int(payload.get("document_count", 0))
+        stats.total_length = int(payload.get("total_length", 0))
+        stats.document_lengths = {
+            int(k): int(v) for k, v in dict(payload.get("document_lengths", {})).items()
+        }
+        stats.document_frequency = {
+            str(k): int(v) for k, v in dict(payload.get("document_frequency", {})).items()
+        }
+        return stats

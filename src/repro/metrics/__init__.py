@@ -1,0 +1,6 @@
+"""Lightweight metrics: counters, timers, and distribution summaries."""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import DistributionSummary, percentile, summarize
+
+__all__ = ["MetricsCollector", "DistributionSummary", "percentile", "summarize"]

@@ -1,0 +1,52 @@
+"""A shared metrics collector components can write to without coupling."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.summary import DistributionSummary, summarize
+
+
+class MetricsCollector:
+    """Named counters and named samples.
+
+    Experiments create one collector, hand it to the components they measure,
+    and read summaries back out at the end.  Everything is in-memory and
+    deterministic; there is no background aggregation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._samples: Dict[str, List[float]] = {}
+
+    # -- counters ------------------------------------------------------------------
+
+    def increment(self, name: str, amount: float = 1.0) -> float:
+        """Add ``amount`` to the counter ``name`` and return the new value."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+        return self._counters[name]
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    # -- samples ----------------------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation of the sample ``name``."""
+        self._samples.setdefault(name, []).append(float(value))
+
+    def sample(self, name: str) -> List[float]:
+        return list(self._samples.get(name, []))
+
+    def summary(self, name: str) -> DistributionSummary:
+        return summarize(self._samples.get(name, []))
+
+    def summaries(self) -> Dict[str, DistributionSummary]:
+        return {name: summarize(values) for name, values in self._samples.items()}
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._samples.clear()

@@ -1,0 +1,67 @@
+"""Distribution summaries (mean, percentiles) for experiment tables."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile; ``fraction`` in [0, 1]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    interpolated = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    # Clamp away floating-point overshoot so the result stays inside the sample range.
+    return float(min(max(interpolated, ordered[lower]), ordered[upper]))
+
+
+@dataclass
+class DistributionSummary:
+    """The statistics every experiment table reports about a latency/size sample."""
+
+    count: int = 0
+    mean: float = 0.0
+    minimum: float = 0.0
+    maximum: float = 0.0
+    p50: float = 0.0
+    p90: float = 0.0
+    p99: float = 0.0
+
+    def as_row(self) -> dict:
+        """Dict form used when printing benchmark tables."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "min": round(self.minimum, 3),
+            "p50": round(self.p50, 3),
+            "p90": round(self.p90, 3),
+            "p99": round(self.p99, 3),
+            "max": round(self.maximum, 3),
+        }
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Summarize a sample (all zeros for an empty sample)."""
+    if not values:
+        return DistributionSummary()
+    return DistributionSummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        p50=percentile(values, 0.50),
+        p90=percentile(values, 0.90),
+        p99=percentile(values, 0.99),
+    )

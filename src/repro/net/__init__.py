@@ -1,0 +1,30 @@
+"""Simulated peer-to-peer network substrate.
+
+QueenBee, the DHT, the decentralized storage layer, and the blockchain all
+exchange messages through :class:`~repro.net.network.SimulatedNetwork`.  The
+network charges simulated latency for every RPC, can drop messages, can be
+partitioned into isolated groups, and supports taking peers offline — the
+knobs the resilience experiments (E3) turn.
+"""
+
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.net.message import Message, Response
+from repro.net.network import NetworkStats, SimulatedNetwork
+from repro.net.churn import ChurnModel
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "Message",
+    "Response",
+    "SimulatedNetwork",
+    "NetworkStats",
+    "ChurnModel",
+]

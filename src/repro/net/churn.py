@@ -1,0 +1,107 @@
+"""Churn: peers leaving and (re)joining over simulated time.
+
+The resilience experiment (E3) and the DHT republish machinery both need a
+controlled way to take fractions of the peer population offline and bring
+them back.  :class:`ChurnModel` drives that through the simulator's event
+queue so churn interleaves with the workload deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.net.network import SimulatedNetwork
+from repro.sim.simulator import Simulator
+
+
+class ChurnModel:
+    """Schedules peer departures and arrivals on a simulated network.
+
+    Parameters
+    ----------
+    simulator / network:
+        The simulation substrate the peers live on.
+    on_leave / on_join:
+        Optional callbacks invoked with the address after the network state
+        changes, so higher layers (e.g. the DHT) can update routing state.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: SimulatedNetwork,
+        on_leave: Optional[Callable[[str], None]] = None,
+        on_join: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.network = network
+        self.on_leave = on_leave
+        self.on_join = on_join
+        self._rng = simulator.fork_rng("churn")
+        self.departures: List[str] = []
+        self.arrivals: List[str] = []
+
+    def fail_fraction(self, addresses: Sequence[str], fraction: float) -> List[str]:
+        """Immediately take a random ``fraction`` of ``addresses`` offline.
+
+        Returns the list of failed addresses (deterministic for a given seed).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise SimulationError(f"fraction must be in [0, 1], got {fraction!r}")
+        count = int(round(len(addresses) * fraction))
+        victims = self._rng.sample(list(addresses), count)
+        for address in victims:
+            self._leave(address)
+        return victims
+
+    def schedule_leave(self, address: str, delay: float) -> None:
+        """Schedule ``address`` to go offline ``delay`` ticks from now."""
+        self.simulator.schedule(delay, lambda: self._leave(address), label=f"leave:{address}")
+
+    def schedule_join(self, address: str, delay: float) -> None:
+        """Schedule ``address`` to come back online ``delay`` ticks from now."""
+        self.simulator.schedule(delay, lambda: self._join(address), label=f"join:{address}")
+
+    def schedule_session_churn(
+        self,
+        addresses: Sequence[str],
+        mean_session: float,
+        mean_downtime: float,
+        horizon: float,
+    ) -> int:
+        """Give each address alternating online/offline sessions until ``horizon``.
+
+        Session and downtime lengths are exponentially distributed with the
+        given means.  Returns the number of scheduled transitions.
+        """
+        if mean_session <= 0 or mean_downtime <= 0:
+            raise SimulationError("session and downtime means must be positive")
+        scheduled = 0
+        for address in addresses:
+            t = self._rng.expovariate(1.0 / mean_session)
+            online = True
+            while t < horizon:
+                if online:
+                    self.schedule_leave(address, t)
+                    t += self._rng.expovariate(1.0 / mean_downtime)
+                else:
+                    self.schedule_join(address, t)
+                    t += self._rng.expovariate(1.0 / mean_session)
+                online = not online
+                scheduled += 1
+        return scheduled
+
+    def _leave(self, address: str) -> None:
+        if self.network.is_online(address):
+            self.network.set_offline(address)
+            self.departures.append(address)
+            if self.on_leave is not None:
+                self.on_leave(address)
+
+    def _join(self, address: str) -> None:
+        if not self.network.is_online(address):
+            self.network.set_online(address)
+            self.arrivals.append(address)
+            if self.on_join is not None:
+                self.on_join(address)

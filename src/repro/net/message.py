@@ -1,0 +1,67 @@
+"""Message and response envelopes exchanged over the simulated network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+def estimate_size(payload: Any) -> int:
+    """Rough byte-size estimate of a payload, used for bandwidth accounting.
+
+    The estimate only needs to be consistent (so that experiments comparing
+    systems are fair), not exact.
+    """
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return 8
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, dict):
+        return sum(estimate_size(k) + estimate_size(v) for k, v in payload.items()) + 2
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(estimate_size(item) for item in payload) + 2
+    return 16
+
+
+@dataclass
+class Message:
+    """A request sent from one peer to another."""
+
+    sender: str
+    recipient: str
+    msg_type: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated wire size of the message."""
+        return len(self.msg_type) + estimate_size(self.payload) + 40
+
+
+@dataclass
+class Response:
+    """A reply returned by a peer's message handler."""
+
+    sender: str
+    msg_type: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    ok: bool = True
+    error: str = ""
+
+    @property
+    def size_bytes(self) -> int:
+        """Estimated wire size of the response."""
+        return len(self.msg_type) + estimate_size(self.payload) + 40
+
+    @classmethod
+    def failure(cls, sender: str, msg_type: str, error: str) -> "Response":
+        """Convenience constructor for an error reply."""
+        return cls(sender=sender, msg_type=msg_type, ok=False, error=error)

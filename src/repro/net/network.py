@@ -1,0 +1,222 @@
+"""The simulated peer-to-peer message layer.
+
+Every distributed component (DHT nodes, storage peers, worker bees, the
+centralized baseline's single server) registers a handler under a string
+address.  RPCs are synchronous calls that advance the simulated clock by the
+round-trip latency, so end-to-end operation latency falls out of the clock
+rather than being estimated separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import NetworkError, NodeUnreachableError
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message, Response
+from repro.sim.simulator import Simulator
+
+Handler = Callable[[Message], Response]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, reset per experiment phase as needed."""
+
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    rpc_count: int = 0
+    per_type: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Message, response: Optional[Response]) -> None:
+        self.messages_sent += 1
+        self.rpc_count += 1
+        self.bytes_sent += message.size_bytes
+        if response is not None:
+            self.bytes_sent += response.size_bytes
+        self.per_type[message.msg_type] = self.per_type.get(message.msg_type, 0) + 1
+
+    def record_drop(self, message: Message) -> None:
+        self.messages_dropped += 1
+        self.per_type[message.msg_type] = self.per_type.get(message.msg_type, 0) + 1
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.rpc_count = 0
+        self.per_type.clear()
+
+
+class SimulatedNetwork:
+    """A registry of peers plus the fault model connecting them.
+
+    Parameters
+    ----------
+    simulator:
+        Owns the clock advanced by each RPC and the RNG used for loss and
+        latency sampling.
+    latency:
+        One-way delay model; defaults to a constant 20 ticks.
+    loss_rate:
+        Probability that any individual RPC is dropped (raises
+        :class:`NetworkError`).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        self.simulator = simulator
+        self.latency = latency or ConstantLatency()
+        self.loss_rate = loss_rate
+        self.stats = NetworkStats()
+        self._handlers: Dict[str, Handler] = {}
+        self._online: Set[str] = set()
+        self._partition_of: Dict[str, int] = {}
+        self._rng = simulator.fork_rng("network")
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, address: str, handler: Handler) -> None:
+        """Attach ``handler`` to ``address`` and bring the peer online."""
+        self._handlers[address] = handler
+        self._online.add(address)
+
+    def unregister(self, address: str) -> None:
+        """Remove a peer entirely (it stops being addressable)."""
+        self._handlers.pop(address, None)
+        self._online.discard(address)
+        self._partition_of.pop(address, None)
+
+    def addresses(self) -> List[str]:
+        """All registered addresses, online or not."""
+        return sorted(self._handlers)
+
+    def online_addresses(self) -> List[str]:
+        """Addresses currently online."""
+        return sorted(self._online)
+
+    def is_online(self, address: str) -> bool:
+        return address in self._online
+
+    def set_offline(self, address: str) -> None:
+        """Simulate a crash or a DDoS-induced outage of one peer."""
+        self._online.discard(address)
+
+    def set_online(self, address: str) -> None:
+        if address not in self._handlers:
+            raise NetworkError(f"cannot bring unknown address {address!r} online")
+        self._online.add(address)
+
+    # -- partitions ---------------------------------------------------------
+
+    def partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Split the network: peers may only reach peers in their own group.
+
+        Addresses not mentioned in any group keep full connectivity with each
+        other but cannot reach any partitioned group.
+        """
+        self._partition_of.clear()
+        for group_index, group in enumerate(groups):
+            for address in group:
+                self._partition_of[address] = group_index
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity."""
+        self._partition_of.clear()
+
+    def _can_reach(self, src: str, dst: str) -> bool:
+        if dst not in self._online or dst not in self._handlers:
+            return False
+        if not self._partition_of:
+            return True
+        src_group = self._partition_of.get(src, -1)
+        dst_group = self._partition_of.get(dst, -1)
+        return src_group == dst_group
+
+    # -- RPC ----------------------------------------------------------------
+
+    def rpc(self, src: str, dst: str, msg_type: str, payload: Optional[dict] = None) -> Response:
+        """Send a request and wait for the reply, charging round-trip latency.
+
+        Raises :class:`NodeUnreachableError` if the destination is offline or
+        partitioned away, and :class:`NetworkError` if the message is lost.
+        """
+        message = Message(sender=src, recipient=dst, msg_type=msg_type, payload=payload or {})
+        if not self._can_reach(src, dst):
+            self.stats.record_drop(message)
+            raise NodeUnreachableError(f"{dst!r} is unreachable from {src!r}")
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.record_drop(message)
+            # A lost request still costs the sender a timeout's worth of waiting.
+            self.simulator.clock.advance(self.latency.sample(self._rng, src, dst) * 2)
+            raise NetworkError(f"message {msg_type!r} from {src!r} to {dst!r} was lost")
+        one_way = self.latency.sample(self._rng, src, dst)
+        self.simulator.clock.advance(one_way)
+        handler = self._handlers[dst]
+        response = handler(message)
+        self.simulator.clock.advance(self.latency.sample(self._rng, dst, src))
+        self.stats.record(message, response)
+        return response
+
+    def rpc_parallel(
+        self,
+        src: str,
+        requests: Sequence[Tuple[str, str, dict]],
+    ) -> List[Optional[Response]]:
+        """Issue several RPCs "in parallel": the clock advances by the slowest
+        round trip instead of the sum.
+
+        ``requests`` is a sequence of ``(dst, msg_type, payload)``.  Failed
+        requests yield ``None`` in the result list rather than raising, since
+        parallel fan-outs (Kademlia's alpha lookups, block fetches) tolerate
+        individual failures.
+        """
+        start = self.simulator.now
+        results: List[Optional[Response]] = []
+        slowest = 0.0
+        for dst, msg_type, payload in requests:
+            message = Message(sender=src, recipient=dst, msg_type=msg_type, payload=payload or {})
+            if not self._can_reach(src, dst):
+                self.stats.record_drop(message)
+                results.append(None)
+                continue
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.stats.record_drop(message)
+                results.append(None)
+                slowest = max(slowest, self.latency.sample(self._rng, src, dst) * 2)
+                continue
+            round_trip = self.latency.sample(self._rng, src, dst) + self.latency.sample(
+                self._rng, dst, src
+            )
+            handler = self._handlers[dst]
+            response = handler(message)
+            self.stats.record(message, response)
+            results.append(response)
+            slowest = max(slowest, round_trip)
+        self.simulator.clock.advance_to(start + slowest)
+        return results
+
+    def broadcast(self, src: str, msg_type: str, payload: Optional[dict] = None) -> int:
+        """Best-effort delivery to every online peer except the sender.
+
+        Returns the number of peers that received the message.  Used by the
+        blockchain substrate to announce new blocks.
+        """
+        delivered = 0
+        requests = [
+            (dst, msg_type, dict(payload or {}))
+            for dst in self.online_addresses()
+            if dst != src
+        ]
+        for response in self.rpc_parallel(src, requests):
+            if response is not None and response.ok:
+                delivered += 1
+        return delivered

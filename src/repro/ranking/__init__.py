@@ -1,0 +1,24 @@
+"""Ranking: link analysis (PageRank) and text relevance (BM25).
+
+Worker bees "compute the page ranks, which are hosted in a decentralized
+storage"; the frontend combines page rank with term relevance when composing
+results.  The decentralized PageRank implementation partitions the link
+graph across worker bees and supports redundant assignment with majority
+voting, which is the defense evaluated against the collusion attack (E6).
+"""
+
+from repro.ranking.graph import LinkGraph
+from repro.ranking.pagerank import PageRankResult, pagerank
+from repro.ranking.bm25 import BM25Scorer
+from repro.ranking.distributed import DecentralizedPageRank, RankTask
+from repro.ranking.scoring import CombinedScorer
+
+__all__ = [
+    "LinkGraph",
+    "pagerank",
+    "PageRankResult",
+    "BM25Scorer",
+    "DecentralizedPageRank",
+    "RankTask",
+    "CombinedScorer",
+]

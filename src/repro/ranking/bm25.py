@@ -1,0 +1,76 @@
+"""BM25 term-relevance scoring over posting lists and collection statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping
+
+from repro.index.postings import PostingList
+from repro.index.statistics import CollectionStatistics
+
+DEFAULT_K1 = 1.2
+DEFAULT_B = 0.75
+
+
+class BM25Scorer:
+    """Okapi BM25.
+
+    The scorer only needs per-term posting lists plus the published
+    collection statistics, so the frontend can run it without any access to
+    the full corpus — a requirement for decentralized search.
+    """
+
+    def __init__(
+        self,
+        statistics: CollectionStatistics,
+        k1: float = DEFAULT_K1,
+        b: float = DEFAULT_B,
+    ) -> None:
+        if k1 < 0:
+            raise ValueError(f"k1 must be non-negative, got {k1!r}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b!r}")
+        self.statistics = statistics
+        self.k1 = k1
+        self.b = b
+
+    def idf(self, term: str) -> float:
+        """Robertson–Sparck Jones idf with the +0.5 smoothing (never negative)."""
+        n = self.statistics.document_count
+        df = self.statistics.df(term)
+        if n == 0:
+            return 0.0
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def score_document(self, doc_id: int, term_frequencies: Mapping[str, int]) -> float:
+        """BM25 score of one document for the query terms it matched."""
+        avgdl = self.statistics.average_length or 1.0
+        length = self.statistics.length_of(doc_id) or avgdl
+        score = 0.0
+        for term, tf in term_frequencies.items():
+            if tf <= 0:
+                continue
+            idf = self.idf(term)
+            denominator = tf + self.k1 * (1.0 - self.b + self.b * length / avgdl)
+            score += idf * (tf * (self.k1 + 1.0)) / denominator
+        return score
+
+    def score_postings(
+        self,
+        query_terms: Iterable[str],
+        postings_by_term: Mapping[str, PostingList],
+        candidate_doc_ids: Iterable[int],
+    ) -> Dict[int, float]:
+        """Score every candidate document against the query terms."""
+        candidates = list(candidate_doc_ids)
+        frequencies_by_term = {
+            term: postings.frequencies() for term, postings in postings_by_term.items()
+        }
+        scores: Dict[int, float] = {}
+        for doc_id in candidates:
+            per_doc = {
+                term: frequencies_by_term.get(term, {}).get(doc_id, 0)
+                for term in query_terms
+            }
+            scores[doc_id] = self.score_document(doc_id, per_doc)
+        return scores

@@ -1,0 +1,284 @@
+"""Decentralized PageRank: worker bees compute partitions, a coordinator votes.
+
+The paper's worker bees "compute the page ranks, which are hosted in a
+decentralized storage", and its research challenge (II) anticipates
+"an attack from colluded worker bees that aim at manipulating QueenBee's
+indexes or page ranking data maliciously".  This module implements both the
+honest computation and the defense knob:
+
+* the link graph is partitioned across worker bees,
+* every per-iteration partition task is assigned to ``redundancy`` distinct
+  workers,
+* the coordinator accepts the majority result for each task (and reports the
+  workers whose answers disagreed, so the engine can slash their stake).
+
+With ``redundancy = 1`` there is no defense — whatever a worker returns is
+accepted — which is the vulnerable configuration E6 demonstrates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AttackConfigError
+from repro.ranking.graph import LinkGraph
+from repro.ranking.pagerank import DEFAULT_DAMPING, PageRankResult
+
+
+@dataclass
+class RankTask:
+    """One partition's work for one PageRank iteration.
+
+    ``node_states`` maps each node in the partition to its current rank and
+    its out-links, which is all a worker needs to compute the partition's
+    contribution to the next rank vector.
+    """
+
+    iteration: int
+    partition: int
+    node_states: Dict[int, Tuple[float, Tuple[int, ...]]] = field(default_factory=dict)
+
+
+@dataclass
+class RankContribution:
+    """A worker's answer to one :class:`RankTask`."""
+
+    contributions: Dict[int, float] = field(default_factory=dict)
+    dangling_mass: float = 0.0
+
+    def fingerprint(self) -> str:
+        """A canonical hash used for majority voting across replicas."""
+        canonical = {
+            "contributions": {str(k): round(v, 10) for k, v in sorted(self.contributions.items())},
+            "dangling_mass": round(self.dangling_mass, 10),
+        }
+        return hashlib.sha256(json.dumps(canonical, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+def compute_honest_contribution(task: RankTask, damping: float = DEFAULT_DAMPING) -> RankContribution:
+    """The correct partition computation every honest worker bee runs."""
+    result = RankContribution()
+    for _, (rank, out_links) in task.node_states.items():
+        if not out_links:
+            result.dangling_mass += rank
+            continue
+        share = damping * rank / len(out_links)
+        for target in out_links:
+            result.contributions[target] = result.contributions.get(target, 0.0) + share
+    return result
+
+
+# A rank worker maps a task to a contribution; the worker's address lets the
+# coordinator attribute faults for slashing.
+RankWorkerFn = Callable[[RankTask], RankContribution]
+
+
+@dataclass
+class VoteOutcome:
+    """What the coordinator decided for one task."""
+
+    accepted: RankContribution
+    agreeing_workers: List[str] = field(default_factory=list)
+    dissenting_workers: List[str] = field(default_factory=list)
+    unanimous: bool = True
+
+
+@dataclass
+class DecentralizedRankStats:
+    """Counters for the PageRank accuracy (E8) and collusion (E6) experiments."""
+
+    iterations: int = 0
+    tasks_issued: int = 0
+    task_executions: int = 0
+    disputes_detected: int = 0
+    dissent_events: Dict[str, int] = field(default_factory=dict)
+
+    def record_dissent(self, worker: str) -> None:
+        self.dissent_events[worker] = self.dissent_events.get(worker, 0) + 1
+        self.disputes_detected += 1
+
+
+class DecentralizedPageRank:
+    """Coordinator for partitioned, redundantly-verified PageRank.
+
+    Parameters
+    ----------
+    workers:
+        Mapping of worker address -> callable executing a :class:`RankTask`.
+        Honest workers use :func:`compute_honest_contribution`; attack
+        scenarios register manipulated callables for colluding addresses.
+    partitions:
+        Number of graph partitions per iteration (defaults to the worker count).
+    redundancy:
+        Number of distinct workers assigned to each task (majority voting).
+    verify_conservation:
+        Extension beyond the paper's sketch: the coordinator knows each
+        task's input ranks, so it can check that a returned contribution
+        conserves rank mass (``sum(contributions) + damping * dangling ==
+        damping * input mass``).  Results that violate conservation are
+        rejected outright — before any vote — which defeats naive
+        mass-injecting manipulations even when colluders form a replica
+        majority.  A cartel can still cheat conservation-preservingly
+        (shifting mass between pages), which is what voting remains for.
+    """
+
+    def __init__(
+        self,
+        workers: Dict[str, RankWorkerFn],
+        damping: float = DEFAULT_DAMPING,
+        partitions: Optional[int] = None,
+        redundancy: int = 3,
+        tolerance: float = 1e-6,
+        max_iterations: int = 50,
+        rng: Optional[random.Random] = None,
+        verify_conservation: bool = False,
+        conservation_tolerance: float = 1e-9,
+    ) -> None:
+        if not workers:
+            raise AttackConfigError("decentralized PageRank needs at least one worker")
+        if redundancy < 1:
+            raise AttackConfigError(f"redundancy must be at least 1, got {redundancy!r}")
+        self.workers = dict(workers)
+        self.damping = damping
+        self.partitions = partitions or len(self.workers)
+        self.redundancy = min(redundancy, len(self.workers))
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self.rng = rng or random.Random(0)
+        self.verify_conservation = verify_conservation
+        self.conservation_tolerance = conservation_tolerance
+        self.stats = DecentralizedRankStats()
+
+    # -- main entry point -----------------------------------------------------------
+
+    def compute(self, graph: LinkGraph) -> PageRankResult:
+        """Run distributed PageRank to convergence and return the rank vector."""
+        nodes = graph.nodes()
+        n = len(nodes)
+        result = PageRankResult()
+        if n == 0:
+            result.converged = True
+            return result
+        uniform = 1.0 / n
+        ranks = {node: uniform for node in nodes}
+        partition_map = self._partition_nodes(nodes)
+
+        for iteration in range(1, self.max_iterations + 1):
+            self.stats.iterations = iteration
+            contributions: Dict[int, float] = {}
+            dangling_mass = 0.0
+            for partition_index, partition_nodes in enumerate(partition_map):
+                task = RankTask(
+                    iteration=iteration,
+                    partition=partition_index,
+                    node_states={
+                        node: (ranks[node], tuple(graph.out_links(node)))
+                        for node in partition_nodes
+                    },
+                )
+                outcome = self._execute_with_voting(task)
+                for target, mass in outcome.accepted.contributions.items():
+                    contributions[target] = contributions.get(target, 0.0) + mass
+                dangling_mass += outcome.accepted.dangling_mass
+
+            base = (1.0 - self.damping) * uniform + self.damping * dangling_mass * uniform
+            next_ranks = {node: base + contributions.get(node, 0.0) for node in nodes}
+            residual = sum(abs(next_ranks[node] - ranks[node]) for node in nodes)
+            ranks = next_ranks
+            if residual < self.tolerance:
+                result.ranks = ranks
+                result.iterations = iteration
+                result.converged = True
+                result.residual = residual
+                return result
+
+        result.ranks = ranks
+        result.iterations = self.max_iterations
+        result.converged = False
+        result.residual = residual
+        return result
+
+    def dissenting_workers(self) -> List[str]:
+        """Workers whose answers lost a vote at least once (slashing candidates)."""
+        return sorted(self.stats.dissent_events)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _partition_nodes(self, nodes: Sequence[int]) -> List[List[int]]:
+        partitions: List[List[int]] = [[] for _ in range(self.partitions)]
+        for node in nodes:
+            partitions[node % self.partitions].append(node)
+        return [p for p in partitions if p] or [list(nodes)]
+
+    def _execute_with_voting(self, task: RankTask) -> VoteOutcome:
+        self.stats.tasks_issued += 1
+        assigned = self._assign_workers(task)
+        answers: List[Tuple[str, RankContribution]] = []
+        rejected: List[str] = []
+        for worker_address in assigned:
+            worker_fn = self.workers[worker_address]
+            contribution = worker_fn(task)
+            self.stats.task_executions += 1
+            if self.verify_conservation and not self._conserves_mass(task, contribution):
+                rejected.append(worker_address)
+                self.stats.record_dissent(worker_address)
+                continue
+            answers.append((worker_address, contribution))
+        if not answers:
+            # Every replica failed verification: the coordinator recomputes the
+            # partition itself rather than accepting a provably bogus result.
+            fallback = compute_honest_contribution(task, damping=self.damping)
+            return VoteOutcome(accepted=fallback, agreeing_workers=[],
+                               dissenting_workers=sorted(rejected), unanimous=False)
+        # Group identical answers by fingerprint and accept the plurality.
+        groups: Dict[str, List[str]] = {}
+        by_fingerprint: Dict[str, RankContribution] = {}
+        for worker_address, contribution in answers:
+            fingerprint = contribution.fingerprint()
+            groups.setdefault(fingerprint, []).append(worker_address)
+            by_fingerprint[fingerprint] = contribution
+        winning_fingerprint = max(
+            groups, key=lambda fp: (len(groups[fp]), -self._first_index(answers, fp))
+        )
+        agreeing = groups[winning_fingerprint]
+        dissenting = [w for fp, ws in groups.items() if fp != winning_fingerprint for w in ws]
+        for worker_address in dissenting:
+            self.stats.record_dissent(worker_address)
+        return VoteOutcome(
+            accepted=by_fingerprint[winning_fingerprint],
+            agreeing_workers=sorted(agreeing),
+            dissenting_workers=sorted(dissenting),
+            unanimous=not dissenting,
+        )
+
+    def _conserves_mass(self, task: RankTask, contribution: RankContribution) -> bool:
+        """Whether a returned contribution conserves the task's rank mass.
+
+        For an honest computation, ``sum(contributions) + damping * dangling``
+        equals ``damping * sum(input ranks)`` exactly; anything else has
+        created or destroyed rank mass and is provably wrong.
+        """
+        input_mass = sum(rank for rank, _ in task.node_states.values())
+        expected = self.damping * input_mass
+        observed = sum(contribution.contributions.values()) + self.damping * contribution.dangling_mass
+        return abs(observed - expected) <= self.conservation_tolerance + 1e-12 * abs(expected)
+
+    def _assign_workers(self, task: RankTask) -> List[str]:
+        addresses = sorted(self.workers)
+        if self.redundancy >= len(addresses):
+            return addresses
+        # Deterministic-but-spread assignment: seed from the task identity so
+        # reruns of an experiment assign identically.
+        task_rng = random.Random((task.iteration, task.partition, self.rng.random()).__hash__())
+        return task_rng.sample(addresses, self.redundancy)
+
+    @staticmethod
+    def _first_index(answers: List[Tuple[str, RankContribution]], fingerprint: str) -> int:
+        for index, (_, contribution) in enumerate(answers):
+            if contribution.fingerprint() == fingerprint:
+                return index
+        return len(answers)

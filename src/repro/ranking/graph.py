@@ -1,0 +1,92 @@
+"""The hyperlink graph between published pages."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+class LinkGraph:
+    """A directed graph over document ids.
+
+    Kept deliberately small-surface: PageRank only needs out-links,
+    in-links, and degrees.  Node ids are the corpus document ids.
+    """
+
+    def __init__(self) -> None:
+        self._out: Dict[int, Set[int]] = {}
+        self._in: Dict[int, Set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._out
+
+    def add_node(self, node: int) -> None:
+        self._out.setdefault(node, set())
+        self._in.setdefault(node, set())
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add a hyperlink from ``source`` to ``target`` (self-links ignored)."""
+        if source == target:
+            return
+        self.add_node(source)
+        self.add_node(target)
+        self._out[source].add(target)
+        self._in[target].add(source)
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def remove_node(self, node: int) -> None:
+        """Drop a node and every edge touching it (page deletions)."""
+        for target in self._out.pop(node, set()):
+            self._in.get(target, set()).discard(node)
+        for source in self._in.pop(node, set()):
+            self._out.get(source, set()).discard(node)
+
+    def nodes(self) -> List[int]:
+        return sorted(self._out)
+
+    def out_links(self, node: int) -> List[int]:
+        return sorted(self._out.get(node, set()))
+
+    def in_links(self, node: int) -> List[int]:
+        return sorted(self._in.get(node, set()))
+
+    def out_degree(self, node: int) -> int:
+        return len(self._out.get(node, set()))
+
+    def in_degree(self, node: int) -> int:
+        return len(self._in.get(node, set()))
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._out.values())
+
+    def dangling_nodes(self) -> List[int]:
+        """Nodes with no out-links (their rank mass is spread uniformly)."""
+        return sorted(node for node, targets in self._out.items() if not targets)
+
+    def subgraph_nodes(self, nodes: Iterable[int]) -> "LinkGraph":
+        """The induced subgraph over ``nodes`` (used to split work across bees)."""
+        wanted = set(nodes)
+        result = LinkGraph()
+        for node in wanted:
+            if node in self._out:
+                result.add_node(node)
+                for target in self._out[node]:
+                    if target in wanted:
+                        result.add_edge(node, target)
+        return result
+
+    def to_edge_list(self) -> List[Tuple[int, int]]:
+        return sorted(
+            (source, target) for source, targets in self._out.items() for target in targets
+        )
+
+    @classmethod
+    def from_edge_list(cls, edges: Iterable[Tuple[int, int]]) -> "LinkGraph":
+        graph = cls()
+        graph.add_edges(edges)
+        return graph

@@ -1,0 +1,90 @@
+"""Exact PageRank by power iteration (the reference the decentralized version
+is compared against in E8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.ranking.graph import LinkGraph
+
+DEFAULT_DAMPING = 0.85
+DEFAULT_TOLERANCE = 1e-8
+DEFAULT_MAX_ITERATIONS = 100
+
+
+@dataclass
+class PageRankResult:
+    """Ranks plus convergence diagnostics."""
+
+    ranks: Dict[int, float] = field(default_factory=dict)
+    iterations: int = 0
+    converged: bool = False
+    residual: float = 0.0
+
+    def top(self, count: int) -> Dict[int, float]:
+        """The ``count`` highest-ranked nodes."""
+        ordered = sorted(self.ranks.items(), key=lambda item: (-item[1], item[0]))
+        return dict(ordered[:count])
+
+    def l1_error(self, other: Dict[int, float]) -> float:
+        """Sum of absolute rank differences against another rank vector."""
+        keys = set(self.ranks) | set(other)
+        return sum(abs(self.ranks.get(k, 0.0) - other.get(k, 0.0)) for k in keys)
+
+
+def pagerank(
+    graph: LinkGraph,
+    damping: float = DEFAULT_DAMPING,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    initial: Optional[Dict[int, float]] = None,
+) -> PageRankResult:
+    """Standard PageRank with uniform teleport and dangling-mass redistribution.
+
+    Ranks sum to 1.0 (within floating-point error), which the incentive
+    contract's threshold policy relies on for comparability across corpus
+    sizes.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError(f"damping must be in (0, 1), got {damping!r}")
+    nodes = graph.nodes()
+    n = len(nodes)
+    result = PageRankResult()
+    if n == 0:
+        result.converged = True
+        return result
+
+    uniform = 1.0 / n
+    if initial:
+        total = sum(initial.values()) or 1.0
+        ranks = {node: initial.get(node, uniform) / total for node in nodes}
+    else:
+        ranks = {node: uniform for node in nodes}
+    dangling = graph.dangling_nodes()
+
+    for iteration in range(1, max_iterations + 1):
+        dangling_mass = sum(ranks[node] for node in dangling)
+        base = (1.0 - damping) * uniform + damping * dangling_mass * uniform
+        next_ranks = {node: base for node in nodes}
+        for node in nodes:
+            out_degree = graph.out_degree(node)
+            if out_degree == 0:
+                continue
+            share = damping * ranks[node] / out_degree
+            for target in graph.out_links(node):
+                next_ranks[target] += share
+        residual = sum(abs(next_ranks[node] - ranks[node]) for node in nodes)
+        ranks = next_ranks
+        if residual < tolerance:
+            result.ranks = ranks
+            result.iterations = iteration
+            result.converged = True
+            result.residual = residual
+            return result
+
+    result.ranks = ranks
+    result.iterations = max_iterations
+    result.converged = False
+    result.residual = residual
+    return result

@@ -1,0 +1,26 @@
+"""The query frontend.
+
+"Users submit their keyword queries via QueenBee's HTML+Javascript frontend
+... The frontend is also responsible for composing the search results by
+intersecting the matched inverted lists, ranking the results, and displaying
+relevant ads."  This package is that frontend, minus the HTML: query parsing,
+planning (rarest term first), posting-list retrieval and intersection,
+scoring, and ad placement.
+"""
+
+from repro.search.query import ParsedQuery, parse_query
+from repro.search.planner import QueryPlan, QueryPlanner
+from repro.search.results import ResultPage, SearchResult
+from repro.search.executor import QueryExecutor
+from repro.search.frontend import SearchFrontend
+
+__all__ = [
+    "ParsedQuery",
+    "parse_query",
+    "QueryPlan",
+    "QueryPlanner",
+    "SearchResult",
+    "ResultPage",
+    "QueryExecutor",
+    "SearchFrontend",
+]

@@ -1,0 +1,103 @@
+"""Query execution: fetch posting lists, intersect/union, score, take top-k."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import TermNotFoundError
+from repro.index.postings import PostingList
+from repro.index.statistics import CollectionStatistics
+from repro.ranking.bm25 import BM25Scorer
+from repro.ranking.scoring import CombinedScorer
+from repro.search.planner import QueryPlan
+
+# A posting fetcher resolves one term to its posting list; it raises
+# TermNotFoundError for unknown/unreachable terms.  In QueenBee it is the
+# distributed index; in the centralized baseline it is the local index.
+PostingFetcher = Callable[[str], PostingList]
+
+
+@dataclass
+class ExecutionOutcome:
+    """Candidates, scores, and diagnostics from executing one plan."""
+
+    candidates: List[int] = field(default_factory=list)
+    scores: Dict[int, float] = field(default_factory=dict)
+    page_ranks: Dict[int, float] = field(default_factory=dict)
+    postings_by_term: Dict[str, PostingList] = field(default_factory=dict)
+    missing_terms: Tuple[str, ...] = field(default_factory=tuple)
+    terms_fetched: int = 0
+    postings_scanned: int = 0
+    early_exit: bool = False
+
+
+class QueryExecutor:
+    """Executes a :class:`QueryPlan` against posting lists and a rank vector."""
+
+    def __init__(
+        self,
+        fetch_postings: PostingFetcher,
+        statistics: CollectionStatistics,
+        page_ranks: Optional[Mapping[int, float]] = None,
+        bm25: Optional[BM25Scorer] = None,
+        combiner: Optional[CombinedScorer] = None,
+        top_k: int = 10,
+    ) -> None:
+        if top_k < 1:
+            raise ValueError(f"top_k must be at least 1, got {top_k!r}")
+        self.fetch_postings = fetch_postings
+        self.statistics = statistics
+        self.page_ranks = dict(page_ranks or {})
+        self.bm25 = bm25 or BM25Scorer(statistics)
+        self.combiner = combiner or CombinedScorer()
+        self.top_k = top_k
+
+    def execute(self, plan: QueryPlan) -> ExecutionOutcome:
+        """Run the plan: fetch lists in planned order, combine, score, rank."""
+        outcome = ExecutionOutcome()
+        running: Optional[PostingList] = None
+        conjunctive = plan.query.is_conjunctive
+        missing: List[str] = []
+
+        for term in plan.ordered_terms:
+            try:
+                postings = self.fetch_postings(term)
+            except TermNotFoundError:
+                missing.append(term)
+                if conjunctive:
+                    # An AND query with an unknown term cannot match anything,
+                    # but keep fetching nothing further: the result is empty.
+                    outcome.missing_terms = tuple(missing)
+                    outcome.early_exit = True
+                    return outcome
+                continue
+            outcome.terms_fetched += 1
+            outcome.postings_scanned += len(postings)
+            outcome.postings_by_term[term] = postings
+            if running is None:
+                running = postings
+            elif conjunctive:
+                running = running.intersect(postings)
+                if not len(running):
+                    outcome.early_exit = True
+                    break
+            else:
+                running = running.union(postings)
+
+        outcome.missing_terms = tuple(missing)
+        if running is None or not len(running):
+            return outcome
+
+        candidates = running.doc_ids
+        outcome.candidates = candidates
+        bm25_scores = self.bm25.score_postings(
+            list(plan.query.terms), outcome.postings_by_term, candidates
+        )
+        combined = self.combiner.combine(
+            bm25_scores, self.page_ranks, self.statistics.document_count
+        )
+        top = self.combiner.top_k(combined, self.top_k)
+        outcome.scores = top
+        outcome.page_ranks = {doc_id: self.page_ranks.get(doc_id, 0.0) for doc_id in top}
+        return outcome

@@ -1,0 +1,200 @@
+"""The QueenBee search frontend.
+
+Ties together query parsing, planning, distributed posting-list retrieval,
+ranking, and ad placement.  A frontend instance runs on a user's device (any
+DWeb peer); it holds no index state of its own, only the handles needed to
+reach the decentralized index and the ad contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import QueryParseError
+from repro.index.analysis import Analyzer, tokenize
+from repro.index.distributed import DistributedIndex
+from repro.index.statistics import CollectionStatistics
+from repro.ranking.bm25 import BM25Scorer
+from repro.ranking.scoring import CombinedScorer
+from repro.search.executor import QueryExecutor
+from repro.search.planner import STRATEGY_RAREST_FIRST, QueryPlanner
+from repro.search.query import parse_query
+from repro.search.results import AdPlacement, ResultPage, SearchResult
+from repro.sim.simulator import Simulator
+
+# Resolves a doc_id to its metadata ({url, title, owner, cid, snippet}); the
+# engine backs this with the document directory it publishes to the DHT.
+MetadataResolver = Callable[[int], Dict[str, Any]]
+# Returns the current page-rank vector (doc_id -> rank).
+RankProvider = Callable[[], Mapping[int, float]]
+# Returns active ads for a keyword (list of dicts like AdMarket.ads_for).
+AdProvider = Callable[[str], List[Dict[str, Any]]]
+
+
+@dataclass
+class FrontendStats:
+    """Per-frontend counters used by the latency/throughput experiment."""
+
+    queries: int = 0
+    failed_queries: int = 0
+    empty_result_queries: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def record(self, latency: float, result_count: int) -> None:
+        self.queries += 1
+        self.latencies.append(latency)
+        if result_count == 0:
+            self.empty_result_queries += 1
+
+
+class SearchFrontend:
+    """A user-facing query endpoint.
+
+    Parameters
+    ----------
+    simulator:
+        Supplies the clock used to measure end-to-end query latency.
+    index:
+        The distributed index to fetch posting lists from.
+    rank_provider:
+        Callable returning the latest page-rank vector (fetched by the engine
+        from decentralized storage and cached).
+    metadata_resolver:
+        Callable mapping doc_id to display metadata.
+    ad_provider:
+        Callable returning ads for a keyword (usually ``contracts.ads_for``);
+        omit it to run an ad-free frontend.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        index: DistributedIndex,
+        rank_provider: Optional[RankProvider] = None,
+        metadata_resolver: Optional[MetadataResolver] = None,
+        ad_provider: Optional[AdProvider] = None,
+        analyzer: Optional[Analyzer] = None,
+        statistics: Optional[CollectionStatistics] = None,
+        top_k: int = 10,
+        max_ads: int = 2,
+        planning_strategy: str = STRATEGY_RAREST_FIRST,
+        requester: Optional[str] = None,
+        bm25: Optional[BM25Scorer] = None,
+        combiner: Optional[CombinedScorer] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.index = index
+        self.rank_provider = rank_provider or (lambda: {})
+        self.metadata_resolver = metadata_resolver or (lambda doc_id: {})
+        self.ad_provider = ad_provider
+        self.analyzer = analyzer or Analyzer()
+        self._statistics = statistics
+        self.top_k = top_k
+        self.max_ads = max_ads
+        self.planning_strategy = planning_strategy
+        self.requester = requester
+        self.bm25 = bm25
+        self.combiner = combiner or CombinedScorer()
+        self.stats = FrontendStats()
+
+    # -- statistics handling ------------------------------------------------------
+
+    def refresh_statistics(self) -> CollectionStatistics:
+        """Re-fetch the published collection statistics from the DWeb."""
+        self._statistics = self.index.fetch_statistics(requester=self.requester)
+        return self._statistics
+
+    @property
+    def statistics(self) -> CollectionStatistics:
+        if self._statistics is None:
+            self.refresh_statistics()
+        return self._statistics
+
+    # -- the main entry point --------------------------------------------------------
+
+    def search(self, raw_query: str) -> ResultPage:
+        """Answer one keyword query, returning a composed result page."""
+        started = self.simulator.now
+        try:
+            query = parse_query(raw_query, self.analyzer)
+        except QueryParseError:
+            self.stats.failed_queries += 1
+            return ResultPage(query=raw_query, latency=0.0)
+
+        statistics = self.statistics
+        planner = QueryPlanner(statistics.df, strategy=self.planning_strategy)
+        plan = planner.plan(query)
+        executor = QueryExecutor(
+            fetch_postings=lambda term: self.index.fetch_term(term, requester=self.requester),
+            statistics=statistics,
+            page_ranks=self.rank_provider(),
+            bm25=self.bm25 or BM25Scorer(statistics),
+            combiner=self.combiner,
+            top_k=self.top_k,
+        )
+        outcome = executor.execute(plan)
+
+        results = []
+        for doc_id, score in outcome.scores.items():
+            metadata = self.metadata_resolver(doc_id) or {}
+            results.append(
+                SearchResult(
+                    doc_id=doc_id,
+                    score=score,
+                    url=metadata.get("url", ""),
+                    title=metadata.get("title", ""),
+                    cid=metadata.get("cid", ""),
+                    owner=metadata.get("owner", ""),
+                    page_rank=outcome.page_ranks.get(doc_id, 0.0),
+                    snippet=metadata.get("snippet", ""),
+                )
+            )
+        results.sort(key=lambda r: (-r.score, r.doc_id))
+
+        # Ads are keyed on the advertiser's raw keywords, so match them against
+        # the user's raw tokens rather than the stemmed index terms.
+        ads = self._select_ads(tuple(tokenize(raw_query)) + query.terms)
+        latency = self.simulator.now - started
+        page = ResultPage(
+            query=raw_query,
+            terms=query.terms,
+            results=results,
+            ads=ads,
+            total_candidates=len(outcome.candidates),
+            latency=latency,
+            terms_missing=outcome.missing_terms,
+            diagnostics={
+                "plan_strategy": plan.strategy,
+                "terms_fetched": outcome.terms_fetched,
+                "postings_scanned": outcome.postings_scanned,
+                "early_exit": outcome.early_exit,
+            },
+        )
+        self.stats.record(latency, page.result_count)
+        return page
+
+    # -- ads -----------------------------------------------------------------------------
+
+    def _select_ads(self, terms) -> List[AdPlacement]:
+        if self.ad_provider is None or self.max_ads <= 0:
+            return []
+        placements: List[AdPlacement] = []
+        seen_ids = set()
+        for term in terms:
+            for ad in self.ad_provider(term):
+                ad_id = ad.get("ad_id")
+                if ad_id in seen_ids:
+                    continue
+                placements.append(
+                    AdPlacement(
+                        ad_id=ad_id,
+                        advertiser=ad.get("advertiser", ""),
+                        keyword=term,
+                        bid_per_click=ad.get("bid_per_click", 0),
+                    )
+                )
+                seen_ids.add(ad_id)
+                if len(placements) >= self.max_ads:
+                    return placements
+        return placements

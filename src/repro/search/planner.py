@@ -1,0 +1,61 @@
+"""Query planning: the order in which term posting lists are fetched and
+intersected.
+
+Fetching the rarest term first keeps the running intersection small, so later
+(longer) lists are galloped into rather than scanned — and for conjunctive
+queries an empty intermediate result lets the frontend skip the remaining
+fetches entirely.  The naive (query order) plan is kept as the E1 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from repro.search.query import ParsedQuery
+
+STRATEGY_RAREST_FIRST = "rarest_first"
+STRATEGY_QUERY_ORDER = "query_order"
+
+
+@dataclass
+class QueryPlan:
+    """The ordered terms plus the strategy that produced the order."""
+
+    query: ParsedQuery
+    ordered_terms: Tuple[str, ...] = field(default_factory=tuple)
+    strategy: str = STRATEGY_RAREST_FIRST
+    estimated_frequencies: Tuple[int, ...] = field(default_factory=tuple)
+
+
+class QueryPlanner:
+    """Builds a :class:`QueryPlan` from published document frequencies.
+
+    ``df_lookup`` maps a term to its document frequency (0 for unknown terms);
+    in QueenBee it is backed by the collection statistics published to
+    decentralized storage, so planning costs no extra network round trips.
+    """
+
+    def __init__(
+        self,
+        df_lookup: Callable[[str], int],
+        strategy: str = STRATEGY_RAREST_FIRST,
+    ) -> None:
+        if strategy not in (STRATEGY_RAREST_FIRST, STRATEGY_QUERY_ORDER):
+            raise ValueError(f"unknown planning strategy {strategy!r}")
+        self.df_lookup = df_lookup
+        self.strategy = strategy
+
+    def plan(self, query: ParsedQuery) -> QueryPlan:
+        """Order the query's terms according to the configured strategy."""
+        frequencies: List[Tuple[str, int]] = [
+            (term, max(0, int(self.df_lookup(term)))) for term in query.terms
+        ]
+        if self.strategy == STRATEGY_RAREST_FIRST and query.is_conjunctive:
+            frequencies.sort(key=lambda item: (item[1], item[0]))
+        return QueryPlan(
+            query=query,
+            ordered_terms=tuple(term for term, _ in frequencies),
+            strategy=self.strategy,
+            estimated_frequencies=tuple(df for _, df in frequencies),
+        )

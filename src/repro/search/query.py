@@ -1,0 +1,51 @@
+"""Keyword query parsing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryParseError
+from repro.index.analysis import Analyzer
+
+MODE_AND = "and"
+MODE_OR = "or"
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A keyword query after analysis.
+
+    ``terms`` have been through the same analyzer as the index; ``mode`` is
+    conjunctive by default (the paper's "intersecting the matched inverted
+    lists"), with ``OR`` supported as an explicit operator.
+    """
+
+    raw: str
+    terms: Tuple[str, ...] = field(default_factory=tuple)
+    mode: str = MODE_AND
+
+    @property
+    def is_conjunctive(self) -> bool:
+        return self.mode == MODE_AND
+
+
+def parse_query(raw: str, analyzer: Optional[Analyzer] = None) -> ParsedQuery:
+    """Parse a raw query string into analyzed terms.
+
+    Grammar: whitespace-separated keywords, with an optional ``OR`` keyword
+    (uppercase) switching the whole query to disjunctive mode.  Raises
+    :class:`QueryParseError` if nothing indexable remains after analysis.
+    """
+    if raw is None or not raw.strip():
+        raise QueryParseError("empty query")
+    analyzer = analyzer or Analyzer()
+    mode = MODE_OR if " OR " in f" {raw} " else MODE_AND
+    cleaned = raw.replace(" OR ", " ")
+    terms: List[str] = []
+    for term in analyzer.analyze(cleaned):
+        if term not in terms:
+            terms.append(term)
+    if not terms:
+        raise QueryParseError(f"query {raw!r} contains no indexable terms")
+    return ParsedQuery(raw=raw, terms=tuple(terms), mode=mode)

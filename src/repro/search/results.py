@@ -1,0 +1,59 @@
+"""Search results and result pages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass
+class SearchResult:
+    """One ranked hit."""
+
+    doc_id: int
+    score: float
+    url: str = ""
+    title: str = ""
+    cid: str = ""
+    owner: str = ""
+    page_rank: float = 0.0
+    snippet: str = ""
+
+
+@dataclass
+class AdPlacement:
+    """One ad displayed next to the results."""
+
+    ad_id: int
+    advertiser: str
+    keyword: str
+    bid_per_click: int
+
+
+@dataclass
+class ResultPage:
+    """Everything the frontend composes for one query."""
+
+    query: str
+    terms: Tuple[str, ...] = field(default_factory=tuple)
+    results: List[SearchResult] = field(default_factory=list)
+    ads: List[AdPlacement] = field(default_factory=list)
+    total_candidates: int = 0
+    latency: float = 0.0
+    terms_missing: Tuple[str, ...] = field(default_factory=tuple)
+    diagnostics: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def result_count(self) -> int:
+        return len(self.results)
+
+    @property
+    def doc_ids(self) -> List[int]:
+        return [result.doc_id for result in self.results]
+
+    def recall_against(self, expected_doc_ids: List[int]) -> float:
+        """Fraction of ``expected_doc_ids`` present in this page (E3's metric)."""
+        if not expected_doc_ids:
+            return 1.0
+        found = set(self.doc_ids)
+        return sum(1 for doc_id in expected_doc_ids if doc_id in found) / len(expected_doc_ids)

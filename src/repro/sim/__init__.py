@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every QueenBee experiment runs on simulated time.  The package provides:
+
+* :class:`~repro.sim.clock.SimClock` — a monotonically advancing clock in
+  abstract "ticks" (interpreted as milliseconds by the network layer).
+* :class:`~repro.sim.events.EventQueue` — a priority queue of scheduled
+  callbacks.
+* :class:`~repro.sim.simulator.Simulator` — ties the two together and owns
+  the seeded random number generator, so that whole experiments are
+  reproducible from a single seed.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.simulator import Simulator
+
+__all__ = ["SimClock", "Event", "EventQueue", "Simulator"]

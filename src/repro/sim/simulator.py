@@ -1,0 +1,122 @@
+"""The discrete-event simulator that drives every QueenBee experiment."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+
+
+class Simulator:
+    """Owns the clock, the event queue, and the seeded random generator.
+
+    Components that need time or randomness take a :class:`Simulator` (or the
+    objects it owns) as a constructor argument; nothing in the library reads
+    the wall clock or the global ``random`` module, which makes experiments
+    reproducible from a single seed.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self.clock = SimClock(start_time)
+        self.events = EventQueue()
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (useful for progress assertions)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay!r} ticks in the past")
+        return self.events.push(self.clock.now + delay, callback, label=label)
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``callback`` to run at absolute time ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule an event at {timestamp!r}, which is before now={self.clock.now!r}"
+            )
+        return self.events.push(timestamp, callback, label=label)
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` when the queue is empty."""
+        event = self.events.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        event.callback()
+        self._events_processed += 1
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run pending events until the queue drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the number of events executed."""
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.events.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            self.step()
+            executed += 1
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return executed
+
+    def advance(self, delta: float) -> None:
+        """Advance simulated time by ``delta`` ticks, executing any events due."""
+        self.run(until=self.clock.now + delta)
+
+    def parallel_region(self, thunks) -> list:
+        """Run logically-parallel branches, charging only the slowest one.
+
+        Each thunk runs with the clock reset to the region's start time; after
+        all branches have run, the clock lands on ``start + max(durations)``.
+        This mirrors :meth:`repro.net.network.SimulatedNetwork.rpc_parallel`
+        but for arbitrary multi-RPC operations (e.g. a worker bee updating all
+        of a page's term shards concurrently).
+
+        The branches must not schedule future events that depend on the
+        intermediate clock positions; QueenBee's index/rank pipelines don't.
+        """
+        start = self.clock.now
+        slowest = 0.0
+        results = []
+        for thunk in thunks:
+            self.clock.rewind_to(start)
+            results.append(thunk())
+            slowest = max(slowest, self.clock.now - start)
+        self.clock.rewind_to(start)
+        self.clock.advance(slowest)
+        return results
+
+    def fork_rng(self, label: str) -> random.Random:
+        """Derive an independent but reproducible RNG stream for a component.
+
+        The derivation uses SHA-256 rather than the builtin ``hash`` because
+        the latter is salted per process, which would silently break
+        cross-run reproducibility.
+        """
+        import hashlib
+
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def __repr__(self) -> str:
+        return f"Simulator(seed={self.seed}, now={self.clock.now}, pending={len(self.events)})"

@@ -1,0 +1,99 @@
+"""A peer's local block storage with optional pinning and capacity eviction."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.errors import BlockNotFoundError
+from repro.storage.block import Block
+
+
+class BlockStore:
+    """An in-memory, LRU-evicting block store.
+
+    Pinned blocks (a peer's own published content, index shards a worker bee
+    is responsible for) are never evicted; cached blocks (content fetched for
+    browsing) are evicted least-recently-used when the capacity is exceeded,
+    mirroring how DWeb peers "serve their cached data to peer devices".
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes!r}")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: "OrderedDict[str, Block]" = OrderedDict()
+        self._pinned: set = set()
+        self._cached_bytes = 0
+
+    def __contains__(self, cid: str) -> bool:
+        return cid in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def put(self, block: Block, pin: bool = False) -> None:
+        """Store ``block``; pinned blocks are exempt from eviction."""
+        if block.cid in self._blocks:
+            self._blocks.move_to_end(block.cid)
+        else:
+            self._blocks[block.cid] = block
+            if not pin:
+                self._cached_bytes += block.size
+        if pin:
+            if block.cid not in self._pinned:
+                self._pinned.add(block.cid)
+                # A block promoted to pinned no longer counts against the cache.
+                self._cached_bytes = max(0, self._cached_bytes - block.size)
+        self._evict_if_needed()
+
+    def get(self, cid: str) -> Block:
+        """Fetch a block, refreshing its LRU position.  Raises if absent."""
+        block = self._blocks.get(cid)
+        if block is None:
+            raise BlockNotFoundError(f"block {cid[:16]}… is not stored locally")
+        self._blocks.move_to_end(cid)
+        return block
+
+    def has(self, cid: str) -> bool:
+        return cid in self._blocks
+
+    def remove(self, cid: str) -> bool:
+        block = self._blocks.pop(cid, None)
+        if block is None:
+            return False
+        if cid in self._pinned:
+            self._pinned.discard(cid)
+        else:
+            self._cached_bytes = max(0, self._cached_bytes - block.size)
+        return True
+
+    def pin(self, cid: str) -> None:
+        """Mark an already-stored block as pinned."""
+        block = self._blocks.get(cid)
+        if block is None:
+            raise BlockNotFoundError(f"cannot pin missing block {cid[:16]}…")
+        if cid not in self._pinned:
+            self._pinned.add(cid)
+            self._cached_bytes = max(0, self._cached_bytes - block.size)
+
+    def is_pinned(self, cid: str) -> bool:
+        return cid in self._pinned
+
+    def cids(self) -> List[str]:
+        return list(self._blocks)
+
+    def total_bytes(self) -> int:
+        return sum(block.size for block in self._blocks.values())
+
+    def _evict_if_needed(self) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self._cached_bytes > self.capacity_bytes:
+            victim_cid = next(
+                (cid for cid in self._blocks if cid not in self._pinned), None
+            )
+            if victim_cid is None:
+                return
+            victim = self._blocks.pop(victim_cid)
+            self._cached_bytes = max(0, self._cached_bytes - victim.size)

@@ -1,0 +1,46 @@
+"""Content identifiers: the cryptographic hashes that make DWeb tamper-proof."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+from repro.errors import InvalidCIDError
+
+CID_PREFIX = "bafy"
+
+
+def compute_cid(data: Union[bytes, str]) -> str:
+    """Derive the content identifier of ``data`` (SHA-256, hex, ``bafy`` prefix).
+
+    The prefix mimics IPFS CIDv1 cosmetically; only the digest matters for the
+    tamper-evidence property the paper relies on.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    digest = hashlib.sha256(data).hexdigest()
+    return CID_PREFIX + digest
+
+
+def verify_cid(cid: str, data: Union[bytes, str]) -> bool:
+    """Check that ``data`` hashes to ``cid`` (tamper detection)."""
+    validate_cid(cid)
+    return compute_cid(data) == cid
+
+
+def validate_cid(cid: str) -> None:
+    """Raise :class:`InvalidCIDError` if ``cid`` is malformed."""
+    if not isinstance(cid, str) or not cid.startswith(CID_PREFIX):
+        raise InvalidCIDError(f"malformed CID {cid!r}: missing {CID_PREFIX!r} prefix")
+    digest = cid[len(CID_PREFIX):]
+    if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+        raise InvalidCIDError(f"malformed CID {cid!r}: digest must be 64 lowercase hex chars")
+
+
+def is_valid_cid(cid: str) -> bool:
+    """Boolean form of :func:`validate_cid`."""
+    try:
+        validate_cid(cid)
+    except InvalidCIDError:
+        return False
+    return True

@@ -1,0 +1,180 @@
+"""The decentralized-storage facade: add/get content by CID with provider
+records on the DHT and replication across peers.
+
+This is the component the paper calls "a decentralized storage (e.g. IPFS)":
+QueenBee stores page contents, index shards, and page-rank vectors here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import BlockNotFoundError
+from repro.dht.dht import DHTNetwork
+from repro.net.network import SimulatedNetwork
+from repro.sim.simulator import Simulator
+from repro.storage.block import Block
+from repro.storage.chunker import DEFAULT_CHUNK_SIZE
+from repro.storage.dag import MerkleDAG
+from repro.storage.peer import StoragePeer
+
+
+def provider_key(cid: str) -> str:
+    """DHT key under which the providers of ``cid`` are recorded."""
+    return f"providers:{cid}"
+
+
+@dataclass
+class StorageStats:
+    """Counters reported by the scalability and resilience experiments."""
+
+    adds: int = 0
+    gets: int = 0
+    failed_gets: int = 0
+    blocks_transferred: int = 0
+    bytes_added: int = 0
+    per_get_providers: List[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.adds = 0
+        self.gets = 0
+        self.failed_gets = 0
+        self.blocks_transferred = 0
+        self.bytes_added = 0
+        self.per_get_providers.clear()
+
+
+class DecentralizedStorage:
+    """Content-addressed storage spread over a set of peers.
+
+    Parameters
+    ----------
+    simulator / network / dht:
+        Shared simulation substrate.  The DHT holds provider records.
+    replication:
+        Number of peers (including the publisher) each piece of content is
+        pushed to at ``add`` time.  Higher replication survives more churn
+        (experiment E3's knob).
+    chunk_size:
+        Merkle-DAG leaf size in bytes.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: SimulatedNetwork,
+        dht: DHTNetwork,
+        replication: int = 3,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be at least 1, got {replication!r}")
+        self.simulator = simulator
+        self.network = network
+        self.dht = dht
+        self.replication = replication
+        self.dag = MerkleDAG(chunk_size=chunk_size)
+        self.peers: Dict[str, StoragePeer] = {}
+        self.stats = StorageStats()
+        self._rng = simulator.fork_rng("storage")
+
+    # -- membership -----------------------------------------------------------
+
+    def add_peer(self, address: Optional[str] = None, capacity_bytes: Optional[int] = None) -> StoragePeer:
+        """Create a storage peer and register it on the network."""
+        if address is None:
+            address = f"store-{len(self.peers)}"
+        peer = StoragePeer(address, self.network, capacity_bytes=capacity_bytes)
+        self.peers[address] = peer
+        return peer
+
+    def build(self, count: int) -> List[StoragePeer]:
+        return [self.add_peer() for _ in range(count)]
+
+    def peer_addresses(self) -> List[str]:
+        return sorted(self.peers)
+
+    def random_peer(self) -> StoragePeer:
+        online = [p for a, p in self.peers.items() if self.network.is_online(a)]
+        if not online:
+            raise BlockNotFoundError("no online storage peers available")
+        return self._rng.choice(online)
+
+    # -- add / get ------------------------------------------------------------
+
+    def add_bytes(self, data: bytes, publisher: Optional[str] = None) -> str:
+        """Publish ``data``: build its DAG, pin it on the publisher, replicate,
+        and announce provider records in the DHT.  Returns the root CID."""
+        origin = self.peers[publisher] if publisher is not None else self.random_peer()
+        result = self.dag.build(data)
+        for block in result.blocks:
+            origin.store.put(block, pin=True)
+        replicas = self._choose_replicas(origin.address, self.replication - 1)
+        for replica_address in replicas:
+            for block in result.blocks:
+                if origin.push_block_to(replica_address, block, pin=True):
+                    self.stats.blocks_transferred += 1
+        for holder in [origin.address] + replicas:
+            self.dht.add_to_set(provider_key(result.root_cid), holder)
+        self.stats.adds += 1
+        self.stats.bytes_added += len(data)
+        return result.root_cid
+
+    def add_text(self, text: str, publisher: Optional[str] = None) -> str:
+        """Convenience wrapper for publishing UTF-8 text (web pages)."""
+        return self.add_bytes(text.encode("utf-8"), publisher=publisher)
+
+    def get_bytes(self, cid: str, requester: Optional[str] = None) -> bytes:
+        """Fetch and reassemble the content behind ``cid``.
+
+        Raises :class:`BlockNotFoundError` when no reachable provider holds
+        the content (the failure mode counted by the resilience experiment).
+        """
+        peer = self.peers[requester] if requester is not None else self.random_peer()
+        self.stats.gets += 1
+        providers = [p for p in self.dht.get_set(provider_key(cid)) if isinstance(p, str)]
+        self.stats.per_get_providers.append(len(providers))
+        reachable = [p for p in providers if self.network.is_online(p) and p != peer.address]
+        if peer.store.has(cid):
+            root = peer.store.get(cid)
+        else:
+            root = self._fetch_from_any(peer, reachable, cid)
+            if root is None:
+                self.stats.failed_gets += 1
+                raise BlockNotFoundError(f"no reachable provider holds root block {cid[:16]}…")
+        blocks_by_cid: Dict[str, Block] = {}
+        for link in root.links:
+            if peer.store.has(link):
+                blocks_by_cid[link] = peer.store.get(link)
+                continue
+            block = self._fetch_from_any(peer, reachable, link)
+            if block is None:
+                self.stats.failed_gets += 1
+                raise BlockNotFoundError(f"no reachable provider holds chunk {link[:16]}…")
+            blocks_by_cid[link] = block
+        return self.dag.assemble(root, blocks_by_cid)
+
+    def get_text(self, cid: str, requester: Optional[str] = None) -> str:
+        """Fetch content and decode it as UTF-8 text."""
+        return self.get_bytes(cid, requester=requester).decode("utf-8")
+
+    def providers_of(self, cid: str) -> List[str]:
+        """The peers currently announced as providers of ``cid``."""
+        return sorted(p for p in self.dht.get_set(provider_key(cid)) if isinstance(p, str))
+
+    # -- internals ------------------------------------------------------------
+
+    def _choose_replicas(self, publisher: str, count: int) -> List[str]:
+        candidates = [a for a in self.peer_addresses() if a != publisher and self.network.is_online(a)]
+        if count <= 0 or not candidates:
+            return []
+        return self._rng.sample(candidates, min(count, len(candidates)))
+
+    def _fetch_from_any(self, peer: StoragePeer, providers: List[str], cid: str) -> Optional[Block]:
+        for provider in providers:
+            block = peer.fetch_block_from(provider, cid)
+            if block is not None:
+                self.stats.blocks_transferred += 1
+                return block
+        return None

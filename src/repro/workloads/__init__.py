@@ -1,0 +1,26 @@
+"""Synthetic workloads.
+
+The paper evaluates nothing directly, so the experiments run on synthetic
+corpora whose *shape* matches what is known about the web and web search:
+Zipfian term and query popularity, power-law (preferential attachment) link
+structure, and skewed content-provider popularity.  All generators are
+deterministic given a seed.
+"""
+
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.corpus import CorpusGenerator, GeneratedCorpus
+from repro.workloads.linkgen import generate_link_graph
+from repro.workloads.queries import QueryWorkload, QueryWorkloadGenerator
+from repro.workloads.updates import PublishEvent, PublishWorkload, PublishWorkloadGenerator
+
+__all__ = [
+    "ZipfSampler",
+    "CorpusGenerator",
+    "GeneratedCorpus",
+    "generate_link_graph",
+    "QueryWorkload",
+    "QueryWorkloadGenerator",
+    "PublishEvent",
+    "PublishWorkload",
+    "PublishWorkloadGenerator",
+]

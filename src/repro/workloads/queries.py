@@ -1,0 +1,85 @@
+"""Query workload generation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.index.analysis import Analyzer
+from repro.index.document import Document
+from repro.workloads.zipf import ZipfSampler
+
+
+@dataclass
+class QueryWorkload:
+    """A fixed list of keyword queries plus ground-truth helpers."""
+
+    queries: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+class QueryWorkloadGenerator:
+    """Draws queries from the corpus' own term distribution.
+
+    Query terms are sampled from the terms that actually occur in documents
+    (Zipf-weighted by their collection frequency), so most queries have
+    non-empty results — the regime in which intersection cost and ranking
+    quality are interesting.  Query lengths follow the short-head observed in
+    web search (mostly 1–3 terms).
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[Document],
+        analyzer: Optional[Analyzer] = None,
+        term_exponent: float = 1.0,
+        length_weights: Sequence[float] = (0.35, 0.45, 0.15, 0.05),
+        seed: int = 0,
+    ) -> None:
+        if not documents:
+            raise WorkloadError("query generation needs a non-empty corpus")
+        self.analyzer = analyzer or Analyzer()
+        self.rng = random.Random(seed)
+        self.length_weights = list(length_weights)
+        # Rank *raw* tokens (not analyzed terms) by collection frequency:
+        # queries are raw text that the frontend will analyze exactly once,
+        # the same way documents are analyzed, so building queries from raw
+        # tokens keeps query terms aligned with index terms.
+        counts = {}
+        raw_analyzer = Analyzer(stopwords=self.analyzer.stopwords, stem=False,
+                                min_token_length=self.analyzer.min_token_length)
+        for document in documents:
+            for term in raw_analyzer.analyze(document.full_text):
+                counts[term] = counts.get(term, 0) + 1
+        self.terms_by_popularity = [
+            term for term, _ in sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        ]
+        if not self.terms_by_popularity:
+            raise WorkloadError("corpus produced no indexable terms")
+        self.sampler = ZipfSampler(len(self.terms_by_popularity), term_exponent, self.rng)
+
+    def generate(self, count: int) -> QueryWorkload:
+        """Generate ``count`` queries."""
+        if count < 0:
+            raise WorkloadError(f"cannot generate a negative number of queries: {count!r}")
+        queries: List[str] = []
+        for _ in range(count):
+            length = 1 + self.rng.choices(
+                range(len(self.length_weights)), weights=self.length_weights
+            )[0]
+            terms = []
+            attempts = 0
+            while len(terms) < length and attempts < length * 10:
+                attempts += 1
+                term = self.terms_by_popularity[self.sampler.sample()]
+                if term not in terms:
+                    terms.append(term)
+            queries.append(" ".join(terms))
+        return QueryWorkload(queries=queries)

@@ -1,0 +1,118 @@
+"""Publish/update streams for the freshness experiment (E2)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.index.document import Document
+from repro.workloads.corpus import GeneratedCorpus
+
+
+@dataclass
+class PublishEvent:
+    """One publish (create or update) scheduled at a simulated time."""
+
+    time: float
+    document: Document
+    is_update: bool = False
+
+
+@dataclass
+class PublishWorkload:
+    """A time-ordered stream of publish events."""
+
+    events: List[PublishEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+
+class PublishWorkloadGenerator:
+    """Generates a stream of page creations and updates over simulated time.
+
+    Parameters
+    ----------
+    corpus:
+        The base corpus.  ``initial_fraction`` of it is treated as already
+        published at time zero; the rest arrives as *new* pages during the
+        run, interleaved with updates to already-published pages.
+    mean_interarrival:
+        Mean ticks between publish events (exponential interarrivals).
+    update_probability:
+        Probability that an event updates an existing page rather than
+        creating a new one (once no new pages remain, everything is updates).
+    """
+
+    def __init__(
+        self,
+        corpus: GeneratedCorpus,
+        initial_fraction: float = 0.5,
+        mean_interarrival: float = 200.0,
+        update_probability: float = 0.4,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= initial_fraction <= 1.0:
+            raise WorkloadError(f"initial_fraction must be in [0, 1], got {initial_fraction!r}")
+        if mean_interarrival <= 0:
+            raise WorkloadError("mean_interarrival must be positive")
+        if not 0.0 <= update_probability <= 1.0:
+            raise WorkloadError("update_probability must be in [0, 1]")
+        self.corpus = corpus
+        self.initial_fraction = initial_fraction
+        self.mean_interarrival = mean_interarrival
+        self.update_probability = update_probability
+        self.rng = random.Random(seed)
+
+    def initial_documents(self) -> List[Document]:
+        """The pages considered already published before the measurement window."""
+        cutoff = int(len(self.corpus.documents) * self.initial_fraction)
+        return list(self.corpus.documents[:cutoff])
+
+    def generate(self, event_count: int) -> PublishWorkload:
+        """Generate ``event_count`` publish events after time zero."""
+        if event_count < 0:
+            raise WorkloadError(f"event_count must be non-negative, got {event_count!r}")
+        initial = self.initial_documents()
+        pending_new = list(self.corpus.documents[len(initial):])
+        published: List[Document] = list(initial)
+        events: List[PublishEvent] = []
+        now = 0.0
+        update_words = ["fresh", "update", "revision", "breaking", "new"]
+        for _ in range(event_count):
+            now += self.rng.expovariate(1.0 / self.mean_interarrival)
+            make_update = published and (
+                not pending_new or self.rng.random() < self.update_probability
+            )
+            if make_update:
+                base = self.rng.choice(published)
+                marker = self.rng.choice(update_words)
+                updated = base.updated(
+                    text=f"{base.text} {marker}", published_at=now
+                )
+                published[published.index(base)] = updated
+                events.append(PublishEvent(time=now, document=updated, is_update=True))
+            else:
+                document = pending_new.pop(0)
+                document = Document(
+                    doc_id=document.doc_id,
+                    url=document.url,
+                    title=document.title,
+                    text=document.text,
+                    owner=document.owner,
+                    links=document.links,
+                    published_at=now,
+                    version=1,
+                )
+                published.append(document)
+                events.append(PublishEvent(time=now, document=document, is_update=False))
+        return PublishWorkload(events=events)

@@ -1,0 +1,51 @@
+"""Zipfian sampling used by every workload generator."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+from repro.errors import WorkloadError
+
+
+class ZipfSampler:
+    """Samples ranks ``0 .. n-1`` with probability proportional to ``1/(rank+1)^s``.
+
+    The cumulative distribution is precomputed once so sampling is a binary
+    search — fast enough to draw millions of terms per experiment.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0, rng: random.Random = None) -> None:
+        if n <= 0:
+            raise WorkloadError(f"ZipfSampler needs a positive population, got {n!r}")
+        if exponent < 0:
+            raise WorkloadError(f"Zipf exponent must be non-negative, got {exponent!r}")
+        self.n = n
+        self.exponent = exponent
+        self.rng = rng or random.Random(0)
+        weights = [1.0 / ((rank + 1) ** exponent) for rank in range(n)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample(self) -> int:
+        """Draw one rank (0 is the most popular)."""
+        return bisect.bisect_left(self._cumulative, self.rng.random())
+
+    def sample_many(self, count: int) -> List[int]:
+        if count < 0:
+            raise WorkloadError(f"cannot draw a negative number of samples: {count!r}")
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """The probability mass assigned to ``rank``."""
+        if not 0 <= rank < self.n:
+            raise WorkloadError(f"rank {rank!r} outside population of size {self.n}")
+        previous = self._cumulative[rank - 1] if rank > 0 else 0.0
+        return self._cumulative[rank] - previous

@@ -1,0 +1,244 @@
+"""Tests for the blockchain substrate: state, transactions, blocks, the VM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChainError, ContractError, InsufficientFundsError, InvalidTransactionError
+from repro.chain.account import Account
+from repro.chain.block import GENESIS_HASH, ChainBlock
+from repro.chain.blockchain import Blockchain
+from repro.chain.consensus import RoundRobinSchedule
+from repro.chain.gas import BASE_TX_GAS, fee_for, gas_for
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.chain.vm import CallContext, Contract
+from repro.sim.simulator import Simulator
+
+
+class Counter(Contract):
+    """A minimal contract used to exercise the VM."""
+
+    name = "counter"
+
+    def increment(self, ctx: CallContext, by: int = 1) -> int:
+        self.require(by > 0, "increment must be positive")
+        self.storage["value"] = self.storage.get("value", 0) + by
+        self.emit("Incremented", by=by, sender=ctx.sender)
+        return self.storage["value"]
+
+    def value(self, ctx: CallContext) -> int:
+        return self.storage.get("value", 0)
+
+    def pay_and_increment(self, ctx: CallContext) -> int:
+        self.require(ctx.value >= 10, "attach at least 10 wei")
+        self.state.transfer(ctx.sender, "counter-escrow", ctx.value)
+        return self.increment(ctx, by=1)
+
+    def _internal(self, ctx: CallContext) -> None:
+        raise AssertionError("should never be callable externally")
+
+
+class TestWorldState:
+    def test_accounts_created_on_first_touch(self):
+        state = WorldState()
+        assert state.get_account("alice").balance == 0
+
+    def test_transfer_moves_funds(self):
+        state = WorldState()
+        state.credit("alice", 100)
+        state.transfer("alice", "bob", 40)
+        assert state.get_account("alice").balance == 60
+        assert state.get_account("bob").balance == 40
+
+    def test_overdraft_rejected(self):
+        state = WorldState()
+        state.credit("alice", 10)
+        with pytest.raises(InsufficientFundsError):
+            state.transfer("alice", "bob", 11)
+
+    def test_negative_amounts_rejected(self):
+        state = WorldState()
+        with pytest.raises(InsufficientFundsError):
+            state.credit("alice", -5)
+        with pytest.raises(InsufficientFundsError):
+            state.transfer("alice", "bob", -1)
+
+    def test_snapshot_and_restore_roll_back_changes(self):
+        state = WorldState()
+        state.credit("alice", 100)
+        state.storage_for("c")["k"] = "v"
+        snapshot = state.snapshot()
+        state.transfer("alice", "bob", 50)
+        state.storage_for("c")["k"] = "changed"
+        state.restore(snapshot)
+        assert state.get_account("alice").balance == 100
+        assert state.storage_for("c")["k"] == "v"
+
+    def test_total_native_supply(self):
+        state = WorldState()
+        state.credit("a", 5)
+        state.credit("b", 7)
+        assert state.total_native_supply() == 12
+
+    def test_account_can_spend(self):
+        assert Account("x", balance=10).can_spend(10)
+        assert not Account("x", balance=10).can_spend(11)
+        assert not Account("x", balance=10).can_spend(-1)
+
+
+class TestTransactionsAndBlocks:
+    def test_tx_id_is_deterministic_and_content_sensitive(self):
+        tx1 = Transaction(sender="a", nonce=0, contract="c", method="m", args={"x": 1})
+        tx2 = Transaction(sender="a", nonce=0, contract="c", method="m", args={"x": 1})
+        tx3 = Transaction(sender="a", nonce=0, contract="c", method="m", args={"x": 2})
+        assert tx1.tx_id == tx2.tx_id
+        assert tx1.tx_id != tx3.tx_id
+
+    def test_signature_check(self):
+        honest = Transaction(sender="a", nonce=0)
+        forged = Transaction(sender="a", nonce=0, signed_by="mallory")
+        assert honest.signature_valid()
+        assert not forged.signature_valid()
+
+    def test_gas_model_charges_more_for_contract_calls(self):
+        transfer = Transaction(sender="a", nonce=0, to="b", value=1)
+        call = Transaction(sender="a", nonce=0, contract="c", method="m", args={"x": 1})
+        assert gas_for(transfer) == BASE_TX_GAS
+        assert gas_for(call) > gas_for(transfer)
+        assert fee_for(call) == gas_for(call)
+
+    def test_block_hash_commits_to_transactions(self):
+        tx = Transaction(sender="a", nonce=0)
+        block_a = ChainBlock(0, GENESIS_HASH, "v", 0.0, (tx,))
+        block_b = ChainBlock(0, GENESIS_HASH, "v", 0.0, ())
+        assert block_a.block_hash != block_b.block_hash
+        assert block_a.transaction_count == 1
+
+    def test_round_robin_schedule_cycles(self):
+        schedule = RoundRobinSchedule(["v0", "v1", "v2"])
+        assert [schedule.producer_for(i) for i in range(4)] == ["v0", "v1", "v2", "v0"]
+        with pytest.raises(ChainError):
+            schedule.producer_for(-1)
+        with pytest.raises(ChainError):
+            RoundRobinSchedule([])
+
+
+@pytest.fixture
+def chain_with_counter(simulator):
+    chain = Blockchain(simulator, validators=["validator-0"], auto_mine=True)
+    chain.deploy(Counter())
+    chain.fund_account("alice", 10**9)
+    chain.fund_account("bob", 10**9)
+    return chain
+
+
+class TestBlockchain:
+    def test_contract_call_executes_and_persists(self, chain_with_counter):
+        chain = chain_with_counter
+        receipt = chain.call("alice", "counter", "increment", by=5)
+        assert receipt.success and receipt.result == 5
+        assert chain.query("counter", "value") == 5
+
+    def test_reverted_call_rolls_back_but_charges_fee(self, chain_with_counter):
+        chain = chain_with_counter
+        chain.call("alice", "counter", "increment", by=5)
+        balance_before = chain.balance_of("alice")
+        receipt = chain.call("alice", "counter", "increment", by=-1)
+        assert not receipt.success
+        assert chain.query("counter", "value") == 5
+        assert chain.balance_of("alice") < balance_before
+
+    def test_native_transfer(self, chain_with_counter):
+        chain = chain_with_counter
+        receipt = chain.transfer("alice", "carol", 1_000)
+        assert receipt.success
+        assert chain.balance_of("carol") == 1_000
+
+    def test_value_bearing_contract_call(self, chain_with_counter):
+        chain = chain_with_counter
+        receipt = chain.call("alice", "counter", "pay_and_increment", value=50)
+        assert receipt.success
+        assert chain.balance_of("counter-escrow") == 50
+
+    def test_forged_transaction_rejected(self, chain_with_counter):
+        chain = chain_with_counter
+        tx = Transaction(sender="alice", nonce=chain.next_nonce("alice"),
+                         to="mallory", value=100, signed_by="mallory")
+        with pytest.raises(InvalidTransactionError):
+            chain.submit(tx)
+
+    def test_bad_nonce_rejected(self, chain_with_counter):
+        chain = chain_with_counter
+        tx = Transaction(sender="alice", nonce=99, to="bob", value=1)
+        with pytest.raises(InvalidTransactionError):
+            chain.submit(tx)
+
+    def test_insufficient_funds_rejected(self, chain_with_counter):
+        chain = chain_with_counter
+        chain.fund_account("pauper", 10)
+        with pytest.raises(InvalidTransactionError):
+            chain.transfer("pauper", "bob", 5)
+
+    def test_underscore_methods_not_callable(self, chain_with_counter):
+        chain = chain_with_counter
+        receipt = chain.call("alice", "counter", "_internal")
+        assert not receipt.success
+
+    def test_unknown_contract_or_method_reverts(self, chain_with_counter):
+        chain = chain_with_counter
+        assert not chain.call("alice", "counter", "no_such_method").success
+        assert not chain.call("alice", "ghost", "anything").success
+
+    def test_gas_fees_flow_to_block_producer(self, chain_with_counter):
+        chain = chain_with_counter
+        before = chain.balance_of("validator-0")
+        chain.call("alice", "counter", "increment", by=1)
+        assert chain.balance_of("validator-0") > before
+
+    def test_hash_chain_integrity(self, chain_with_counter):
+        chain = chain_with_counter
+        for _ in range(3):
+            chain.call("alice", "counter", "increment", by=1)
+        assert chain.verify_integrity()
+        chain.blocks[1].transactions = ()
+        # Tampering with a block's contents breaks the hash chain.
+        assert not chain.verify_integrity()
+
+    def test_manual_block_production_batches_pending(self, simulator):
+        chain = Blockchain(simulator, auto_mine=False)
+        chain.deploy(Counter())
+        chain.fund_account("alice", 10**9)
+        chain.call("alice", "counter", "increment", by=1)
+        chain.call("alice", "counter", "increment", by=2)
+        assert chain.query("counter", "value") == 0
+        block = chain.produce_block()
+        assert block.transaction_count == 2
+        assert chain.query("counter", "value") == 3
+
+    def test_scheduled_block_production(self, simulator):
+        chain = Blockchain(simulator, auto_mine=False, block_interval=100.0)
+        chain.deploy(Counter())
+        chain.fund_account("alice", 10**9)
+        chain.call("alice", "counter", "increment", by=4)
+        chain.start_block_production()
+        simulator.run(until=simulator.now + 250.0)
+        chain.stop_block_production()
+        assert chain.height >= 2
+        assert chain.query("counter", "value") == 4
+
+    def test_query_does_not_mutate_state(self, chain_with_counter):
+        chain = chain_with_counter
+        chain.call("alice", "counter", "increment", by=3)
+        assert chain.query("counter", "value") == 3
+        assert chain.query("counter", "increment", by=10) == 13
+        # The query's write was rolled back.
+        assert chain.query("counter", "value") == 3
+
+    def test_events_are_recorded_in_order(self, chain_with_counter):
+        chain = chain_with_counter
+        chain.call("alice", "counter", "increment", by=1)
+        chain.call("bob", "counter", "increment", by=2)
+        events = chain.vm.events_named("Incremented")
+        assert [e.data["by"] for e in events] == [1, 2]
+        assert events[0].data["sender"] == "alice"

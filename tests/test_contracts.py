@@ -1,0 +1,240 @@
+"""Tests for the QueenBee contract suite: honey, registry, workers, ads, rewards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.contracts.queenbee import QueenBeeContracts
+from repro.storage.cid import compute_cid
+
+
+@pytest.fixture
+def funded(contracts):
+    """The deployed suite plus a few funded stakeholder accounts."""
+    chain = contracts.chain
+    for account in ("alice", "bob", "scraper", "worker-1", "worker-2", "advertiser"):
+        chain.fund_account(account, 10**10)
+    return contracts
+
+
+class TestHoneyToken:
+    def test_admin_can_mint_and_supply_tracks(self, funded):
+        chain = funded.chain
+        receipt = chain.call(funded.admin, "honey", "mint", to="alice", amount=100)
+        assert receipt.success
+        assert funded.honey_balance("alice") == 100
+        assert chain.query("honey", "total_supply") == 100
+
+    def test_non_minter_cannot_mint(self, funded):
+        receipt = funded.chain.call("alice", "honey", "mint", to="alice", amount=100)
+        assert not receipt.success
+        assert funded.honey_balance("alice") == 0
+
+    def test_transfer_between_holders(self, funded):
+        chain = funded.chain
+        chain.call(funded.admin, "honey", "mint", to="alice", amount=100)
+        receipt = chain.call("alice", "honey", "transfer", to="bob", amount=40)
+        assert receipt.success
+        assert funded.honey_balance("alice") == 60
+        assert funded.honey_balance("bob") == 40
+
+    def test_transfer_beyond_balance_reverts(self, funded):
+        chain = funded.chain
+        chain.call(funded.admin, "honey", "mint", to="alice", amount=10)
+        receipt = chain.call("alice", "honey", "transfer", to="bob", amount=11)
+        assert not receipt.success
+        assert funded.honey_balance("alice") == 10
+
+    def test_burn_reduces_supply(self, funded):
+        chain = funded.chain
+        chain.call(funded.admin, "honey", "mint", to="alice", amount=50)
+        chain.call(funded.admin, "honey", "burn", owner="alice", amount=20)
+        assert funded.honey_balance("alice") == 30
+        assert chain.query("honey", "total_supply") == 30
+
+    def test_holders_reports_non_zero_balances(self, funded):
+        chain = funded.chain
+        chain.call(funded.admin, "honey", "mint", to="alice", amount=5)
+        assert funded.honey_holders() == {"alice": 5}
+
+
+class TestContentRegistry:
+    def test_publish_and_read_back(self, funded):
+        cid = compute_cid("page body")
+        record = funded.publish_page("alice", "dweb://alice/home", cid)
+        assert record["version"] == 1 and record["owner"] == "alice"
+        stored = funded.page_record("dweb://alice/home")
+        assert stored["cid"] == cid
+
+    def test_update_increments_version(self, funded):
+        funded.publish_page("alice", "dweb://alice/a", compute_cid("v1"))
+        record = funded.publish_page("alice", "dweb://alice/a", compute_cid("v2"))
+        assert record["version"] == 2
+
+    def test_publish_rewards_creator_with_honey(self, funded):
+        before = funded.honey_balance("alice")
+        funded.publish_page("alice", "dweb://alice/rewarded", compute_cid("content"))
+        assert funded.honey_balance("alice") == before + 10
+
+    def test_only_owner_can_update_a_url(self, funded):
+        funded.publish_page("alice", "dweb://alice/owned", compute_cid("original"))
+        record = funded.publish_page("bob", "dweb://alice/owned", compute_cid("hijack"))
+        assert "error" in record
+
+    def test_dedup_rejects_mirrored_content(self, funded):
+        cid = compute_cid("popular page")
+        funded.publish_page("alice", "dweb://alice/popular", cid)
+        record = funded.publish_page("scraper", "dweb://scraper/mirror", cid)
+        assert "error" in record
+        # And the scraper earned no honey for the attempt.
+        assert funded.honey_balance("scraper") == 0
+
+    def test_dedup_can_be_disabled(self, chain):
+        suite = QueenBeeContracts.deploy(chain, admin="admin2", dedup_enabled=False)
+        chain.fund_account("alice", 10**10)
+        chain.fund_account("scraper", 10**10)
+        cid = compute_cid("copied page")
+        suite.publish_page("alice", "dweb://alice/x", cid)
+        record = suite.publish_page("scraper", "dweb://scraper/x", cid)
+        assert "error" not in record
+
+    def test_pages_of_and_counts(self, funded):
+        funded.publish_page("alice", "dweb://alice/1", compute_cid("1"))
+        funded.publish_page("alice", "dweb://alice/2", compute_cid("2"))
+        assert funded.chain.query("registry", "pages_of", owner="alice") == [
+            "dweb://alice/1", "dweb://alice/2",
+        ]
+        assert funded.chain.query("registry", "page_count") == 2
+        assert funded.chain.query("registry", "owner_of", url="dweb://alice/1") == "alice"
+
+    def test_pages_since_filters_by_block(self, funded):
+        funded.publish_page("alice", "dweb://alice/old", compute_cid("old"))
+        cutoff = funded.chain.height
+        funded.publish_page("alice", "dweb://alice/new", compute_cid("new"))
+        recent = funded.chain.query("registry", "pages_since", block=cutoff)
+        assert [r["url"] for r in recent] == ["dweb://alice/new"]
+
+
+class TestWorkerRegistry:
+    def test_register_stakes_native_currency(self, funded):
+        balance_before = funded.chain.balance_of("worker-1")
+        assert funded.register_worker("worker-1", 2_000)
+        assert funded.active_workers() == ["worker-1"]
+        assert funded.chain.balance_of("worker-1") < balance_before - 1_999
+
+    def test_stake_below_minimum_rejected(self, funded):
+        assert not funded.register_worker("worker-1", 500)
+        assert funded.active_workers() == []
+
+    def test_deregister_refunds_stake(self, funded):
+        funded.register_worker("worker-1", 2_000)
+        receipt = funded.chain.call("worker-1", "workers", "deregister")
+        assert receipt.success and receipt.result == 2_000
+        assert funded.active_workers() == []
+
+    def test_slash_confiscates_stake_and_deactivates(self, funded):
+        funded.register_worker("worker-1", 2_000)
+        penalty = funded.slash_worker("worker-1", 2_000, "caught colluding")
+        assert penalty == 2_000
+        assert funded.active_workers() == []
+        info = funded.chain.query("workers", "worker_info", worker="worker-1")
+        assert info["slashed"] == 2_000 and not info["active"]
+
+    def test_only_privileged_callers_can_slash(self, funded):
+        funded.register_worker("worker-1", 2_000)
+        receipt = funded.chain.call("bob", "workers", "slash",
+                                    worker="worker-1", amount=100, reason="grudge")
+        assert not receipt.success
+
+    def test_reward_task_records_completion(self, funded):
+        funded.register_worker("worker-1", 2_000)
+        assert funded.reward_worker_task("worker-1", "index")
+        info = funded.chain.query("workers", "worker_info", worker="worker-1")
+        assert info["tasks_completed"] == 1
+        assert funded.honey_balance("worker-1") == 5
+
+
+class TestAdMarket:
+    def test_place_ad_escrows_budget(self, funded):
+        ad_id = funded.place_ad("advertiser", ["decentralized"], budget=1_000, bid_per_click=100)
+        assert ad_id == 1
+        info = funded.chain.query("ads", "ad_info", ad_id=ad_id)
+        assert info["budget"] == 1_000 and info["clicks"] == 0
+
+    def test_ads_for_returns_highest_bid_first(self, funded):
+        funded.place_ad("advertiser", ["search"], budget=1_000, bid_per_click=50)
+        funded.place_ad("advertiser", ["search"], budget=1_000, bid_per_click=200)
+        ads = funded.ads_for("search")
+        assert [ad["bid_per_click"] for ad in ads] == [200, 50]
+        assert funded.ads_for("unrelated") == []
+
+    def test_click_splits_revenue_between_stakeholders(self, funded):
+        funded.register_worker("worker-1", 2_000)
+        ad_id = funded.place_ad("advertiser", ["crypto"], budget=1_000, bid_per_click=100)
+        creator_before = funded.chain.balance_of("alice")
+        worker_before = funded.chain.balance_of("worker-1")
+        split = funded.click_ad(ad_id, creator="alice", worker="worker-1")
+        assert split == {"creator": 60, "worker": 30, "treasury": 10}
+        assert funded.chain.balance_of("alice") == creator_before + 60
+        assert funded.chain.balance_of("worker-1") == worker_before + 30
+
+    def test_budget_exhaustion_deactivates_ad(self, funded):
+        ad_id = funded.place_ad("advertiser", ["node"], budget=250, bid_per_click=100)
+        assert funded.click_ad(ad_id, creator="alice", worker="worker-1")
+        assert funded.click_ad(ad_id, creator="alice", worker="worker-1")
+        # Remaining budget (50) cannot cover a third click.
+        assert funded.click_ad(ad_id, creator="alice", worker="worker-1") == {}
+        assert funded.ads_for("node") == []
+
+    def test_withdraw_remaining_budget(self, funded):
+        ad_id = funded.place_ad("advertiser", ["wallet"], budget=500, bid_per_click=100)
+        funded.click_ad(ad_id, creator="alice", worker="worker-1")
+        escrow_before = funded.chain.balance_of("escrow:ads")
+        receipt = funded.chain.call("advertiser", "ads", "withdraw_remaining", ad_id=ad_id)
+        assert receipt.success and receipt.result == 400
+        # The escrow released exactly the unspent budget back to the advertiser.
+        assert funded.chain.balance_of("escrow:ads") == escrow_before - 400
+        info = funded.chain.query("ads", "ad_info", ad_id=ad_id)
+        assert not info["active"]
+
+    def test_revenue_summary_accumulates(self, funded):
+        ad_id = funded.place_ad("advertiser", ["ledger"], budget=1_000, bid_per_click=100)
+        funded.click_ad(ad_id, creator="alice", worker="worker-1")
+        funded.click_ad(ad_id, creator="bob", worker="worker-2")
+        summary = funded.chain.query("ads", "revenue_summary")
+        assert summary == {"creators": 120, "workers": 60, "treasury": 20}
+
+
+class TestRewardScheme:
+    def test_threshold_policy_rewards_only_popular_owners(self, funded):
+        payouts = funded.distribute_popularity_rewards(
+            {"alice": 0.2, "bob": 0.0001, "carol": 0.3}
+        )
+        assert set(payouts) == {"alice", "carol"}
+        assert payouts["alice"] == payouts["carol"] == 5_000
+        assert funded.honey_balance("alice") == 5_000
+
+    def test_no_qualifying_owner_mints_nothing(self, funded):
+        supply_before = funded.chain.query("honey", "total_supply")
+        payouts = funded.distribute_popularity_rewards({"alice": 1e-9})
+        assert payouts == {}
+        assert funded.chain.query("honey", "total_supply") == supply_before
+
+    def test_proportional_policy_splits_by_rank(self, chain):
+        suite = QueenBeeContracts.deploy(
+            chain, admin="admin-prop", popularity_policy="proportional", popularity_budget=1_000
+        )
+        payouts = suite.distribute_popularity_rewards({"a": 0.75, "b": 0.25})
+        assert payouts == {"a": 750, "b": 250}
+
+    def test_only_admin_triggers_rewards(self, funded):
+        receipt = funded.chain.call("bob", "rewards", "reward_publish", creator="bob")
+        assert not receipt.success
+
+    def test_rewarded_total_matches_minted(self, funded):
+        funded.publish_page("alice", "dweb://alice/p", compute_cid("p"))
+        funded.register_worker("worker-1", 2_000)
+        funded.reward_worker_task("worker-1", "index")
+        total = funded.chain.query("rewards", "rewarded_total")
+        assert total == 10 + 5
+        assert funded.chain.query("honey", "total_supply") == total

@@ -1,0 +1,117 @@
+"""Tests for incentive policies, fairness metrics, and economy reporting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IncentiveError
+from repro.incentives.economics import RevenueBreakdown, build_economy_report
+from repro.incentives.fairness import coverage, gini_coefficient, lorenz_points, reward_entropy
+from repro.incentives.policy import ProportionalPolicy, ThresholdPolicy
+
+
+class TestThresholdPolicy:
+    def test_only_qualifying_owners_paid_equally(self):
+        policy = ThresholdPolicy(threshold=0.1)
+        payouts = policy.distribute({"a": 0.5, "b": 0.05, "c": 0.2}, budget=1_000)
+        assert payouts == {"a": 500, "c": 500}
+
+    def test_nobody_qualifies(self):
+        assert ThresholdPolicy(threshold=0.9).distribute({"a": 0.1}, 1_000) == {}
+
+    def test_zero_budget_and_negative_budget(self):
+        policy = ThresholdPolicy(threshold=0.0)
+        assert policy.distribute({"a": 1.0}, 0) == {}
+        with pytest.raises(IncentiveError):
+            policy.distribute({"a": 1.0}, -5)
+
+    def test_budget_smaller_than_recipient_count(self):
+        policy = ThresholdPolicy(threshold=0.0)
+        assert policy.distribute({f"o{i}": 1.0 for i in range(10)}, budget=5) == {}
+
+
+class TestProportionalPolicy:
+    def test_payouts_proportional_to_rank(self):
+        payouts = ProportionalPolicy().distribute({"a": 0.6, "b": 0.3, "c": 0.1}, budget=1_000)
+        assert payouts == {"a": 600, "b": 300, "c": 100}
+
+    def test_minimum_payout_filters_dust(self):
+        payouts = ProportionalPolicy(minimum_payout=50).distribute(
+            {"a": 0.99, "b": 0.01}, budget=1_000
+        )
+        assert "b" not in payouts and payouts["a"] == 990
+
+    def test_total_never_exceeds_budget(self):
+        ranks = {f"o{i}": (i + 1) / 10 for i in range(10)}
+        payouts = ProportionalPolicy().distribute(ranks, budget=777)
+        assert sum(payouts.values()) <= 777
+
+    def test_zero_rank_mass(self):
+        assert ProportionalPolicy().distribute({"a": 0.0}, 100) == {}
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=4),
+                           st.floats(min_value=0.0, max_value=1.0), max_size=20),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50)
+    def test_budget_conservation_property(self, ranks, budget):
+        for policy in (ThresholdPolicy(threshold=0.1), ProportionalPolicy()):
+            payouts = policy.distribute(ranks, budget)
+            assert sum(payouts.values()) <= budget
+            assert all(amount >= 0 for amount in payouts.values())
+
+
+class TestFairnessMetrics:
+    def test_gini_of_equal_distribution_is_zero(self):
+        assert gini_coefficient([10, 10, 10, 10]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_of_single_winner_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_gini_bounds(self):
+        assert 0.0 <= gini_coefficient([1, 2, 3, 4, 5]) <= 1.0
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_lorenz_curve_monotonic_and_normalized(self):
+        points = lorenz_points([1, 2, 3, 4])
+        assert points[0] == (0.0, 0.0) and points[-1] == (1.0, 1.0)
+        fractions = [p[1] for p in points]
+        assert fractions == sorted(fractions)
+
+    def test_entropy_of_even_split_is_one(self):
+        assert reward_entropy([5, 5, 5]) == pytest.approx(1.0)
+        assert reward_entropy([10]) == 1.0
+        assert reward_entropy([100, 1]) < 1.0
+
+    def test_coverage(self):
+        assert coverage({"a": 5, "b": 0}, ["a", "b", "c"]) == pytest.approx(1 / 3)
+        assert coverage({}, []) == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_gini_always_in_unit_interval(self, amounts):
+        assert 0.0 <= gini_coefficient(amounts) <= 1.0
+
+
+class TestEconomyReporting:
+    def test_revenue_breakdown_shares(self):
+        breakdown = RevenueBreakdown(creators=60, workers=30, treasury=10)
+        assert breakdown.total == 100
+        assert breakdown.shares() == {"creators": 0.6, "workers": 0.3, "treasury": 0.1}
+        assert RevenueBreakdown().shares()["creators"] == 0.0
+
+    def test_build_economy_report_from_contracts(self, contracts):
+        chain = contracts.chain
+        chain.fund_account("creator-a", 10**9)
+        chain.fund_account("worker-a", 10**9)
+        contracts.publish_page("creator-a", "dweb://a/1", "bafy" + "0" * 64)
+        contracts.register_worker("worker-a", 2_000)
+        contracts.reward_worker_task("worker-a", "index")
+        report = build_economy_report(contracts, creators=["creator-a"], workers=["worker-a"])
+        assert report.creator_honey == {"creator-a": 10}
+        assert report.worker_honey == {"worker-a": 5}
+        assert report.honey_supply == 15
+        assert report.honey_of_role("creator-") == 10
+        assert 0.0 <= report.creator_gini <= 1.0

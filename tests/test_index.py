@@ -1,0 +1,308 @@
+"""Tests for the indexing stack: analysis, compression, postings, local index,
+statistics, documents, and the distributed index."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_, TermNotFoundError
+from repro.index.analysis import Analyzer, light_stem, tokenize
+from repro.index.compression import (
+    compress_postings,
+    decompress_postings,
+    delta_decode,
+    delta_encode,
+    varint_decode,
+    varint_encode,
+)
+from repro.index.distributed import DistributedIndex, term_key
+from repro.index.document import Document, DocumentStore
+from repro.index.inverted_index import LocalInvertedIndex
+from repro.index.postings import Posting, PostingList, intersect_many
+from repro.index.statistics import CollectionStatistics
+
+
+class TestAnalysis:
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("Hello, DWeb-2024!") == ["hello", "dweb", "2024"]
+
+    def test_stopwords_and_short_tokens_removed(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.analyze("the cat is on a mat") == ["cat", "mat"]
+
+    def test_light_stemmer_strips_common_suffixes(self):
+        assert light_stem("searching") == "search"
+        assert light_stem("indexes") == "index"
+        assert light_stem("is") == "is"  # too short to stem
+
+    def test_query_and_document_analysis_agree(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("Searching decentralized indexes") == analyzer.analyze(
+            "searching decentralized indexes"
+        )
+
+    def test_term_frequencies(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.term_frequencies("bee bee honey") == {"bee": 2, "honey": 1}
+
+    def test_invalid_min_token_length(self):
+        with pytest.raises(ValueError):
+            Analyzer(min_token_length=0)
+
+
+class TestCompression:
+    def test_varint_roundtrip_small_and_large(self):
+        for value in (0, 1, 127, 128, 300, 2**20, 2**40):
+            encoded = varint_encode(value)
+            decoded, offset = varint_decode(encoded)
+            assert decoded == value and offset == len(encoded)
+
+    def test_varint_rejects_negative(self):
+        with pytest.raises(IndexError_):
+            varint_encode(-1)
+
+    def test_truncated_varint_detected(self):
+        with pytest.raises(IndexError_):
+            varint_decode(b"\x80")
+
+    def test_delta_encoding_roundtrip(self):
+        values = [3, 7, 8, 20, 100]
+        assert delta_decode(delta_encode(values)) == values
+
+    def test_delta_encoding_requires_increasing_input(self):
+        with pytest.raises(IndexError_):
+            delta_encode([5, 5])
+
+    def test_postings_compression_roundtrip(self):
+        doc_ids = [1, 5, 6, 90, 1000]
+        freqs = [2, 1, 7, 3, 1]
+        assert decompress_postings(compress_postings(doc_ids, freqs)) == (doc_ids, freqs)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(IndexError_):
+            compress_postings([1, 2], [1])
+
+    @given(st.lists(st.tuples(st.integers(0, 10**6), st.integers(1, 500)),
+                    max_size=200, unique_by=lambda t: t[0]))
+    @settings(max_examples=50)
+    def test_compression_roundtrip_property(self, pairs):
+        pairs.sort()
+        doc_ids = [p[0] for p in pairs]
+        freqs = [p[1] for p in pairs]
+        assert decompress_postings(compress_postings(doc_ids, freqs)) == (doc_ids, freqs)
+
+
+class TestPostingList:
+    def test_add_keeps_sorted_order(self):
+        postings = PostingList()
+        for doc_id in (5, 1, 9, 3):
+            postings.add(doc_id)
+        assert postings.doc_ids == [1, 3, 5, 9]
+
+    def test_add_existing_updates_frequency(self):
+        postings = PostingList()
+        postings.add(4, 1)
+        postings.add(4, 7)
+        assert postings.get(4).term_frequency == 7
+        assert len(postings) == 1
+
+    def test_remove(self):
+        postings = PostingList([Posting(1), Posting(2)])
+        assert postings.remove(1)
+        assert not postings.remove(1)
+        assert postings.doc_ids == [2]
+
+    def test_intersect_and_union(self):
+        a = PostingList([Posting(1), Posting(3), Posting(5), Posting(7)])
+        b = PostingList([Posting(3), Posting(4), Posting(7), Posting(9)])
+        assert a.intersect(b).doc_ids == [3, 7]
+        assert a.union(b).doc_ids == [1, 3, 4, 5, 7, 9]
+
+    def test_intersect_is_commutative_in_membership(self):
+        a = PostingList([Posting(i) for i in range(0, 100, 3)])
+        b = PostingList([Posting(i) for i in range(0, 100, 7)])
+        assert a.intersect(b).doc_ids == b.intersect(a).doc_ids
+
+    def test_merge_prefers_new_frequencies(self):
+        old = PostingList([Posting(1, 2), Posting(2, 2)])
+        new = PostingList([Posting(2, 9), Posting(3, 1)])
+        merged = old.merge(new)
+        assert merged.frequencies() == {1: 2, 2: 9, 3: 1}
+
+    def test_serialization_roundtrip(self):
+        postings = PostingList([Posting(1, 3), Posting(10, 1), Posting(500, 2)])
+        assert PostingList.from_bytes(postings.to_bytes()) == postings
+        assert PostingList.from_payload(postings.to_payload()) == postings
+
+    def test_compressed_is_smaller_than_uncompressed_for_long_lists(self):
+        postings = PostingList([Posting(i, 1) for i in range(0, 4000, 2)])
+        assert len(postings.to_bytes()) < postings.uncompressed_size()
+
+    def test_intersect_many_orders_by_length(self):
+        lists = [
+            PostingList([Posting(i) for i in range(100)]),
+            PostingList([Posting(i) for i in range(0, 100, 10)]),
+            PostingList([Posting(i) for i in range(0, 100, 5)]),
+        ]
+        assert intersect_many(lists).doc_ids == list(range(0, 100, 10))
+        assert intersect_many([]).doc_ids == []
+
+    def test_invalid_term_frequency_rejected(self):
+        with pytest.raises(IndexError_):
+            Posting(1, 0)
+
+    @given(st.lists(st.integers(0, 1000), max_size=100),
+           st.lists(st.integers(0, 1000), max_size=100))
+    @settings(max_examples=50)
+    def test_intersection_matches_set_semantics(self, xs, ys):
+        a = PostingList([Posting(x) for x in set(xs)])
+        b = PostingList([Posting(y) for y in set(ys)])
+        assert a.intersect(b).doc_ids == sorted(set(xs) & set(ys))
+        assert a.union(b).doc_ids == sorted(set(xs) | set(ys))
+
+
+class TestDocumentStore:
+    def test_add_get_by_id_and_url(self):
+        store = DocumentStore()
+        doc = Document(doc_id=1, url="dweb://a/1", text="hello")
+        store.add(doc)
+        assert store.get(1) is doc
+        assert store.get_by_url("dweb://a/1") is doc
+        assert store.maybe_get(99) is None
+
+    def test_url_collision_with_different_id_rejected(self):
+        store = DocumentStore()
+        store.add(Document(doc_id=1, url="dweb://a/1"))
+        with pytest.raises(IndexError_):
+            store.add(Document(doc_id=2, url="dweb://a/1"))
+
+    def test_remove(self):
+        store = DocumentStore()
+        store.add(Document(doc_id=1, url="dweb://a/1"))
+        assert store.remove(1)
+        assert not store.remove(1)
+        assert store.maybe_get_by_url("dweb://a/1") is None
+
+    def test_document_update_bumps_version_and_cid(self):
+        doc = Document(doc_id=1, url="u", text="old")
+        updated = doc.updated(text="new", published_at=5.0)
+        assert updated.version == 2
+        assert updated.cid != doc.cid
+        assert updated.doc_id == doc.doc_id
+
+
+class TestCollectionStatistics:
+    def test_add_and_remove_documents(self):
+        stats = CollectionStatistics()
+        stats.add_document(1, 100, {"a": 2, "b": 1})
+        stats.add_document(2, 50, {"a": 1})
+        assert stats.document_count == 2
+        assert stats.average_length == 75.0
+        assert stats.df("a") == 2 and stats.df("b") == 1
+        stats.remove_document(2, {"a": 1})
+        assert stats.document_count == 1 and stats.df("a") == 1
+
+    def test_serialization_roundtrip(self):
+        stats = CollectionStatistics()
+        stats.add_document(7, 42, {"x": 3})
+        restored = CollectionStatistics.from_dict(stats.to_dict())
+        assert restored.document_count == 1
+        assert restored.length_of(7) == 42
+        assert restored.df("x") == 1
+
+
+class TestLocalInvertedIndex:
+    def _doc(self, doc_id, text):
+        return Document(doc_id=doc_id, url=f"dweb://d/{doc_id}", text=text)
+
+    def test_add_and_query_postings(self):
+        index = LocalInvertedIndex(Analyzer(stem=False))
+        index.add_document(self._doc(1, "honey bees make honey"))
+        index.add_document(self._doc(2, "worker bees index pages"))
+        assert index.postings("honey").frequencies() == {1: 2}
+        assert sorted(index.postings("bees").doc_ids) == [1, 2]
+        assert index.document_frequency("bees") == 2
+
+    def test_unknown_term_raises(self):
+        index = LocalInvertedIndex()
+        with pytest.raises(TermNotFoundError):
+            index.postings("ghost")
+        assert index.maybe_postings("ghost") is None
+
+    def test_update_replaces_old_postings(self):
+        index = LocalInvertedIndex(Analyzer(stem=False))
+        index.add_document(self._doc(1, "alpha beta"))
+        index.add_document(self._doc(1, "beta gamma"))
+        assert index.maybe_postings("alpha") is None
+        assert index.postings("gamma").doc_ids == [1]
+        assert index.document_count == 1
+
+    def test_remove_document(self):
+        index = LocalInvertedIndex(Analyzer(stem=False))
+        index.add_document(self._doc(1, "solo term"))
+        assert index.remove_document(1)
+        assert not index.remove_document(1)
+        assert len(index) == 0
+
+    def test_index_size_accounting(self):
+        index = LocalInvertedIndex(Analyzer(stem=False))
+        for i in range(20):
+            index.add_document(self._doc(i, "common word here"))
+        assert 0 < index.index_size_bytes(compressed=True) < index.index_size_bytes(compressed=False)
+
+
+class TestDistributedIndex:
+    def test_publish_and_fetch_term(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        postings = PostingList([Posting(1, 2), Posting(5, 1)])
+        cid = index.publish_term("honey", postings)
+        assert cid.startswith("bafy")
+        fetched = index.fetch_term("honey")
+        assert fetched == postings
+        assert index.stats.terms_published == 1 and index.stats.terms_fetched == 1
+
+    def test_fetch_unknown_term_raises(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        with pytest.raises(TermNotFoundError):
+            index.fetch_term("never-published")
+        assert index.stats.fetch_misses == 1
+
+    def test_merge_term_accumulates_documents(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        index.merge_term("bee", PostingList([Posting(1, 1)]))
+        index.merge_term("bee", PostingList([Posting(2, 3)]))
+        assert index.fetch_term("bee").frequencies() == {1: 1, 2: 3}
+
+    def test_remove_document_from_term(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        index.publish_term("bee", PostingList([Posting(1, 1), Posting(2, 1)]))
+        assert index.remove_document("bee", 1)
+        assert index.fetch_term("bee").doc_ids == [2]
+        assert not index.remove_document("ghost-term", 1)
+
+    def test_uncompressed_mode_roundtrip(self, dht, storage):
+        index = DistributedIndex(dht, storage, compress=False)
+        postings = PostingList([Posting(3, 4)])
+        index.publish_term("raw", postings)
+        assert index.fetch_term("raw") == postings
+
+    def test_statistics_roundtrip(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        stats = CollectionStatistics()
+        stats.add_document(1, 10, {"a": 1})
+        index.publish_statistics(stats)
+        fetched = index.fetch_statistics()
+        assert fetched.document_count == 1 and fetched.df("a") == 1
+
+    def test_missing_statistics_returns_empty(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        assert index.fetch_statistics().document_count == 0
+
+    def test_has_term_and_key_format(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        assert not index.has_term("missing")
+        index.publish_term("present", PostingList([Posting(1)]))
+        assert index.has_term("present")
+        assert term_key("x") == "idx:x"

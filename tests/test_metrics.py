@@ -1,0 +1,112 @@
+"""Tests for metrics: percentiles, summaries, the collector, and freshness tracking."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freshness import FreshnessTracker
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import percentile, summarize
+
+
+class TestPercentile:
+    def test_known_values(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 10
+        assert percentile(values, 0.5) == pytest.approx(5.5)
+
+    def test_empty_and_singleton(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7], 0.99) == 7.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 1.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_percentile_bounded_by_min_max(self, values, fraction):
+        p = percentile(values, fraction)
+        assert min(values) <= p <= max(values)
+
+
+class TestSummary:
+    def test_summarize_reports_consistent_statistics(self):
+        summary = summarize([10.0, 20.0, 30.0, 40.0])
+        assert summary.count == 4
+        assert summary.mean == 25.0
+        assert summary.minimum == 10.0 and summary.maximum == 40.0
+        assert summary.p50 == pytest.approx(25.0)
+        row = summary.as_row()
+        assert row["count"] == 4 and row["mean"] == 25.0
+
+    def test_empty_summary_is_zeroes(self):
+        summary = summarize([])
+        assert summary.count == 0 and summary.mean == 0.0
+
+
+class TestMetricsCollector:
+    def test_counters_accumulate(self):
+        metrics = MetricsCollector()
+        metrics.increment("queries")
+        metrics.increment("queries", 2)
+        assert metrics.counter("queries") == 3
+        assert metrics.counter("unknown") == 0
+        assert metrics.counters() == {"queries": 3}
+
+    def test_samples_and_summaries(self):
+        metrics = MetricsCollector()
+        for value in (1.0, 2.0, 3.0):
+            metrics.observe("latency", value)
+        assert metrics.sample("latency") == [1.0, 2.0, 3.0]
+        assert metrics.summary("latency").mean == 2.0
+        assert "latency" in metrics.summaries()
+
+    def test_reset_clears_everything(self):
+        metrics = MetricsCollector()
+        metrics.increment("x")
+        metrics.observe("y", 1.0)
+        metrics.reset()
+        assert metrics.counters() == {} and metrics.sample("y") == []
+
+
+class TestFreshnessTracker:
+    def test_lag_measured_between_publish_and_index(self):
+        tracker = FreshnessTracker()
+        tracker.record_publish(1, 1, time=100.0)
+        tracker.record_indexed(1, 1, time=160.0)
+        assert tracker.lags() == [60.0]
+        assert tracker.summary().mean == 60.0
+
+    def test_pending_and_stale_fraction(self):
+        tracker = FreshnessTracker()
+        tracker.record_publish(1, 1, time=0.0)
+        tracker.record_publish(2, 1, time=0.0)
+        tracker.record_indexed(1, 1, time=50.0)
+        assert tracker.pending() == 1
+        assert tracker.stale_fraction(now=100.0) == 0.5
+        assert tracker.stale_fraction(now=10.0) == 1.0
+
+    def test_versions_tracked_independently(self):
+        tracker = FreshnessTracker()
+        tracker.record_publish(1, 1, time=0.0)
+        tracker.record_indexed(1, 1, time=10.0)
+        tracker.record_publish(1, 2, time=100.0)
+        tracker.record_indexed(1, 2, time=400.0)
+        assert sorted(tracker.lags()) == [10.0, 300.0]
+
+    def test_duplicate_indexed_events_ignored(self):
+        tracker = FreshnessTracker()
+        tracker.record_publish(1, 1, time=0.0)
+        tracker.record_indexed(1, 1, time=10.0)
+        tracker.record_indexed(1, 1, time=999.0)
+        assert tracker.lags() == [10.0]
+
+    def test_empty_tracker(self):
+        tracker = FreshnessTracker()
+        assert tracker.lags() == []
+        assert tracker.stale_fraction(0.0) == 0.0

@@ -1,0 +1,197 @@
+"""Tests for the simulated network: messages, latency models, RPC, faults, churn."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError, NodeUnreachableError
+from repro.net.churn import ChurnModel
+from repro.net.latency import ConstantLatency, LogNormalLatency, UniformLatency
+from repro.net.message import Message, Response, estimate_size
+from repro.net.network import SimulatedNetwork
+from repro.sim.simulator import Simulator
+
+
+def echo_handler(address):
+    def handler(message: Message) -> Response:
+        return Response(address, message.msg_type, {"echo": message.payload})
+    return handler
+
+
+@pytest.fixture
+def net():
+    sim = Simulator(seed=1)
+    network = SimulatedNetwork(sim, latency=ConstantLatency(5.0))
+    for name in ("a", "b", "c"):
+        network.register(name, echo_handler(name))
+    return sim, network
+
+
+class TestMessageSizes:
+    def test_estimate_size_handles_scalars_and_containers(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(7) == 8
+        assert estimate_size("abcd") == 4
+        assert estimate_size(b"abcd") == 4
+        assert estimate_size({"k": "vv"}) == 1 + 2 + 2
+        assert estimate_size([1, 2, 3]) == 26
+
+    def test_message_and_response_sizes_include_overhead(self):
+        message = Message("a", "b", "ping", {"x": 1})
+        assert message.size_bytes > estimate_size({"x": 1})
+        response = Response.failure("b", "ping", "boom")
+        assert not response.ok and response.error == "boom"
+
+
+class TestLatencyModels:
+    def test_constant_latency(self):
+        assert ConstantLatency(12.0).sample(random.Random(0), "a", "b") == 12.0
+
+    def test_uniform_latency_within_bounds(self):
+        model = UniformLatency(5.0, 9.0)
+        rng = random.Random(0)
+        samples = [model.sample(rng, "a", "b") for _ in range(200)]
+        assert all(5.0 <= s <= 9.0 for s in samples)
+
+    def test_lognormal_latency_positive_and_capped(self):
+        model = LogNormalLatency(median=20.0, sigma=1.0, cap=100.0)
+        rng = random.Random(0)
+        samples = [model.sample(rng, "a", "b") for _ in range(500)]
+        assert all(0 < s <= 100.0 for s in samples)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(5.0, 1.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+
+
+class TestRPC:
+    def test_rpc_delivers_and_charges_round_trip_latency(self, net):
+        sim, network = net
+        before = sim.now
+        response = network.rpc("a", "b", "ping", {"n": 1})
+        assert response.ok
+        assert response.payload["echo"] == {"n": 1}
+        assert sim.now == before + 10.0  # 5 out + 5 back
+
+    def test_rpc_to_offline_peer_raises(self, net):
+        _, network = net
+        network.set_offline("b")
+        with pytest.raises(NodeUnreachableError):
+            network.rpc("a", "b", "ping")
+
+    def test_rpc_to_unknown_peer_raises(self, net):
+        _, network = net
+        with pytest.raises(NodeUnreachableError):
+            network.rpc("a", "nope", "ping")
+
+    def test_offline_peer_can_come_back(self, net):
+        _, network = net
+        network.set_offline("b")
+        network.set_online("b")
+        assert network.rpc("a", "b", "ping").ok
+
+    def test_bringing_unknown_peer_online_fails(self, net):
+        _, network = net
+        with pytest.raises(NetworkError):
+            network.set_online("ghost")
+
+    def test_stats_track_messages_and_bytes(self, net):
+        _, network = net
+        network.rpc("a", "b", "ping", {"k": "v"})
+        network.rpc("a", "c", "pong")
+        assert network.stats.rpc_count == 2
+        assert network.stats.bytes_sent > 0
+        assert network.stats.per_type == {"ping": 1, "pong": 1}
+
+    def test_loss_rate_drops_messages(self):
+        sim = Simulator(seed=3)
+        network = SimulatedNetwork(sim, latency=ConstantLatency(1.0), loss_rate=0.5)
+        network.register("a", echo_handler("a"))
+        network.register("b", echo_handler("b"))
+        outcomes = []
+        for _ in range(100):
+            try:
+                network.rpc("a", "b", "ping")
+                outcomes.append(True)
+            except NetworkError:
+                outcomes.append(False)
+        assert 20 < sum(outcomes) < 80
+        assert network.stats.messages_dropped > 0
+
+    def test_invalid_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(Simulator(seed=0), loss_rate=1.5)
+
+
+class TestParallelAndBroadcast:
+    def test_parallel_rpc_charges_slowest_round_trip_only(self, net):
+        sim, network = net
+        before = sim.now
+        responses = network.rpc_parallel(
+            "a", [("b", "ping", {}), ("c", "ping", {})]
+        )
+        assert all(r is not None and r.ok for r in responses)
+        assert sim.now == before + 10.0  # not 20: parallel fan-out
+
+    def test_parallel_rpc_reports_unreachable_as_none(self, net):
+        _, network = net
+        network.set_offline("c")
+        responses = network.rpc_parallel("a", [("b", "ping", {}), ("c", "ping", {})])
+        assert responses[0].ok
+        assert responses[1] is None
+
+    def test_broadcast_reaches_all_online_peers(self, net):
+        _, network = net
+        assert network.broadcast("a", "announce") == 2
+        network.set_offline("c")
+        assert network.broadcast("a", "announce") == 1
+
+
+class TestPartitions:
+    def test_partitioned_groups_cannot_communicate(self, net):
+        _, network = net
+        network.partition([{"a"}, {"b", "c"}])
+        with pytest.raises(NodeUnreachableError):
+            network.rpc("a", "b", "ping")
+        assert network.rpc("b", "c", "ping").ok
+
+    def test_heal_partition_restores_connectivity(self, net):
+        _, network = net
+        network.partition([{"a"}, {"b", "c"}])
+        network.heal_partition()
+        assert network.rpc("a", "b", "ping").ok
+
+
+class TestChurn:
+    def test_fail_fraction_takes_peers_offline(self, net):
+        sim, network = net
+        churn = ChurnModel(sim, network)
+        victims = churn.fail_fraction(["a", "b", "c"], 2 / 3)
+        assert len(victims) == 2
+        assert sum(network.is_online(x) for x in ("a", "b", "c")) == 1
+
+    def test_scheduled_leave_and_join(self, net):
+        sim, network = net
+        left, joined = [], []
+        churn = ChurnModel(sim, network, on_leave=left.append, on_join=joined.append)
+        churn.schedule_leave("b", 10.0)
+        churn.schedule_join("b", 20.0)
+        sim.run(until=15.0)
+        assert not network.is_online("b") and left == ["b"]
+        sim.run(until=25.0)
+        assert network.is_online("b") and joined == ["b"]
+
+    def test_session_churn_schedules_transitions(self, net):
+        sim, network = net
+        churn = ChurnModel(sim, network)
+        scheduled = churn.schedule_session_churn(["a", "b"], mean_session=50.0,
+                                                 mean_downtime=20.0, horizon=500.0)
+        assert scheduled > 0
+        sim.run(until=500.0)
+        assert len(churn.departures) + len(churn.arrivals) == scheduled

@@ -1,0 +1,228 @@
+"""Tests for the search frontend stack: parsing, planning, execution, frontends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryParseError, TermNotFoundError
+from repro.index.analysis import Analyzer
+from repro.index.distributed import DistributedIndex
+from repro.index.postings import Posting, PostingList
+from repro.index.statistics import CollectionStatistics
+from repro.search.executor import QueryExecutor
+from repro.search.planner import STRATEGY_QUERY_ORDER, STRATEGY_RAREST_FIRST, QueryPlanner
+from repro.search.query import MODE_AND, MODE_OR, parse_query
+from repro.search.frontend import SearchFrontend
+from repro.search.results import ResultPage, SearchResult
+
+
+class TestQueryParsing:
+    def test_simple_query_is_conjunctive(self):
+        query = parse_query("decentralized search engines")
+        assert query.mode == MODE_AND
+        assert "search" in query.terms or "decentraliz" in query.terms
+
+    def test_or_operator_switches_mode(self):
+        query = parse_query("bees OR honey")
+        assert query.mode == MODE_OR
+        assert len(query.terms) == 2
+
+    def test_duplicate_terms_collapse(self):
+        query = parse_query("honey honey honey", Analyzer(stem=False))
+        assert query.terms == ("honey",)
+
+    def test_empty_or_stopword_only_query_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_query("   ")
+        with pytest.raises(QueryParseError):
+            parse_query("the of and")
+
+
+class TestQueryPlanner:
+    def test_rarest_first_orders_by_document_frequency(self):
+        df = {"common": 1000, "rare": 3, "medium": 50}
+        planner = QueryPlanner(lambda term: df.get(term, 0))
+        plan = planner.plan(parse_query("common rare medium", Analyzer(stem=False)))
+        assert plan.ordered_terms == ("rare", "medium", "common")
+        assert plan.estimated_frequencies == (3, 50, 1000)
+
+    def test_query_order_strategy_preserves_input_order(self):
+        planner = QueryPlanner(lambda term: 10, strategy=STRATEGY_QUERY_ORDER)
+        plan = planner.plan(parse_query("zebra apple mango", Analyzer(stem=False)))
+        assert plan.ordered_terms == ("zebra", "apple", "mango")
+
+    def test_or_queries_not_reordered(self):
+        df = {"aaa": 1000, "bbb": 1}
+        planner = QueryPlanner(lambda term: df.get(term, 0), strategy=STRATEGY_RAREST_FIRST)
+        plan = planner.plan(parse_query("aaa OR bbb", Analyzer(stem=False)))
+        assert plan.ordered_terms == ("aaa", "bbb")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(lambda term: 0, strategy="wild-guess")
+
+
+def build_executor(postings_map, page_ranks=None, top_k=10):
+    statistics = CollectionStatistics()
+    for doc_id in {d for plist in postings_map.values() for d in plist.doc_ids}:
+        terms = {t: 1 for t, plist in postings_map.items() if doc_id in plist.doc_ids}
+        statistics.add_document(doc_id, 50, terms)
+
+    def fetch(term):
+        if term not in postings_map:
+            raise TermNotFoundError(term)
+        return postings_map[term]
+
+    return QueryExecutor(
+        fetch_postings=fetch,
+        statistics=statistics,
+        page_ranks=page_ranks or {},
+        top_k=top_k,
+    )
+
+
+class TestQueryExecutor:
+    ANALYZER = Analyzer(stem=False)
+
+    def _plan(self, raw, df=None):
+        df = df or {}
+        return QueryPlanner(lambda term: df.get(term, 1)).plan(parse_query(raw, self.ANALYZER))
+
+    def test_and_query_intersects(self):
+        executor = build_executor({
+            "honey": PostingList([Posting(1), Posting(2), Posting(3)]),
+            "bee": PostingList([Posting(2), Posting(3), Posting(4)]),
+        })
+        outcome = executor.execute(self._plan("honey bee"))
+        assert outcome.candidates == [2, 3]
+        assert set(outcome.scores) <= {2, 3}
+
+    def test_or_query_unions(self):
+        executor = build_executor({
+            "honey": PostingList([Posting(1)]),
+            "bee": PostingList([Posting(2)]),
+        })
+        outcome = executor.execute(self._plan("honey OR bee"))
+        assert outcome.candidates == [1, 2]
+
+    def test_missing_term_empties_and_query(self):
+        executor = build_executor({"honey": PostingList([Posting(1)])})
+        outcome = executor.execute(self._plan("honey unicorn"))
+        assert outcome.candidates == [] and outcome.early_exit
+        assert "unicorn" in outcome.missing_terms
+
+    def test_missing_term_ignored_in_or_query(self):
+        executor = build_executor({"honey": PostingList([Posting(1)])})
+        outcome = executor.execute(self._plan("honey OR unicorn"))
+        assert outcome.candidates == [1]
+
+    def test_empty_intersection_stops_early(self):
+        executor = build_executor({
+            "aa": PostingList([Posting(1)]),
+            "bb": PostingList([Posting(2)]),
+            "cc": PostingList([Posting(3)]),
+        })
+        outcome = executor.execute(self._plan("aa bb cc", df={"aa": 1, "bb": 1, "cc": 1}))
+        assert outcome.candidates == []
+        assert outcome.early_exit
+        assert outcome.terms_fetched <= 2
+
+    def test_top_k_limits_results(self):
+        executor = build_executor(
+            {"common": PostingList([Posting(i) for i in range(50)])}, top_k=5
+        )
+        outcome = executor.execute(self._plan("common"))
+        assert len(outcome.scores) == 5 and len(outcome.candidates) == 50
+
+    def test_page_rank_influences_order(self):
+        executor = build_executor(
+            {"term": PostingList([Posting(1, 1), Posting(2, 1)])},
+            page_ranks={2: 0.9, 1: 0.0001},
+            top_k=2,
+        )
+        outcome = executor.execute(self._plan("term"))
+        ordered = sorted(outcome.scores.items(), key=lambda item: -item[1])
+        assert ordered[0][0] == 2
+
+    def test_invalid_top_k_rejected(self):
+        with pytest.raises(ValueError):
+            build_executor({}, top_k=0)
+
+
+class TestResultPage:
+    def test_recall_against_expected(self):
+        page = ResultPage(query="q", results=[SearchResult(doc_id=1, score=1.0),
+                                              SearchResult(doc_id=2, score=0.5)])
+        assert page.recall_against([1, 2, 3]) == pytest.approx(2 / 3)
+        assert page.recall_against([]) == 1.0
+        assert page.doc_ids == [1, 2]
+
+
+class TestSearchFrontend:
+    @pytest.fixture
+    def frontend_setup(self, simulator, dht, storage):
+        index = DistributedIndex(dht, storage)
+        analyzer = Analyzer(stem=False)
+        statistics = CollectionStatistics()
+        corpus = {
+            1: "honey bees build combs",
+            2: "worker bees gather honey nectar",
+            3: "decentralized web pages",
+        }
+        from repro.index.inverted_index import LocalInvertedIndex
+        from repro.index.document import Document
+
+        local = LocalInvertedIndex(analyzer)
+        metadata = {}
+        for doc_id, text in corpus.items():
+            document = Document(doc_id=doc_id, url=f"dweb://x/{doc_id}", title=f"page {doc_id}", text=text)
+            local.add_document(document)
+            statistics.add_document(doc_id, document.length, analyzer.term_frequencies(text))
+            metadata[doc_id] = {"url": document.url, "title": document.title, "owner": "x"}
+        for term in local.terms():
+            index.publish_term(term, local.postings(term))
+        index.publish_statistics(statistics)
+        frontend = SearchFrontend(
+            simulator=simulator,
+            index=index,
+            rank_provider=lambda: {1: 0.5, 2: 0.3, 3: 0.2},
+            metadata_resolver=lambda doc_id: metadata.get(doc_id, {}),
+            ad_provider=lambda kw: [{"ad_id": 9, "advertiser": "adv", "bid_per_click": 10}]
+            if kw == "honey" else [],
+            analyzer=analyzer,
+        )
+        return frontend
+
+    def test_search_returns_ranked_results_with_metadata(self, frontend_setup):
+        page = frontend_setup.search("honey bees")
+        assert page.result_count == 2
+        assert {r.doc_id for r in page.results} == {1, 2}
+        assert all(r.url for r in page.results)
+        assert page.latency > 0
+        assert page.diagnostics["terms_fetched"] == 2
+
+    def test_ads_attached_for_matching_keyword(self, frontend_setup):
+        page = frontend_setup.search("honey")
+        assert page.ads and page.ads[0].ad_id == 9
+        no_ads = frontend_setup.search("decentralized")
+        assert no_ads.ads == []
+
+    def test_unknown_term_gives_empty_page(self, frontend_setup):
+        page = frontend_setup.search("nonexistentterm")
+        assert page.result_count == 0
+        assert page.terms_missing
+
+    def test_unparseable_query_counts_as_failed(self, frontend_setup):
+        page = frontend_setup.search("   ")
+        assert page.result_count == 0
+        assert frontend_setup.stats.failed_queries == 1
+
+    def test_statistics_fetched_from_the_dweb(self, frontend_setup):
+        stats = frontend_setup.refresh_statistics()
+        assert stats.document_count == 3
+
+    def test_frontend_latency_recorded(self, frontend_setup):
+        frontend_setup.search("bees")
+        frontend_setup.search("honey")
+        assert frontend_setup.stats.queries == 2
+        assert len(frontend_setup.stats.latencies) == 2

@@ -1,0 +1,136 @@
+"""Tests for the discrete-event simulation substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_moves_time_forward(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.advance(2.5) == 7.5
+
+    def test_advance_to_absolute_time(self):
+        clock = SimClock(10.0)
+        clock.advance_to(25.0)
+        assert clock.now == 25.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-0.1)
+
+    def test_cannot_move_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(5.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(9.0, lambda: order.append("c"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_preserve_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(3.0, lambda: None, label="first")
+        second = queue.push(3.0, lambda: None, label="second")
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None, label="keep")
+        event.cancel()
+        assert queue.pop().label == "keep"
+        assert len(queue) == 0
+
+    def test_peek_time_ignores_cancelled(self):
+        queue = EventQueue()
+        early = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        early.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestSimulator:
+    def test_schedule_and_run_advances_clock(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(sim.now))
+        sim.schedule(20.0, lambda: fired.append(sim.now))
+        executed = sim.run()
+        assert executed == 2
+        # schedule() is relative to "now" at scheduling time (both at t=0).
+        assert fired == [10.0, 20.0]
+
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("early"))
+        sim.schedule(100.0, lambda: fired.append("late"))
+        sim.run(until=50.0)
+        assert fired == ["early"]
+        assert sim.now == 50.0
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator(seed=1)
+        fired = []
+
+        def chain_event():
+            fired.append("first")
+            sim.schedule(5.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, chain_event)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 6.0
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(-5.0, lambda: None)
+
+    def test_seeded_rng_is_deterministic(self):
+        first = Simulator(seed=7).rng.random()
+        second = Simulator(seed=7).rng.random()
+        assert first == second
+
+    def test_fork_rng_streams_are_independent_and_reproducible(self):
+        sim_a = Simulator(seed=7)
+        sim_b = Simulator(seed=7)
+        assert sim_a.fork_rng("dht").random() == sim_b.fork_rng("dht").random()
+        assert sim_a.fork_rng("dht").random() != sim_a.fork_rng("storage").random()
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator(seed=1)
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        executed = sim.run(max_events=4)
+        assert executed == 4
+        assert len(sim.events) == 6

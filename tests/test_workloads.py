@@ -1,0 +1,182 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.index.analysis import Analyzer
+from repro.workloads.corpus import CorpusGenerator
+from repro.workloads.linkgen import generate_link_graph
+from repro.workloads.queries import QueryWorkloadGenerator
+from repro.workloads.updates import PublishWorkloadGenerator
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_head_ranks_dominate(self):
+        sampler = ZipfSampler(1000, exponent=1.0, rng=random.Random(1))
+        counts = Counter(sampler.sample_many(5000))
+        assert counts[0] > counts.get(100, 0)
+        assert counts[0] > counts.get(500, 0)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, exponent=1.2)
+        assert sum(sampler.probability(r) for r in range(50)) == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniformish(self):
+        sampler = ZipfSampler(10, exponent=0.0, rng=random.Random(2))
+        counts = Counter(sampler.sample_many(10_000))
+        assert min(counts.values()) > 600
+
+    def test_samples_within_range_and_deterministic(self):
+        a = ZipfSampler(20, rng=random.Random(3)).sample_many(100)
+        b = ZipfSampler(20, rng=random.Random(3)).sample_many(100)
+        assert a == b
+        assert all(0 <= s < 20 for s in a)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, exponent=-1.0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10).sample_many(-1)
+
+    @given(st.integers(min_value=1, max_value=200), st.floats(min_value=0.0, max_value=2.5))
+    @settings(max_examples=30)
+    def test_samples_always_in_range_property(self, n, exponent):
+        sampler = ZipfSampler(n, exponent=exponent, rng=random.Random(0))
+        assert all(0 <= s < n for s in sampler.sample_many(50))
+
+
+class TestLinkGraphGeneration:
+    def test_graph_has_roughly_requested_degree(self):
+        graph = generate_link_graph(300, mean_out_degree=5.0, rng=random.Random(4))
+        mean_degree = graph.edge_count() / len(graph)
+        assert 2.0 < mean_degree < 8.0
+
+    def test_in_degree_distribution_is_skewed(self):
+        graph = generate_link_graph(500, mean_out_degree=5.0, rng=random.Random(5))
+        in_degrees = sorted((graph.in_degree(n) for n in graph.nodes()), reverse=True)
+        top_share = sum(in_degrees[:25]) / max(1, sum(in_degrees))
+        assert top_share > 0.15  # the head of a power law holds a large share
+
+    def test_edges_point_to_existing_nodes(self):
+        graph = generate_link_graph(50, rng=random.Random(6))
+        nodes = set(graph.nodes())
+        assert all(s in nodes and t in nodes for s, t in graph.to_edge_list())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_link_graph(0)
+        with pytest.raises(WorkloadError):
+            generate_link_graph(10, mean_out_degree=-1)
+
+
+class TestCorpusGenerator:
+    def test_generates_requested_document_count(self, small_corpus):
+        assert small_corpus.size == 60
+        assert len({d.doc_id for d in small_corpus.documents}) == 60
+        assert len({d.url for d in small_corpus.documents}) == 60
+
+    def test_documents_have_owners_from_pool(self, small_corpus):
+        owners = {d.owner for d in small_corpus.documents}
+        assert owners <= set(small_corpus.owners)
+        # Zipfian owner skew: some owners have several pages.
+        by_owner = small_corpus.documents_by_owner()
+        assert max(len(docs) for docs in by_owner.values()) >= 3
+
+    def test_links_reference_real_urls(self, small_corpus):
+        urls = {d.url for d in small_corpus.documents}
+        for document in small_corpus.documents:
+            assert set(document.links) <= urls
+
+    def test_same_seed_reproduces_corpus(self):
+        gen = lambda: CorpusGenerator(vocabulary_size=100, seed=3).generate(10)
+        first, second = gen(), gen()
+        assert [d.text for d in first.documents] == [d.text for d in second.documents]
+
+    def test_term_popularity_is_skewed(self, small_corpus):
+        counts = Counter()
+        for document in small_corpus.documents:
+            counts.update(document.text.split())
+        most_common = counts.most_common(1)[0][1]
+        assert most_common > 3 * (sum(counts.values()) / len(counts))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            CorpusGenerator(vocabulary_size=5)
+        with pytest.raises(WorkloadError):
+            CorpusGenerator().generate(0)
+
+
+class TestQueryWorkload:
+    def test_queries_use_corpus_terms(self, small_corpus):
+        generator = QueryWorkloadGenerator(small_corpus.documents, seed=1)
+        workload = generator.generate(50)
+        assert len(workload) == 50
+        analyzer = Analyzer()
+        corpus_terms = set()
+        for document in small_corpus.documents:
+            corpus_terms.update(analyzer.analyze(document.full_text))
+        for query in workload:
+            assert set(analyzer.analyze(query)) <= corpus_terms
+
+    def test_query_lengths_mostly_short(self, small_corpus):
+        generator = QueryWorkloadGenerator(small_corpus.documents, seed=2)
+        lengths = [len(q.split()) for q in generator.generate(200)]
+        assert sum(1 for n in lengths if n <= 2) > 100
+        assert max(lengths) <= 4
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(WorkloadError):
+            QueryWorkloadGenerator([], seed=0)
+
+    def test_deterministic_for_seed(self, small_corpus):
+        a = QueryWorkloadGenerator(small_corpus.documents, seed=9).generate(20).queries
+        b = QueryWorkloadGenerator(small_corpus.documents, seed=9).generate(20).queries
+        assert a == b
+
+
+class TestPublishWorkload:
+    def test_events_are_time_ordered_and_counted(self, small_corpus):
+        generator = PublishWorkloadGenerator(small_corpus, initial_fraction=0.5,
+                                             mean_interarrival=10.0, seed=3)
+        workload = generator.generate(40)
+        times = [event.time for event in workload]
+        assert times == sorted(times)
+        assert len(workload) == 40
+        assert workload.horizon == times[-1]
+
+    def test_initial_fraction_splits_corpus(self, small_corpus):
+        generator = PublishWorkloadGenerator(small_corpus, initial_fraction=0.25, seed=3)
+        assert len(generator.initial_documents()) == 15
+
+    def test_updates_bump_versions(self, small_corpus):
+        generator = PublishWorkloadGenerator(small_corpus, initial_fraction=0.9,
+                                             update_probability=1.0, seed=4)
+        workload = generator.generate(20)
+        updates = [e for e in workload if e.is_update]
+        assert updates
+        assert all(e.document.version >= 2 for e in updates)
+
+    def test_new_documents_marked_as_creates(self, small_corpus):
+        generator = PublishWorkloadGenerator(small_corpus, initial_fraction=0.1,
+                                             update_probability=0.0, seed=5)
+        workload = generator.generate(10)
+        assert all(not e.is_update for e in workload)
+        assert all(e.document.published_at == e.time for e in workload)
+
+    def test_invalid_parameters_rejected(self, small_corpus):
+        with pytest.raises(WorkloadError):
+            PublishWorkloadGenerator(small_corpus, initial_fraction=2.0)
+        with pytest.raises(WorkloadError):
+            PublishWorkloadGenerator(small_corpus, mean_interarrival=0.0)
+        with pytest.raises(WorkloadError):
+            PublishWorkloadGenerator(small_corpus).generate(-1)
