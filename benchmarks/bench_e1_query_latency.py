@@ -29,8 +29,11 @@ PEER_COUNTS = (16, 48)
 
 
 def _queenbee_rows(corpus, queries, peer_count: int, planning: str) -> Dict[str, object]:
+    # E1 compares cold query paths across systems, so the posting cache is
+    # disabled here; E10 measures what caching buys on a repeated stream.
     engine = build_engine(peer_count=peer_count, worker_count=max(4, peer_count // 8),
-                          planning_strategy=planning, seed=100 + peer_count)
+                          planning_strategy=planning, seed=100 + peer_count,
+                          posting_cache_capacity=0)
     engine.bootstrap_corpus(corpus.documents)
     engine.compute_page_ranks()
     frontend = engine.create_frontend()

@@ -29,8 +29,11 @@ FAIL_FRACTIONS = (0.0, 0.1, 0.25, 0.5)
 def _queenbee_rows(corpus, queries) -> List[Dict[str, object]]:
     rows = []
     for fraction in FAIL_FRACTIONS:
+        # No posting cache: the baseline pass would warm it and post-failure
+        # queries would be served locally, masking the peer loss under test.
         engine = build_engine(peer_count=32, worker_count=8, seed=500 + int(fraction * 100),
-                              storage_replication=3, dht_replicate=4)
+                              storage_replication=3, dht_replicate=4,
+                              posting_cache_capacity=0)
         engine.bootstrap_corpus(corpus.documents)
         engine.compute_page_ranks()
         frontend = engine.create_frontend()

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 
 @dataclass
@@ -37,6 +36,9 @@ class QueenBeeConfig:
     # Index
     compress_index: bool = True
     top_k: int = 10
+    # Capacity (in terms) of the LRU posting-list cache in front of
+    # decentralized storage; 0 disables caching entirely.
+    posting_cache_capacity: int = 256
 
     # Ranking
     rank_redundancy: int = 3
@@ -63,9 +65,16 @@ class QueenBeeConfig:
     # Frontend
     max_ads: int = 2
     planning_strategy: str = "rarest_first"
+    # "maxscore" is the document-at-a-time top-k engine with pruning;
+    # "taat" is the reference term-at-a-time path (identical results).
+    execution_mode: str = "maxscore"
 
     def validate(self) -> None:
         """Raise ``ValueError`` on impossible combinations."""
+        if self.execution_mode not in ("taat", "maxscore"):
+            raise ValueError(f"unknown execution_mode {self.execution_mode!r}")
+        if self.posting_cache_capacity < 0:
+            raise ValueError("posting_cache_capacity must be non-negative")
         if self.peer_count < 2:
             raise ValueError("peer_count must be at least 2")
         if not 0 < self.worker_count <= self.peer_count:

@@ -10,10 +10,9 @@ storage), the smart contracts, the worker bees, and the search frontend.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional
 
-from repro.errors import KeyNotFoundError
 from repro.chain.blockchain import Blockchain
 from repro.contracts.queenbee import QueenBeeContracts
 from repro.core.config import QueenBeeConfig
@@ -23,10 +22,10 @@ from repro.core.publisher import ContentPublisher, PublishReceipt
 from repro.core.worker import WorkerBee
 from repro.dht.dht import DHTNetwork
 from repro.index.analysis import Analyzer
+from repro.index.cache import PostingCache
 from repro.index.distributed import DistributedIndex
 from repro.index.document import Document, DocumentStore
 from repro.index.inverted_index import LocalInvertedIndex
-from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.metrics.collector import MetricsCollector
 from repro.net.latency import LogNormalLatency
@@ -90,7 +89,12 @@ class QueenBeeEngine:
         )
 
         self.analyzer = Analyzer()
-        self.index = DistributedIndex(self.dht, self.storage, compress=cfg.compress_index)
+        self.posting_cache = (
+            PostingCache(cfg.posting_cache_capacity) if cfg.posting_cache_capacity > 0 else None
+        )
+        self.index = DistributedIndex(
+            self.dht, self.storage, compress=cfg.compress_index, cache=self.posting_cache
+        )
         self.directory = DocumentDirectory(self.dht)
         self.statistics = CollectionStatistics()
         self.freshness = FreshnessTracker()
@@ -291,19 +295,43 @@ class QueenBeeEngine:
             top_k=top_k or self.config.top_k,
             max_ads=self.config.max_ads,
             planning_strategy=self.config.planning_strategy,
+            execution_mode=self.config.execution_mode,
             requester=requester,
         )
 
     def search(self, query: str, frontend: Optional[SearchFrontend] = None) -> ResultPage:
         """Answer one query (convenience wrapper around a default frontend)."""
-        if frontend is None:
-            if not hasattr(self, "_default_frontend"):
-                self._default_frontend = self.create_frontend()
-            frontend = self._default_frontend
+        frontend = frontend or self._frontend()
         page = frontend.search(query)
+        self._record_query_metrics(page)
+        return page
+
+    def search_batch(
+        self, queries: Iterable[str], frontend: Optional[SearchFrontend] = None
+    ) -> List[ResultPage]:
+        """Answer a query stream through the batched (amortized) API."""
+        frontend = frontend or self._frontend()
+        pages = frontend.search_batch(list(queries))
+        for page in pages:
+            self._record_query_metrics(page)
+        self.metrics.increment("query.batches")
+        return pages
+
+    def _frontend(self) -> SearchFrontend:
+        if not hasattr(self, "_default_frontend"):
+            self._default_frontend = self.create_frontend()
+        return self._default_frontend
+
+    def _record_query_metrics(self, page: ResultPage) -> None:
         self.stats.queries_served += 1
         self.metrics.observe("query.latency", page.latency)
-        return page
+        diagnostics = page.diagnostics
+        self.metrics.increment("query.postings_scanned", diagnostics.get("postings_scanned", 0))
+        self.metrics.increment("query.docs_scored", diagnostics.get("docs_scored", 0))
+        self.metrics.increment("query.docs_pruned", diagnostics.get("docs_pruned", 0))
+        if self.posting_cache is not None:
+            self.metrics.set_gauge("index.cache.hit_rate", self.posting_cache.stats.hit_rate)
+            self.metrics.set_gauge("index.cache.size", len(self.posting_cache))
 
     # -- fault injection (used by the resilience experiment) ----------------------------
 

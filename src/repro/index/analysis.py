@@ -17,7 +17,7 @@ DEFAULT_STOPWORDS: Set[str] = {
     "were", "which", "will", "with", "you", "your",
 }
 
-_SUFFIXES = ("ingly", "edly", "ings", "ing", "edly", "ied", "ies", "ed", "es", "s", "ly")
+_SUFFIXES = ("ingly", "edly", "ings", "ing", "ied", "ies", "ed", "es", "s", "ly")
 
 
 def tokenize(text: str) -> List[str]:

@@ -1,0 +1,89 @@
+"""An LRU cache for posting lists.
+
+The distributed index resolves a term with one DHT lookup plus one content
+fetch over the simulated network — the dominant cost of every query (E1).
+Query streams are Zipfian, so a small LRU in front of decentralized storage
+absorbs most fetches for the head terms.  The cache is write-through: a
+publish for a cached term replaces the entry, so a frontend colocated with
+the publishing path never serves a stale shard.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.index.postings import PostingList
+
+
+@dataclass
+class PostingCacheStats:
+    """Hit/miss accounting (the E10 cache column)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class PostingCache:
+    """A bounded term -> :class:`PostingList` cache with LRU eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, PostingList]" = OrderedDict()
+        self.stats = PostingCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._entries
+
+    def get(self, term: str) -> Optional[PostingList]:
+        """The cached list for ``term`` (marking it most-recently-used), or None."""
+        entry = self._entries.get(term)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(term)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, term: str, postings: PostingList) -> None:
+        """Insert or replace the entry for ``term``, evicting the LRU tail."""
+        if term in self._entries:
+            self._entries.move_to_end(term)
+        self._entries[term] = postings
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, term: str) -> bool:
+        """Drop ``term`` from the cache (shard superseded remotely)."""
+        if term not in self._entries:
+            return False
+        del self._entries[term]
+        self.stats.invalidations += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.errors import KeyNotFoundError, TermNotFoundError
 from repro.dht.dht import DHTNetwork
+from repro.index.cache import PostingCache
 from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.storage.ipfs import DecentralizedStorage
@@ -57,6 +58,10 @@ class DistributedIndex:
     compress:
         When true (default), posting lists use the delta+varint codec; the E4
         ablation disables it to quantify the saving.
+    cache:
+        Optional :class:`~repro.index.cache.PostingCache` consulted before
+        the DHT.  Publishes write through it, so the local view never goes
+        stale; fetches that hit it skip the simulated network entirely.
     """
 
     def __init__(
@@ -64,10 +69,12 @@ class DistributedIndex:
         dht: DHTNetwork,
         storage: DecentralizedStorage,
         compress: bool = True,
+        cache: Optional[PostingCache] = None,
     ) -> None:
         self.dht = dht
         self.storage = storage
         self.compress = compress
+        self.cache = cache
         self.stats = DistributedIndexStats()
 
     # -- publishing (worker-bee side) ----------------------------------------------
@@ -87,6 +94,8 @@ class DistributedIndex:
         payload = self._encode_shard(term, postings)
         cid = self.storage.add_text(payload, publisher=publisher)
         self.dht.put(term_key(term), cid)
+        if self.cache is not None and term in self.cache:
+            self.cache.put(term, postings)
         self.stats.terms_published += 1
         self.stats.bytes_published += len(payload)
         return cid
@@ -116,9 +125,11 @@ class DistributedIndex:
             existing = self.fetch_term(term)
         except TermNotFoundError:
             return False
-        if not existing.remove(doc_id):
+        # fetch_term may return a cache-shared list; never mutate it in place.
+        updated = existing.copy()
+        if not updated.remove(doc_id):
             return False
-        self.publish_term(term, existing, publisher=publisher)
+        self.publish_term(term, updated, publisher=publisher)
         return True
 
     def publish_statistics(
@@ -136,9 +147,18 @@ class DistributedIndex:
     def fetch_term(self, term: str, requester: Optional[str] = None) -> PostingList:
         """Resolve and fetch the posting list for ``term``.
 
-        Raises :class:`TermNotFoundError` when the term has never been
-        published or its shard is unreachable (the recall loss counted in E3).
+        The returned list may be shared with the posting cache and other
+        readers — treat it as read-only and :meth:`PostingList.copy` before
+        mutating.  Raises :class:`TermNotFoundError` when the term has never
+        been published or its shard is unreachable (the recall loss counted
+        in E3).
         """
+        if self.cache is not None:
+            # Hit/miss accounting lives in self.cache.stats, the single
+            # source of truth for cache behaviour.
+            cached = self.cache.get(term)
+            if cached is not None:
+                return cached
         try:
             cid = self.dht.get(term_key(term))
         except KeyNotFoundError as exc:
@@ -152,7 +172,10 @@ class DistributedIndex:
         self.stats.terms_fetched += 1
         self.stats.bytes_fetched += len(payload)
         self.stats.per_fetch_bytes.append(len(payload))
-        return self._decode_shard(payload)
+        postings = self._decode_shard(payload)
+        if self.cache is not None:
+            self.cache.put(term, postings)
+        return postings
 
     def fetch_statistics(self, requester: Optional[str] = None) -> CollectionStatistics:
         """Fetch the published collection statistics (empty stats if absent)."""
@@ -170,17 +193,28 @@ class DistributedIndex:
     # -- serialization ----------------------------------------------------------------
 
     def _encode_shard(self, term: str, postings: PostingList) -> str:
+        # max_tf rides along with every shard: it lets a frontend compute the
+        # term's best-case (MaxScore) contribution without scanning the list.
         if self.compress:
-            body = {"term": term, "encoding": "delta-varint", "postings": postings.to_payload()}
+            body = {
+                "term": term,
+                "encoding": "delta-varint",
+                "max_tf": postings.max_term_frequency,
+                "postings": postings.to_payload(),
+            }
         else:
             body = {
                 "term": term,
                 "encoding": "raw",
+                "max_tf": postings.max_term_frequency,
                 "postings": [[p.doc_id, p.term_frequency] for p in postings],
             }
         return json.dumps(body, sort_keys=True)
 
     def _decode_shard(self, payload: str) -> PostingList:
+        # The shard's max_tf field is not needed here — PostingList computes
+        # it lazily — but stays in the payload so index-level consumers (e.g.
+        # a future bound-only planner fetch) can read it without decoding.
         body = json.loads(payload)
         if body.get("encoding") == "delta-varint":
             return PostingList.from_payload(body["postings"])

@@ -87,6 +87,15 @@ class LocalInvertedIndex:
         posting_list = self._postings.get(term)
         return len(posting_list) if posting_list is not None else 0
 
+    def max_term_frequency(self, term: str) -> int:
+        """The term's max impact ingredient (0 for unknown terms).
+
+        Published alongside the shard so query frontends can bound the
+        term's best possible score without scanning the whole list.
+        """
+        posting_list = self._postings.get(term)
+        return posting_list.max_term_frequency if posting_list is not None else 0
+
     def doc_ids(self) -> List[int]:
         return sorted(self._doc_terms)
 

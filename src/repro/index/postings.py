@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import base64
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import IndexError_
 from repro.index.compression import compress_postings, decompress_postings
@@ -32,6 +32,8 @@ class PostingList:
 
     def __init__(self, postings: Optional[Sequence[Posting]] = None) -> None:
         self._postings: List[Posting] = []
+        self._max_tf: Optional[int] = None
+        self._arrays: Optional[Tuple[List[int], List[int]]] = None
         if postings:
             for posting in sorted(postings, key=lambda p: p.doc_id):
                 self.add(posting.doc_id, posting.term_frequency)
@@ -51,8 +53,50 @@ class PostingList:
     def doc_ids(self) -> List[int]:
         return [posting.doc_id for posting in self._postings]
 
+    def copy(self) -> "PostingList":
+        """A detached copy safe to mutate (postings themselves are frozen).
+
+        Callers that fetched a list from a shared place (the posting cache,
+        another index) and want to modify it must copy first — the fetched
+        object may be aliased by other readers.
+        """
+        result = PostingList()
+        result._postings = list(self._postings)
+        return result
+
+    def arrays(self) -> Tuple[List[int], List[int]]:
+        """Cached parallel ``(doc_ids, term_frequencies)`` arrays.
+
+        DAAT cursors and galloping intersection consume these on every query,
+        so they are materialised once per list version and invalidated on
+        mutation.  Treat the returned lists as read-only.
+        """
+        if self._arrays is None:
+            self._arrays = (
+                [posting.doc_id for posting in self._postings],
+                [posting.term_frequency for posting in self._postings],
+            )
+        return self._arrays
+
+    @property
+    def max_term_frequency(self) -> int:
+        """The largest term frequency in the list (0 when empty).
+
+        This is the term's *max impact* ingredient: together with the
+        collection statistics it upper-bounds the BM25 contribution any
+        document can receive from this term, which is what MaxScore pruning
+        needs.  Cached and invalidated on mutation.
+        """
+        if self._max_tf is None:
+            self._max_tf = max(
+                (posting.term_frequency for posting in self._postings), default=0
+            )
+        return self._max_tf
+
     def add(self, doc_id: int, term_frequency: int = 1) -> None:
         """Insert or update a posting, keeping the list sorted by doc_id."""
+        self._max_tf = None
+        self._arrays = None
         position = self._find(doc_id)
         if position is not None:
             self._postings[position] = Posting(doc_id, term_frequency)
@@ -77,6 +121,8 @@ class PostingList:
         if position is None:
             return False
         self._postings.pop(position)
+        self._max_tf = None
+        self._arrays = None
         return True
 
     def get(self, doc_id: int) -> Optional[Posting]:
@@ -92,7 +138,7 @@ class PostingList:
     def intersect(self, other: "PostingList") -> "PostingList":
         """Documents present in both lists (AND semantics)."""
         short, long_ = (self, other) if len(self) <= len(other) else (other, self)
-        long_ids = long_.doc_ids
+        long_ids = long_.arrays()[0]
         result = PostingList()
         cursor = 0
         for posting in short:

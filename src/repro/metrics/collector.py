@@ -18,6 +18,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._counters: Dict[str, float] = {}
         self._samples: Dict[str, List[float]] = {}
+        self._gauges: Dict[str, float] = {}
 
     # -- counters ------------------------------------------------------------------
 
@@ -31,6 +32,18 @@ class MetricsCollector:
 
     def counters(self) -> Dict[str, float]:
         return dict(self._counters)
+
+    # -- gauges -----------------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of ``name`` (overwrites, never accumulates)."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float:
+        return self._gauges.get(name, 0.0)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
 
     # -- samples ----------------------------------------------------------------------
 
@@ -50,3 +63,4 @@ class MetricsCollector:
     def reset(self) -> None:
         self._counters.clear()
         self._samples.clear()
+        self._gauges.clear()

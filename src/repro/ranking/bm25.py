@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
@@ -41,6 +41,26 @@ class BM25Scorer:
         if n == 0:
             return 0.0
         return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def impact_parameters(self, term: str) -> Tuple[float, float]:
+        """``(scale, tf_constant)`` of the term's length-free score bound.
+
+        The per-term score ``idf * tf*(k1+1) / (tf + k1*(1-b+b*len/avgdl))``
+        is increasing in ``tf`` and decreasing in ``len``, so in the limit
+        ``len -> 0`` it is bounded by ``scale * tf / (tf + tf_constant)`` with
+        ``scale = idf*(k1+1)`` and ``tf_constant = k1*(1-b)``.  This is the
+        *max impact* form MaxScore pruning evaluates per posting; this method
+        is its single definition — :meth:`upper_bound` and the executor's
+        cursors both derive from it.
+        """
+        return self.idf(term) * (self.k1 + 1.0), self.k1 * (1.0 - self.b)
+
+    def upper_bound(self, term: str, max_term_frequency: int) -> float:
+        """The largest BM25 contribution ``term`` can make to any document."""
+        if max_term_frequency <= 0:
+            return 0.0
+        scale, tf_constant = self.impact_parameters(term)
+        return scale * max_term_frequency / (max_term_frequency + tf_constant)
 
     def score_document(self, doc_id: int, term_frequencies: Mapping[str, int]) -> float:
         """BM25 score of one document for the query terms it matched."""

@@ -29,13 +29,28 @@ class CombinedScorer:
         document_count: int,
     ) -> Dict[int, float]:
         """Final score for every candidate in ``bm25_scores``."""
-        uniform = 1.0 / document_count if document_count else 1.0
         combined: Dict[int, float] = {}
         for doc_id, text_score in bm25_scores.items():
             rank = page_ranks.get(doc_id, 0.0)
-            rank_component = math.log1p(rank / uniform) if rank > 0 else 0.0
-            combined[doc_id] = self.bm25_weight * text_score + self.rank_weight * rank_component
+            combined[doc_id] = self.bm25_weight * text_score + self.rank_component(
+                rank, document_count
+            )
         return combined
+
+    def rank_component(self, rank: float, document_count: int) -> float:
+        """The PageRank part of the combined score for one document."""
+        uniform = 1.0 / document_count if document_count else 1.0
+        return self.rank_weight * (math.log1p(rank / uniform) if rank > 0 else 0.0)
+
+    def rank_upper_bound(self, page_ranks: Mapping[int, float], document_count: int) -> float:
+        """The largest rank component any document can contribute.
+
+        Used by the MaxScore executor to bound the score of documents whose
+        rank it has not looked up yet.
+        """
+        if not page_ranks:
+            return 0.0
+        return self.rank_component(max(page_ranks.values()), document_count)
 
     def top_k(self, combined: Mapping[int, float], k: int) -> Dict[int, float]:
         """The ``k`` best documents, ties broken by doc_id for determinism."""

@@ -1,7 +1,25 @@
-"""Query execution: fetch posting lists, intersect/union, score, take top-k."""
+"""Query execution: fetch posting lists, evaluate, score, take top-k.
+
+Two execution modes share one interface:
+
+``taat`` (term-at-a-time)
+    The reference path: materialise the full intersection/union, score every
+    candidate, sort, truncate.  Simple, obviously correct, and the baseline
+    every optimisation is checked against.
+
+``maxscore`` (document-at-a-time with MaxScore pruning)
+    The production path: posting cursors advance document-at-a-time with
+    galloping skips, a bounded min-heap tracks the current top-k, and
+    per-term *max-impact* upper bounds (published alongside each shard) let
+    the executor skip scoring — or stop scanning entirely — once no remaining
+    document can enter the top-k.  Pruning only ever uses *strict* bound
+    comparisons, so the returned top-k (documents, scores, and tie-breaks) is
+    bit-identical to the ``taat`` path.
+"""
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -10,17 +28,28 @@ from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.ranking.bm25 import BM25Scorer
 from repro.ranking.scoring import CombinedScorer
-from repro.search.planner import QueryPlan
+from repro.search.planner import EXECUTION_MODES, MODE_MAXSCORE, MODE_TAAT, QueryPlan
 
 # A posting fetcher resolves one term to its posting list; it raises
 # TermNotFoundError for unknown/unreachable terms.  In QueenBee it is the
 # distributed index; in the centralized baseline it is the local index.
 PostingFetcher = Callable[[str], PostingList]
 
+# Upper bounds are inflated by this factor before threshold comparisons so a
+# bound that equals the exact score in real arithmetic can never fall below
+# it through floating-point rounding (which would prune a tying document).
+_BOUND_SLACK = 1.0 + 1e-9
+
 
 @dataclass
 class ExecutionOutcome:
-    """Candidates, scores, and diagnostics from executing one plan."""
+    """Candidates, scores, and diagnostics from executing one plan.
+
+    In ``maxscore`` mode, ``candidates`` holds only the documents the engine
+    actually *visited* (pruned document spaces are skipped wholesale), so it
+    can be shorter than the ``taat`` candidate set; ``scores`` is identical
+    between modes.
+    """
 
     candidates: List[int] = field(default_factory=list)
     scores: Dict[int, float] = field(default_factory=dict)
@@ -29,7 +58,79 @@ class ExecutionOutcome:
     missing_terms: Tuple[str, ...] = field(default_factory=tuple)
     terms_fetched: int = 0
     postings_scanned: int = 0
+    docs_scored: int = 0
+    docs_pruned: int = 0
     early_exit: bool = False
+    mode: str = MODE_TAAT
+
+
+class _Cursor:
+    """One term's posting cursor: parallel doc_id / frequency arrays.
+
+    ``scale`` is the term's weighted idf times ``k1 + 1``; with the shared
+    length-free denominator constant it turns a term frequency into the
+    best-case score contribution (``impact``), and ``upper_bound`` is the
+    impact of the list's maximum frequency.
+    """
+
+    __slots__ = ("term", "doc_ids", "frequencies", "position", "scale", "upper_bound")
+
+    def __init__(self, term: str, postings: PostingList, scale: float, tf_constant: float) -> None:
+        self.term = term
+        # Shared read-only views cached on the posting list itself, so a
+        # cached/prefetched list is not re-copied for every query using it.
+        self.doc_ids, self.frequencies = postings.arrays()
+        self.position = 0
+        self.scale = scale
+        self.upper_bound = self.impact(postings.max_term_frequency, tf_constant)
+
+    def impact(self, term_frequency: int, tf_constant: float) -> float:
+        """Best-case (shortest-document) contribution of one posting."""
+        if term_frequency <= 0:
+            return 0.0
+        return self.scale * term_frequency / (term_frequency + tf_constant)
+
+    def __len__(self) -> int:
+        return len(self.doc_ids)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.doc_ids)
+
+    @property
+    def current(self) -> int:
+        return self.doc_ids[self.position]
+
+    def seek(self, target: int) -> int:
+        """Gallop the cursor to the first doc_id >= ``target``.
+
+        Returns the number of postings probed, the honest unit of work a
+        skip costs (log of the jump, not the jump itself).
+        """
+        ids = self.doc_ids
+        position = self.position
+        if position >= len(ids) or ids[position] >= target:
+            self.position = position
+            return 1 if position < len(ids) else 0
+        probes = 1
+        step = 1
+        low = position
+        high = position + step
+        while high < len(ids) and ids[high] < target:
+            probes += 1
+            low = high
+            step *= 2
+            high = position + step
+        high = min(high, len(ids))
+        while low < high:
+            mid = (low + high) // 2
+            probes += 1
+            if ids[mid] < target:
+                low = mid + 1
+            else:
+                high = mid
+        self.position = low
+        return probes
 
 
 class QueryExecutor:
@@ -43,19 +144,37 @@ class QueryExecutor:
         bm25: Optional[BM25Scorer] = None,
         combiner: Optional[CombinedScorer] = None,
         top_k: int = 10,
+        mode: str = MODE_TAAT,
     ) -> None:
         if top_k < 1:
             raise ValueError(f"top_k must be at least 1, got {top_k!r}")
+        if mode not in EXECUTION_MODES:
+            raise ValueError(f"unknown execution mode {mode!r}")
         self.fetch_postings = fetch_postings
         self.statistics = statistics
-        self.page_ranks = dict(page_ranks or {})
+        # Held by reference, not copied: the rank vector is corpus-sized and a
+        # fresh executor is built per query, so a defensive copy would cost
+        # O(corpus) per query.  Treated as read-only for the executor's life.
+        self.page_ranks: Mapping[int, float] = page_ranks if page_ranks is not None else {}
         self.bm25 = bm25 or BM25Scorer(statistics)
         self.combiner = combiner or CombinedScorer()
         self.top_k = top_k
+        self.mode = mode
 
-    def execute(self, plan: QueryPlan) -> ExecutionOutcome:
-        """Run the plan: fetch lists in planned order, combine, score, rank."""
-        outcome = ExecutionOutcome()
+    def execute(self, plan: QueryPlan, mode: Optional[str] = None) -> ExecutionOutcome:
+        """Run the plan in the executor's (or an overriding) mode."""
+        mode = mode or self.mode
+        if mode not in EXECUTION_MODES:
+            raise ValueError(f"unknown execution mode {mode!r}")
+        if mode == MODE_MAXSCORE:
+            return self._execute_maxscore(plan)
+        return self._execute_taat(plan)
+
+    # -- term-at-a-time (reference) ------------------------------------------------
+
+    def _execute_taat(self, plan: QueryPlan) -> ExecutionOutcome:
+        """Fetch lists in planned order, combine fully, score, rank."""
+        outcome = ExecutionOutcome(mode=MODE_TAAT)
         running: Optional[PostingList] = None
         conjunctive = plan.query.is_conjunctive
         missing: List[str] = []
@@ -94,6 +213,7 @@ class QueryExecutor:
         bm25_scores = self.bm25.score_postings(
             list(plan.query.terms), outcome.postings_by_term, candidates
         )
+        outcome.docs_scored = len(candidates)
         combined = self.combiner.combine(
             bm25_scores, self.page_ranks, self.statistics.document_count
         )
@@ -101,3 +221,228 @@ class QueryExecutor:
         outcome.scores = top
         outcome.page_ranks = {doc_id: self.page_ranks.get(doc_id, 0.0) for doc_id in top}
         return outcome
+
+    # -- document-at-a-time with MaxScore pruning ------------------------------------
+
+    def _execute_maxscore(self, plan: QueryPlan) -> ExecutionOutcome:
+        outcome = ExecutionOutcome(mode=MODE_MAXSCORE)
+        conjunctive = plan.query.is_conjunctive
+        missing: List[str] = []
+        cursors: List[_Cursor] = []
+        tf_constant = 0.0
+        # Feasible doc-id window for conjunctive queries: if a fetched list is
+        # empty, or the window closes (all-lists doc-id ranges are disjoint),
+        # the intersection is provably empty and the remaining fetches are
+        # skipped — recovering most of TAAT's stop-fetching-early behaviour.
+        window_low, window_high = 0, None
+
+        for term in plan.ordered_terms:
+            try:
+                postings = self.fetch_postings(term)
+            except TermNotFoundError:
+                missing.append(term)
+                if conjunctive:
+                    outcome.missing_terms = tuple(missing)
+                    outcome.early_exit = True
+                    return outcome
+                continue
+            outcome.terms_fetched += 1
+            outcome.postings_by_term[term] = postings
+            if conjunctive:
+                if len(postings) == 0:
+                    outcome.missing_terms = tuple(missing)
+                    outcome.early_exit = True
+                    return outcome
+                doc_ids = postings.arrays()[0]
+                window_low = max(window_low, doc_ids[0])
+                window_high = (
+                    doc_ids[-1] if window_high is None else min(window_high, doc_ids[-1])
+                )
+                if window_low > window_high:
+                    outcome.missing_terms = tuple(missing)
+                    outcome.early_exit = True
+                    return outcome
+            # The term's max impact on the *combined* score: its best BM25
+            # contribution scaled by the combiner's text weight.
+            scale, tf_constant = self.bm25.impact_parameters(term)
+            scale *= self.combiner.bm25_weight
+            cursors.append(_Cursor(term, postings, scale, tf_constant))
+
+        outcome.missing_terms = tuple(missing)
+        if not cursors:
+            return outcome
+
+        document_count = self.statistics.document_count
+        # The global rank bound needs a max() over the corpus-sized rank
+        # vector, so it is computed lazily: only once the top-k heap is full
+        # and pruning decisions actually need it.
+        rank_ub_memo: List[float] = []
+
+        def rank_ub() -> float:
+            if not rank_ub_memo:
+                rank_ub_memo.append(
+                    self.combiner.rank_upper_bound(self.page_ranks, document_count)
+                )
+            return rank_ub_memo[0]
+
+        # Min-heap of (score, -doc_id): the root is the weakest member of the
+        # current top-k under the same (-score, doc_id) order the reference
+        # path sorts by, so strict bound comparisons preserve exact ties.
+        heap: List[Tuple[float, int]] = []
+
+        if conjunctive:
+            self._daat_and(plan, cursors, heap, rank_ub, tf_constant, outcome)
+        else:
+            self._daat_or(plan, cursors, heap, rank_ub, tf_constant, outcome)
+
+        ordered = sorted(heap, key=lambda item: (-item[0], -item[1]))
+        outcome.scores = {-neg_doc_id: score for score, neg_doc_id in ordered}
+        outcome.page_ranks = {
+            doc_id: self.page_ranks.get(doc_id, 0.0) for doc_id in outcome.scores
+        }
+        return outcome
+
+    def _score_exact(self, plan: QueryPlan, doc_id: int, found: Dict[str, int]) -> float:
+        """The combined score, computed with the same arithmetic as TAAT."""
+        per_doc = {term: found.get(term, 0) for term in plan.query.terms}
+        text = self.bm25.score_document(doc_id, per_doc)
+        rank = self.page_ranks.get(doc_id, 0.0)
+        return self.combiner.bm25_weight * text + self.combiner.rank_component(
+            rank, self.statistics.document_count
+        )
+
+    def _offer(self, heap: List[Tuple[float, int]], doc_id: int, score: float) -> None:
+        entry = (score, -doc_id)
+        if len(heap) < self.top_k:
+            heapq.heappush(heap, entry)
+        elif entry > heap[0]:
+            heapq.heapreplace(heap, entry)
+
+    def _daat_and(
+        self,
+        plan: QueryPlan,
+        cursors: List[_Cursor],
+        heap: List[Tuple[float, int]],
+        rank_ub: Callable[[], float],
+        tf_constant: float,
+        outcome: ExecutionOutcome,
+    ) -> None:
+        """Drive the shortest list, gallop the others, prune by per-doc bound."""
+        cursors.sort(key=len)
+        driver, others = cursors[0], cursors[1:]
+        total_ub = sum(cursor.upper_bound for cursor in cursors)
+        full = self.top_k
+        for index, doc_id in enumerate(driver.doc_ids):
+            if len(heap) == full and total_ub * _BOUND_SLACK + rank_ub() < heap[0][0]:
+                # Even a document matching every term at max impact with the
+                # best possible rank cannot displace the current top-k.
+                outcome.docs_pruned += len(driver.doc_ids) - index
+                outcome.early_exit = True
+                return
+            outcome.postings_scanned += 1
+            found = {driver.term: driver.frequencies[index]}
+            text_bound = driver.impact(driver.frequencies[index], tf_constant)
+            present = True
+            for other in others:
+                outcome.postings_scanned += other.seek(doc_id)
+                if other.exhausted or other.current != doc_id:
+                    present = False
+                    break
+                frequency = other.frequencies[other.position]
+                found[other.term] = frequency
+                text_bound += other.impact(frequency, tf_constant)
+            if not present:
+                continue
+            outcome.candidates.append(doc_id)
+            rank_part = self.combiner.rank_component(
+                self.page_ranks.get(doc_id, 0.0), self.statistics.document_count
+            )
+            # The document's frequencies are known here, so the bound uses its
+            # actual impacts (length-free), far tighter than the max-tf sum.
+            if len(heap) == full and text_bound * _BOUND_SLACK + rank_part < heap[0][0]:
+                outcome.docs_pruned += 1
+                continue
+            self._offer(heap, doc_id, self._score_exact(plan, doc_id, found))
+            outcome.docs_scored += 1
+
+    def _daat_or(
+        self,
+        plan: QueryPlan,
+        cursors: List[_Cursor],
+        heap: List[Tuple[float, int]],
+        rank_ub: Callable[[], float],
+        tf_constant: float,
+        outcome: ExecutionOutcome,
+    ) -> None:
+        """Classic MaxScore: essential lists drive, non-essential only confirm.
+
+        Cursors are kept sorted by upper bound; the *non-essential* prefix is
+        the longest prefix whose summed bounds (plus the global rank bound)
+        stay strictly below the top-k threshold — documents appearing only
+        there can never enter the top-k, so their lists are never enumerated,
+        only probed for documents the essential lists surface.
+        """
+        cursors.sort(key=lambda cursor: cursor.upper_bound)
+        prefix: List[float] = []
+        running = 0.0
+        for cursor in cursors:
+            running += cursor.upper_bound
+            prefix.append(running)
+        full = self.top_k
+        last_candidate = -1
+
+        while True:
+            threshold = heap[0][0] if len(heap) == full else None
+            first_essential = 0
+            if threshold is not None:
+                if prefix[-1] * _BOUND_SLACK + rank_ub() < threshold:
+                    # Even a document in every list at max impact with the best
+                    # possible rank cannot displace the current top-k.
+                    outcome.early_exit = True
+                    return
+                while (
+                    first_essential < len(cursors) - 1
+                    and prefix[first_essential] * _BOUND_SLACK + rank_ub() < threshold
+                ):
+                    first_essential += 1
+            essential = cursors[first_essential:]
+            candidate = None
+            for cursor in essential:
+                # A list promoted from non-essential may still point at an
+                # already-evaluated document; skip it forward so candidates
+                # are strictly increasing and no document is offered twice.
+                if not cursor.exhausted and cursor.current <= last_candidate:
+                    outcome.postings_scanned += cursor.seek(last_candidate + 1)
+                if not cursor.exhausted:
+                    current = cursor.current
+                    if candidate is None or current < candidate:
+                        candidate = current
+            if candidate is None:
+                return
+            last_candidate = candidate
+
+            found: Dict[str, int] = {}
+            rank_part = self.combiner.rank_component(
+                self.page_ranks.get(candidate, 0.0), self.statistics.document_count
+            )
+            # Known impacts for the essential lists containing the candidate,
+            # max impacts for the non-essential lists it *might* appear in.
+            text_bound = prefix[first_essential - 1] if first_essential > 0 else 0.0
+            for cursor in essential:
+                if not cursor.exhausted and cursor.current == candidate:
+                    frequency = cursor.frequencies[cursor.position]
+                    found[cursor.term] = frequency
+                    text_bound += cursor.impact(frequency, tf_constant)
+                    cursor.position += 1
+                    outcome.postings_scanned += 1
+            outcome.candidates.append(candidate)
+
+            if threshold is not None and text_bound * _BOUND_SLACK + rank_part < threshold:
+                outcome.docs_pruned += 1
+                continue
+            for cursor in cursors[:first_essential]:
+                outcome.postings_scanned += cursor.seek(candidate)
+                if not cursor.exhausted and cursor.current == candidate:
+                    found[cursor.term] = cursor.frequencies[cursor.position]
+            self._offer(heap, candidate, self._score_exact(plan, candidate, found))
+            outcome.docs_scored += 1

@@ -9,17 +9,18 @@ reach the decentralized index and the ad contract.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
-from repro.errors import QueryParseError
+from repro.errors import QueryParseError, TermNotFoundError
 from repro.index.analysis import Analyzer, tokenize
 from repro.index.distributed import DistributedIndex
+from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.ranking.bm25 import BM25Scorer
 from repro.ranking.scoring import CombinedScorer
 from repro.search.executor import QueryExecutor
-from repro.search.planner import STRATEGY_RAREST_FIRST, QueryPlanner
-from repro.search.query import parse_query
+from repro.search.planner import MODE_MAXSCORE, STRATEGY_RAREST_FIRST, QueryPlanner
+from repro.search.query import ParsedQuery, parse_query
 from repro.search.results import AdPlacement, ResultPage, SearchResult
 from repro.sim.simulator import Simulator
 
@@ -39,6 +40,9 @@ class FrontendStats:
     queries: int = 0
     failed_queries: int = 0
     empty_result_queries: int = 0
+    batches: int = 0
+    batch_term_occurrences: int = 0
+    batch_unique_terms: int = 0
     latencies: List[float] = field(default_factory=list)
 
     def record(self, latency: float, result_count: int) -> None:
@@ -46,6 +50,11 @@ class FrontendStats:
         self.latencies.append(latency)
         if result_count == 0:
             self.empty_result_queries += 1
+
+    @property
+    def batch_fetches_amortized(self) -> int:
+        """DHT lookups the batch API avoided by deduplicating terms."""
+        return self.batch_term_occurrences - self.batch_unique_terms
 
 
 class SearchFrontend:
@@ -79,6 +88,7 @@ class SearchFrontend:
         top_k: int = 10,
         max_ads: int = 2,
         planning_strategy: str = STRATEGY_RAREST_FIRST,
+        execution_mode: str = MODE_MAXSCORE,
         requester: Optional[str] = None,
         bm25: Optional[BM25Scorer] = None,
         combiner: Optional[CombinedScorer] = None,
@@ -93,6 +103,7 @@ class SearchFrontend:
         self.top_k = top_k
         self.max_ads = max_ads
         self.planning_strategy = planning_strategy
+        self.execution_mode = execution_mode
         self.requester = requester
         self.bm25 = bm25
         self.combiner = combiner or CombinedScorer()
@@ -121,17 +132,103 @@ class SearchFrontend:
         except QueryParseError:
             self.stats.failed_queries += 1
             return ResultPage(query=raw_query, latency=0.0)
+        return self._run_query(raw_query, query, started)
 
+    def search_batch(self, raw_queries: Sequence[str]) -> List[ResultPage]:
+        """Answer a stream of queries, amortizing DHT lookups across them.
+
+        The batch is parsed up front, the union of distinct terms is fetched
+        once (one DHT lookup + content fetch per *unique* term instead of per
+        occurrence), and every query then executes against the prefetched
+        lists.  With a Zipfian query stream the deduplication alone removes
+        most of the network cost; the posting cache extends the saving across
+        batches.
+
+        Each page's ``latency`` includes an equal share of the shared
+        prefetch time, so batched and sequential latencies feed the same
+        histograms comparably (their sum equals the batch wall time).
+        """
+        started = self.simulator.now
+        parsed: List[Optional[ParsedQuery]] = []
+        term_occurrences = 0
+        wanted: Set[str] = set()
+        for raw_query in raw_queries:
+            try:
+                query = parse_query(raw_query, self.analyzer)
+            except QueryParseError:
+                self.stats.failed_queries += 1
+                parsed.append(None)
+                continue
+            parsed.append(query)
+            term_occurrences += len(query.terms)
+            wanted.update(query.terms)
+
+        prefetched: Dict[str, PostingList] = {}
+        missing: Set[str] = set()
+        for term in sorted(wanted):
+            try:
+                prefetched[term] = self.index.fetch_term(term, requester=self.requester)
+            except TermNotFoundError:
+                missing.add(term)
+
+        self.stats.batches += 1
+        self.stats.batch_term_occurrences += term_occurrences
+        self.stats.batch_unique_terms += len(wanted)
+        parsed_count = sum(1 for query in parsed if query is not None)
+        prefetch_share = (
+            (self.simulator.now - started) / parsed_count if parsed_count else 0.0
+        )
+
+        def fetch(term: str) -> PostingList:
+            postings = prefetched.get(term)
+            if postings is None:
+                if term in missing:
+                    raise TermNotFoundError(f"term {term!r} has no published shard")
+                # Terms can slip past prefetching only via a refreshed parse;
+                # fall back to the index rather than failing the query.
+                postings = self.index.fetch_term(term, requester=self.requester)
+                prefetched[term] = postings
+            return postings
+
+        pages: List[ResultPage] = []
+        for raw_query, query in zip(raw_queries, parsed):
+            if query is None:
+                pages.append(ResultPage(query=raw_query, latency=0.0))
+                continue
+            query_started = self.simulator.now
+            pages.append(
+                self._run_query(
+                    raw_query, query, query_started, fetcher=fetch,
+                    extra_latency=prefetch_share,
+                )
+            )
+        batch_latency = self.simulator.now - started
+        for page in pages:
+            page.diagnostics["batch_latency"] = batch_latency
+            page.diagnostics["batch_unique_terms"] = len(wanted)
+            page.diagnostics["batch_term_occurrences"] = term_occurrences
+        return pages
+
+    def _run_query(
+        self,
+        raw_query: str,
+        query: ParsedQuery,
+        started: float,
+        fetcher: Optional[Callable[[str], PostingList]] = None,
+        extra_latency: float = 0.0,
+    ) -> ResultPage:
         statistics = self.statistics
         planner = QueryPlanner(statistics.df, strategy=self.planning_strategy)
         plan = planner.plan(query)
         executor = QueryExecutor(
-            fetch_postings=lambda term: self.index.fetch_term(term, requester=self.requester),
+            fetch_postings=fetcher
+            or (lambda term: self.index.fetch_term(term, requester=self.requester)),
             statistics=statistics,
             page_ranks=self.rank_provider(),
             bm25=self.bm25 or BM25Scorer(statistics),
             combiner=self.combiner,
             top_k=self.top_k,
+            mode=self.execution_mode,
         )
         outcome = executor.execute(plan)
 
@@ -155,7 +252,7 @@ class SearchFrontend:
         # Ads are keyed on the advertiser's raw keywords, so match them against
         # the user's raw tokens rather than the stemmed index terms.
         ads = self._select_ads(tuple(tokenize(raw_query)) + query.terms)
-        latency = self.simulator.now - started
+        latency = self.simulator.now - started + extra_latency
         page = ResultPage(
             query=raw_query,
             terms=query.terms,
@@ -166,8 +263,12 @@ class SearchFrontend:
             terms_missing=outcome.missing_terms,
             diagnostics={
                 "plan_strategy": plan.strategy,
+                "execution_mode": outcome.mode,
                 "terms_fetched": outcome.terms_fetched,
+                "estimated_postings": plan.estimated_postings,
                 "postings_scanned": outcome.postings_scanned,
+                "docs_scored": outcome.docs_scored,
+                "docs_pruned": outcome.docs_pruned,
                 "early_exit": outcome.early_exit,
             },
         )

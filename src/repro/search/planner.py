@@ -1,10 +1,13 @@
 """Query planning: the order in which term posting lists are fetched and
-intersected.
+intersected, plus the plan-level cost estimate the diagnostics report.
 
 Fetching the rarest term first keeps the running intersection small, so later
 (longer) lists are galloped into rather than scanned — and for conjunctive
 queries an empty intermediate result lets the frontend skip the remaining
 fetches entirely.  The naive (query order) plan is kept as the E1 ablation.
+
+The execution-mode constants live here (rather than in the executor) so the
+executor, frontend, and config can all name them without import cycles.
 """
 
 from __future__ import annotations
@@ -17,6 +20,13 @@ from repro.search.query import ParsedQuery
 STRATEGY_RAREST_FIRST = "rarest_first"
 STRATEGY_QUERY_ORDER = "query_order"
 
+# Execution modes understood by the executor.  TAAT is the reference
+# term-at-a-time intersect-then-score path; MAXSCORE is the document-at-a-time
+# top-k engine with per-term upper-bound pruning.
+MODE_TAAT = "taat"
+MODE_MAXSCORE = "maxscore"
+EXECUTION_MODES = (MODE_TAAT, MODE_MAXSCORE)
+
 
 @dataclass
 class QueryPlan:
@@ -26,6 +36,17 @@ class QueryPlan:
     ordered_terms: Tuple[str, ...] = field(default_factory=tuple)
     strategy: str = STRATEGY_RAREST_FIRST
     estimated_frequencies: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def estimated_postings(self) -> int:
+        """Total postings a full term-at-a-time evaluation would score.
+
+        Reported in result-page diagnostics.  Compare it against
+        ``docs_scored`` to see what pruning saved; ``postings_scanned`` is a
+        different unit in maxscore mode (it counts cursor/gallop probes, not
+        scored postings), so it is not directly comparable to this estimate.
+        """
+        return sum(self.estimated_frequencies)
 
 
 class QueryPlanner:

@@ -83,3 +83,20 @@ class QueryWorkloadGenerator:
                     terms.append(term)
             queries.append(" ".join(terms))
         return QueryWorkload(queries=queries)
+
+    def generate_stream(
+        self, count: int, distinct: int, repeat_exponent: float = 1.0
+    ) -> QueryWorkload:
+        """A repeated-query stream drawn Zipf-weighted from a fixed pool.
+
+        Real query traffic repeats itself: a small head of popular queries
+        dominates the stream.  This generates a pool of ``distinct`` queries
+        and then samples ``count`` of them with Zipfian popularity — the
+        regime where posting-list caching and batch term deduplication pay
+        off (benchmark E10).
+        """
+        if distinct < 1:
+            raise WorkloadError(f"need at least one distinct query, got {distinct!r}")
+        pool = self.generate(distinct).queries
+        popularity = ZipfSampler(len(pool), repeat_exponent, self.rng)
+        return QueryWorkload(queries=[pool[popularity.sample()] for _ in range(count)])

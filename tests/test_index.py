@@ -37,6 +37,26 @@ class TestAnalysis:
         assert light_stem("indexes") == "index"
         assert light_stem("is") == "is"  # too short to stem
 
+    def test_stemmer_suffix_table_has_no_duplicates(self):
+        from repro.index.analysis import _SUFFIXES
+
+        assert len(_SUFFIXES) == len(set(_SUFFIXES))
+
+    def test_stemmer_suffix_behavior_pinned(self):
+        # Longest-match-first semantics: the first applicable suffix in the
+        # table wins, and stemming never leaves fewer than three characters.
+        assert light_stem("amazingly") == "amaz"      # "ingly", not "ly"
+        assert light_stem("reportedly") == "report"   # "edly", not "ly"
+        assert light_stem("buildings") == "build"     # "ings", not "s"
+        assert light_stem("studied") == "stud"        # "ied", not "ed"
+        assert light_stem("parties") == "part"        # "ies", not "es"
+        assert light_stem("jumped") == "jump"
+        assert light_stem("boxes") == "box"
+        assert light_stem("cats") == "cat"
+        assert light_stem("slowly") == "slow"
+        assert light_stem("sing") == "sing"           # stem would leave < 3 chars
+        assert light_stem("bed") == "bed"             # no applicable suffix survives
+
     def test_query_and_document_analysis_agree(self):
         analyzer = Analyzer()
         assert analyzer.analyze("Searching decentralized indexes") == analyzer.analyze(
@@ -84,6 +104,26 @@ class TestCompression:
         with pytest.raises(IndexError_):
             compress_postings([1, 2], [1])
 
+    def test_empty_list_roundtrip(self):
+        encoded = compress_postings([], [])
+        assert decompress_postings(encoded) == ([], [])
+        assert PostingList.from_bytes(PostingList().to_bytes()) == PostingList()
+
+    def test_single_element_roundtrip(self):
+        for doc_id in (0, 1, 127, 128, 10**9):
+            encoded = compress_postings([doc_id], [3])
+            assert decompress_postings(encoded) == ([doc_id], [3])
+
+    def test_large_doc_id_gaps_roundtrip(self):
+        doc_ids = [0, 1, 2**31, 2**31 + 1, 2**62]
+        freqs = [1, 2, 3, 4, 5]
+        assert decompress_postings(compress_postings(doc_ids, freqs)) == (doc_ids, freqs)
+
+    def test_trailing_garbage_rejected(self):
+        encoded = compress_postings([1, 2], [1, 1])
+        with pytest.raises(IndexError_):
+            decompress_postings(encoded + b"\x00")
+
     @given(st.lists(st.tuples(st.integers(0, 10**6), st.integers(1, 500)),
                     max_size=200, unique_by=lambda t: t[0]))
     @settings(max_examples=50)
@@ -92,6 +132,15 @@ class TestCompression:
         doc_ids = [p[0] for p in pairs]
         freqs = [p[1] for p in pairs]
         assert decompress_postings(compress_postings(doc_ids, freqs)) == (doc_ids, freqs)
+
+    @given(st.lists(st.tuples(st.integers(0, 10**8), st.integers(1, 1000)),
+                    max_size=100, unique_by=lambda t: t[0]))
+    @settings(max_examples=50)
+    def test_posting_list_serialization_roundtrip_property(self, pairs):
+        original = PostingList([Posting(doc_id, tf) for doc_id, tf in pairs])
+        restored = PostingList.from_payload(original.to_payload())
+        assert restored == original
+        assert restored.max_term_frequency == original.max_term_frequency
 
 
 class TestPostingList:
@@ -306,3 +355,102 @@ class TestDistributedIndex:
         index.publish_term("present", PostingList([Posting(1)]))
         assert index.has_term("present")
         assert term_key("x") == "idx:x"
+
+
+class TestMaxTermFrequency:
+    def test_empty_list_has_zero_max(self):
+        assert PostingList().max_term_frequency == 0
+
+    def test_max_tracks_additions_updates_and_removals(self):
+        postings = PostingList()
+        postings.add(1, 3)
+        postings.add(2, 9)
+        assert postings.max_term_frequency == 9
+        postings.add(2, 1)  # update lowers the max
+        assert postings.max_term_frequency == 3
+        postings.remove(1)
+        assert postings.max_term_frequency == 1
+
+    def test_local_index_exposes_max_term_frequency(self):
+        index = LocalInvertedIndex(Analyzer(stem=False))
+        index.add_document(Document(doc_id=1, url="dweb://a/1", title="t", text="bee bee bee honey"))
+        index.add_document(Document(doc_id=2, url="dweb://a/2", title="t", text="bee honey"))
+        assert index.max_term_frequency("bee") == 3
+        assert index.max_term_frequency("honey") == 1
+        assert index.max_term_frequency("unknown") == 0
+
+    def test_max_tf_travels_with_published_shards(self, dht, storage):
+        index = DistributedIndex(dht, storage)
+        index.publish_term("bee", PostingList([Posting(1, 2), Posting(2, 7)]))
+        fetched = index.fetch_term("bee")
+        assert fetched.max_term_frequency == 7
+
+
+class TestPostingCache:
+    def _cache(self, capacity=2):
+        from repro.index.cache import PostingCache
+
+        return PostingCache(capacity)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            self._cache(0)
+
+    def test_get_put_and_hit_miss_accounting(self):
+        cache = self._cache()
+        assert cache.get("a") is None
+        postings = PostingList([Posting(1)])
+        cache.put("a", postings)
+        assert cache.get("a") is postings
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = self._cache(capacity=2)
+        cache.put("a", PostingList())
+        cache.put("b", PostingList())
+        cache.get("a")  # touch: "b" is now least recently used
+        cache.put("c", PostingList())
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = self._cache()
+        cache.put("a", PostingList())
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert "a" not in cache
+
+    def test_distributed_index_read_through_and_write_through(self, dht, storage):
+        from repro.index.cache import PostingCache
+
+        cache = PostingCache(8)
+        index = DistributedIndex(dht, storage, cache=cache)
+        index.publish_term("bee", PostingList([Posting(1, 2)]))
+        fetched_cold = index.fetch_term("bee")     # miss: populates the cache
+        fetched_warm = index.fetch_term("bee")     # hit: no network fetch
+        assert fetched_warm is fetched_cold
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert index.stats.terms_fetched == 1
+        # A republish must replace the cached entry, not serve the stale one.
+        index.publish_term("bee", PostingList([Posting(1, 2), Posting(5, 1)]))
+        assert index.fetch_term("bee").doc_ids == [1, 5]
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_remove_document_does_not_mutate_shared_fetched_list(self, dht, storage):
+        from repro.index.cache import PostingCache
+
+        index = DistributedIndex(dht, storage, cache=PostingCache(8))
+        index.publish_term("bee", PostingList([Posting(1), Posting(2)]))
+        held = index.fetch_term("bee")          # cache-shared object
+        assert index.remove_document("bee", 1)
+        assert held.doc_ids == [1, 2]           # the caller's copy is untouched
+        assert index.fetch_term("bee").doc_ids == [2]
+
+    def test_posting_list_copy_is_detached(self):
+        original = PostingList([Posting(1, 2), Posting(2, 3)])
+        clone = original.copy()
+        clone.add(9)
+        clone.remove(1)
+        assert original.doc_ids == [1, 2]
+        assert clone.doc_ids == [2, 9]

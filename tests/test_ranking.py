@@ -161,6 +161,24 @@ class TestBM25:
         with pytest.raises(ValueError):
             BM25Scorer(CollectionStatistics(), b=2.0)
 
+    def test_upper_bound_dominates_every_actual_score(self):
+        # The max-impact bound must hold for any tf up to the list max and
+        # any document length — MaxScore pruning is only safe if it does.
+        scorer = BM25Scorer(self._stats())
+        for term, max_tf in (("honey", 3), ("bee", 1)):
+            bound = scorer.upper_bound(term, max_tf)
+            for doc_id in (1, 2, 3):
+                for tf in range(1, max_tf + 1):
+                    assert scorer.score_document(doc_id, {term: tf}) <= bound
+        assert scorer.upper_bound("honey", 0) == 0.0
+
+    def test_upper_bound_agrees_with_impact_parameters(self):
+        scorer = BM25Scorer(self._stats())
+        scale, tf_constant = scorer.impact_parameters("honey")
+        assert scorer.upper_bound("honey", 3) == pytest.approx(
+            scale * 3 / (3 + tf_constant)
+        )
+
 
 class TestCombinedScorer:
     def test_page_rank_breaks_text_score_ties(self):

@@ -10,7 +10,13 @@ from repro.index.distributed import DistributedIndex
 from repro.index.postings import Posting, PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.search.executor import QueryExecutor
-from repro.search.planner import STRATEGY_QUERY_ORDER, STRATEGY_RAREST_FIRST, QueryPlanner
+from repro.search.planner import (
+    MODE_MAXSCORE,
+    MODE_TAAT,
+    STRATEGY_QUERY_ORDER,
+    STRATEGY_RAREST_FIRST,
+    QueryPlanner,
+)
 from repro.search.query import MODE_AND, MODE_OR, parse_query
 from repro.search.frontend import SearchFrontend
 from repro.search.results import ResultPage, SearchResult
@@ -226,3 +232,207 @@ class TestSearchFrontend:
         frontend_setup.search("honey")
         assert frontend_setup.stats.queries == 2
         assert len(frontend_setup.stats.latencies) == 2
+
+
+class TestMaxScoreExecutor:
+    """The DAAT/MaxScore path must return exactly what the TAAT path returns."""
+
+    ANALYZER = Analyzer(stem=False)
+
+    def _plan(self, raw, df=None):
+        df = df or {}
+        return QueryPlanner(lambda term: df.get(term, 1)).plan(parse_query(raw, self.ANALYZER))
+
+    def _both(self, postings_map, raw, page_ranks=None, top_k=3):
+        taat = build_executor(postings_map, page_ranks=page_ranks, top_k=top_k)
+        outcome_taat = taat.execute(self._plan(raw), mode=MODE_TAAT)
+        maxscore = build_executor(postings_map, page_ranks=page_ranks, top_k=top_k)
+        outcome_max = maxscore.execute(self._plan(raw), mode=MODE_MAXSCORE)
+        return outcome_taat, outcome_max
+
+    def test_and_query_identical_to_taat(self):
+        postings_map = {
+            "honey": PostingList([Posting(i, 1 + i % 3) for i in range(0, 40, 2)]),
+            "bee": PostingList([Posting(i, 1 + i % 5) for i in range(0, 40, 3)]),
+        }
+        taat, maxscore = self._both(postings_map, "honey bee")
+        assert maxscore.scores == taat.scores
+        assert list(maxscore.scores) == list(taat.scores)
+        assert maxscore.candidates == taat.candidates  # full intersection enumerated
+
+    def test_or_query_identical_to_taat(self):
+        postings_map = {
+            "honey": PostingList([Posting(i, 1 + i % 4) for i in range(0, 50, 2)]),
+            "bee": PostingList([Posting(i, 1 + i % 2) for i in range(0, 50, 5)]),
+            "comb": PostingList([Posting(i, 2) for i in range(1, 50, 7)]),
+        }
+        taat, maxscore = self._both(postings_map, "honey OR bee OR comb")
+        assert maxscore.scores == taat.scores
+        assert list(maxscore.scores) == list(taat.scores)
+
+    def test_pruning_skips_scoring_work(self):
+        # One dominant high-frequency doc per stripe; k=1 forces a high
+        # threshold early so later low-impact documents are pruned.
+        postings_map = {
+            "aa": PostingList([Posting(0, 50)] + [Posting(i, 1) for i in range(1, 200)]),
+            "bb": PostingList([Posting(0, 50)] + [Posting(i, 1) for i in range(1, 200)]),
+        }
+        taat = build_executor(postings_map, top_k=1)
+        outcome_taat = taat.execute(self._plan("aa bb"), mode=MODE_TAAT)
+        maxscore = build_executor(postings_map, top_k=1)
+        outcome_max = maxscore.execute(self._plan("aa bb"), mode=MODE_MAXSCORE)
+        assert outcome_max.scores == outcome_taat.scores
+        assert outcome_max.docs_pruned > 0
+        assert outcome_max.docs_scored < outcome_taat.docs_scored
+
+    def test_page_ranks_affect_both_modes_identically(self):
+        postings_map = {
+            "term": PostingList([Posting(i, 1) for i in range(30)]),
+            "other": PostingList([Posting(i, 1) for i in range(0, 30, 2)]),
+        }
+        ranks = {i: 1.0 / (i + 1) for i in range(30)}
+        taat, maxscore = self._both(postings_map, "term OR other", page_ranks=ranks, top_k=5)
+        assert maxscore.scores == taat.scores
+        assert maxscore.page_ranks == taat.page_ranks
+
+    def test_missing_term_behaviour_matches_taat(self):
+        postings_map = {"honey": PostingList([Posting(1)])}
+        taat, maxscore = self._both(postings_map, "honey unicorn")
+        assert maxscore.scores == taat.scores == {}
+        assert maxscore.early_exit and "unicorn" in maxscore.missing_terms
+        taat_or, maxscore_or = self._both(postings_map, "honey OR unicorn")
+        assert maxscore_or.scores == taat_or.scores
+
+    def test_single_term_query(self):
+        postings_map = {"solo": PostingList([Posting(i, i % 7 + 1) for i in range(25)])}
+        taat, maxscore = self._both(postings_map, "solo", top_k=4)
+        assert maxscore.scores == taat.scores
+
+    def test_randomized_identity_property(self):
+        import random
+
+        rng = random.Random(1234)
+        vocabulary = ["t%d" % i for i in range(8)]
+        for trial in range(30):
+            postings_map = {}
+            for term in vocabulary:
+                docs = sorted(rng.sample(range(120), rng.randint(1, 60)))
+                postings_map[term] = PostingList(
+                    [Posting(d, rng.randint(1, 9)) for d in docs]
+                )
+            n_terms = rng.randint(1, 4)
+            terms = rng.sample(vocabulary, n_terms)
+            joiner = " OR " if rng.random() < 0.5 else " "
+            raw = joiner.join(terms)
+            ranks = {d: rng.random() / 50 for d in range(0, 120, 3)}
+            k = rng.choice([1, 3, 10])
+            taat, maxscore = self._both(postings_map, raw, page_ranks=ranks, top_k=k)
+            assert maxscore.scores == taat.scores, f"trial {trial}: {raw!r}"
+            assert list(maxscore.scores) == list(taat.scores), f"trial {trial}: {raw!r}"
+
+    def test_unknown_mode_rejected(self):
+        executor = build_executor({"aa": PostingList([Posting(1)])})
+        with pytest.raises(ValueError):
+            executor.execute(self._plan("aa"), mode="warp-speed")
+        with pytest.raises(ValueError):
+            QueryExecutor(
+                fetch_postings=lambda term: PostingList(),
+                statistics=CollectionStatistics(),
+                mode="warp-speed",
+            )
+
+
+class TestPlanCostEstimate:
+    def test_estimated_postings_sums_frequencies(self):
+        df = {"honey": 5, "bees": 12}
+        planner = QueryPlanner(lambda term: df.get(term, 0))
+        plan = planner.plan(parse_query("honey bees", Analyzer(stem=False)))
+        assert plan.estimated_postings == 17
+
+    def test_estimate_surfaces_in_page_diagnostics(self, simulator, dht, storage):
+        index = DistributedIndex(dht, storage)
+        index.publish_term("honey", PostingList([Posting(1), Posting(2)]))
+        stats = CollectionStatistics()
+        stats.add_document(1, 10, {"honey": 1})
+        stats.add_document(2, 10, {"honey": 1})
+        index.publish_statistics(stats)
+        frontend = SearchFrontend(simulator=simulator, index=index, analyzer=Analyzer(stem=False))
+        page = frontend.search("honey")
+        assert page.diagnostics["estimated_postings"] == 2
+
+
+class TestSearchBatch:
+    @pytest.fixture
+    def batch_setup(self, simulator, dht, storage):
+        from repro.index.cache import PostingCache
+        from repro.index.document import Document
+        from repro.index.inverted_index import LocalInvertedIndex
+
+        cache = PostingCache(64)
+        index = DistributedIndex(dht, storage, cache=cache)
+        analyzer = Analyzer(stem=False)
+        statistics = CollectionStatistics()
+        corpus = {
+            1: "honey bees build combs",
+            2: "worker bees gather honey nectar",
+            3: "decentralized web pages",
+            4: "honey markets and web economics",
+        }
+        local = LocalInvertedIndex(analyzer)
+        for doc_id, text in corpus.items():
+            document = Document(doc_id=doc_id, url=f"dweb://x/{doc_id}", title=f"p{doc_id}", text=text)
+            local.add_document(document)
+            statistics.add_document(doc_id, document.length, analyzer.term_frequencies(text))
+        for term in local.terms():
+            index.publish_term(term, local.postings(term))
+        index.publish_statistics(statistics)
+        frontend = SearchFrontend(simulator=simulator, index=index, analyzer=analyzer)
+        return frontend, index, cache
+
+    def test_batch_matches_sequential_results(self, batch_setup):
+        frontend, _, _ = batch_setup
+        queries = ["honey bees", "web", "honey", "bees OR nectar"]
+        sequential = [frontend.search(query) for query in queries]
+        batched = frontend.search_batch(queries)
+        assert [p.doc_ids for p in batched] == [p.doc_ids for p in sequential]
+        assert [[r.score for r in p.results] for p in batched] == [
+            [r.score for r in p.results] for p in sequential
+        ]
+
+    def test_batch_deduplicates_term_fetches(self, batch_setup):
+        frontend, index, cache = batch_setup
+        cache.clear()
+        index.stats.reset()
+        cache.stats.reset()
+        queries = ["honey bees", "honey web", "honey bees web"]
+        pages = frontend.search_batch(queries)
+        assert len(pages) == 3
+        # 7 term occurrences collapse to 3 unique fetches.
+        assert frontend.stats.batch_term_occurrences == 7
+        assert frontend.stats.batch_unique_terms == 3
+        assert frontend.stats.batch_fetches_amortized == 4
+        assert index.stats.terms_fetched == 3
+
+    def test_cache_carries_terms_across_batches(self, batch_setup):
+        frontend, index, cache = batch_setup
+        cache.clear()
+        cache.stats.reset()
+        frontend.search_batch(["honey bees"])
+        index.stats.reset()
+        frontend.search_batch(["honey bees"])
+        assert cache.stats.hits >= 2
+        assert index.stats.terms_fetched == 0  # fully served from cache
+
+    def test_unparseable_query_in_batch_yields_empty_page(self, batch_setup):
+        frontend, _, _ = batch_setup
+        pages = frontend.search_batch(["honey", "   ", "web"])
+        assert len(pages) == 3
+        assert pages[1].result_count == 0
+        assert frontend.stats.failed_queries == 1
+
+    def test_batch_diagnostics_present(self, batch_setup):
+        frontend, _, _ = batch_setup
+        pages = frontend.search_batch(["honey", "web"])
+        for page in pages:
+            assert "batch_unique_terms" in page.diagnostics
+            assert page.diagnostics["execution_mode"] == MODE_MAXSCORE
