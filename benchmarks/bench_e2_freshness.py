@@ -10,29 +10,46 @@ every publish immediately triggers a worker-bee indexing task, and (b) a
 crawler-fed centralized index at several crawl intervals.  It reports the
 publish -> searchable lag distribution and the fraction of versions still
 stale at the end of the stream.
+
+A second section drives an update/delete-heavy stream with the posting cache
+enabled and interleaves queries through two frontends — one cached, one
+bypassing the cache — to measure the index-epoch invalidation protocol: the
+cached path must return top-k pages identical to the uncached path after
+every update and delete (stale-hit rate 0), while the ablation with
+generation validation disabled shows the stale hits the protocol eliminates.
+
+Set the ``E2_SMOKE`` environment variable to run a tiny configuration (the
+CI smoke job does this alongside E10).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import os
+from typing import Dict, List, Optional
 
 from repro.baselines.centralized import CentralizedSearchEngine
 from repro.baselines.crawler import Crawler
 from repro.core.freshness import FreshnessTracker
 from repro.net.latency import LogNormalLatency
 from repro.net.network import SimulatedNetwork
+from repro.search.frontend import SearchFrontend
 from repro.sim.simulator import Simulator
 from repro.workloads.updates import PublishWorkloadGenerator
 
 from benchmarks.common import build_corpus, build_engine, print_table
 
-DOC_COUNT = 240
-PUBLISH_EVENTS = 80
+SMOKE = bool(os.environ.get("E2_SMOKE"))
+DOC_COUNT = 100 if SMOKE else 240
+PUBLISH_EVENTS = 30 if SMOKE else 80
 MEAN_INTERARRIVAL = 400.0  # ms between publish events
 # Real crawlers revisit most sites on the order of minutes to days; the small
 # end of this sweep is deliberately generous to the crawler so the crossover
 # with QueenBee's constant publish-driven lag is visible in the table.
 CRAWL_INTERVALS = (2_000.0, 20_000.0, 100_000.0)
+# The invalidation section: an update/delete-heavy stream with the posting
+# cache on, queried after every event.
+INVALIDATION_EVENTS = 24 if SMOKE else 60
+QUERY_TERMS_PER_EVENT = 2
 
 
 def _workload(corpus, seed=7):
@@ -88,6 +105,116 @@ def _crawler_row(corpus, crawl_interval: float) -> Dict[str, object]:
     }
 
 
+class _CacheBypassIndex:
+    """Read-only view of a DistributedIndex that skips the posting cache.
+
+    The reference path the cached frontend is compared against: every fetch
+    resolves the authoritative shard from the DHT + storage.
+    """
+
+    def __init__(self, index) -> None:
+        self._index = index
+
+    def fetch_term(self, term: str, requester: Optional[str] = None):
+        return self._index.fetch_term(term, requester=requester, use_cache=False)
+
+    def fetch_statistics(self, requester: Optional[str] = None):
+        return self._index.fetch_statistics(requester=requester)
+
+
+def _invalidation_row(corpus, validate: bool) -> Dict[str, object]:
+    generator = PublishWorkloadGenerator(
+        corpus, initial_fraction=0.6, mean_interarrival=MEAN_INTERARRIVAL,
+        update_probability=0.7, delete_probability=0.2, seed=13,
+    )
+    workload = generator.generate(INVALIDATION_EVENTS)
+    engine = build_engine(
+        peer_count=16, worker_count=4, seed=405,
+        posting_cache_capacity=512, cache_validation=validate,
+    )
+    engine.bootstrap_corpus(generator.initial_documents())
+    cached = engine.create_frontend(requester="peer-001:store")
+    reference = SearchFrontend(
+        simulator=engine.simulator,
+        index=_CacheBypassIndex(engine.index),
+        rank_provider=engine.page_ranks,
+        rank_version_provider=engine.rank_version,
+        metadata_resolver=engine.directory.resolve,
+        analyzer=engine.analyzer,
+        statistics=engine.statistics,
+        top_k=engine.config.top_k,
+        planning_strategy=engine.config.planning_strategy,
+        execution_mode=engine.config.execution_mode,
+        requester="peer-002:store",
+    )
+
+    def query_terms(event) -> List[str]:
+        words = event.document.text.split()
+        step = max(1, len(words) // QUERY_TERMS_PER_EVENT)
+        return [words[i] for i in range(0, len(words), step)][:QUERY_TERMS_PER_EVENT]
+
+    # Pre-warm the cache with the terms the stream is about to touch, so
+    # updates/deletes supersede live cache entries rather than cold ones.
+    for event in workload:
+        for term in query_terms(event):
+            cached.search(term)
+
+    mismatches = 0
+    queries = 0
+    updates = deletes = 0
+    for event in workload:
+        if event.time > engine.simulator.now:
+            engine.simulator.clock.advance_to(event.time)
+        if event.is_delete:
+            engine.delete_document(event.document.doc_id)
+            deletes += 1
+        else:
+            engine.publish_document(event.document)
+            updates += int(event.is_update)
+        for term in query_terms(event):
+            cached_page = cached.search(term)
+            reference_page = reference.search(term)
+            queries += 1
+            cached_top = [(r.doc_id, round(r.score, 9)) for r in cached_page.results]
+            reference_top = [(r.doc_id, round(r.score, 9)) for r in reference_page.results]
+            if cached_top != reference_top:
+                mismatches += 1
+
+    stats = engine.posting_cache.stats
+    return {
+        "cache validation": "on (epoch protocol)" if validate else "off (ablation)",
+        "events (upd/del)": f"{updates}/{deletes}",
+        "queries": queries,
+        "cache hit rate": stats.hit_rate,
+        "invalidations": stats.invalidations,
+        "stale-hit rate (%)": 100.0 * stats.stale_hit_rate,
+        "top-k mismatches": mismatches,
+    }
+
+
+def run_invalidation_experiment(corpus=None) -> List[Dict[str, object]]:
+    """The cache-invalidation section: cached vs uncached top-k under churn."""
+    corpus = corpus or build_corpus(DOC_COUNT, seed=78)
+    rows = [_invalidation_row(corpus, validate=True),
+            _invalidation_row(corpus, validate=False)]
+    print_table(
+        "E2b: posting-cache freshness under an update/delete-heavy stream",
+        rows,
+        note=(
+            f"{INVALIDATION_EVENTS} events, posting cache enabled, every query "
+            f"answered by the cached and the cache-bypassing frontend "
+            f"({'smoke' if SMOKE else 'full'} config)"
+        ),
+    )
+    protocol = rows[0]
+    assert protocol["stale-hit rate (%)"] == 0.0, "epoch protocol served a stale shard"
+    assert protocol["top-k mismatches"] == 0, "cached top-k diverged from uncached"
+    assert protocol["invalidations"] > 0, "stream never superseded a cached shard"
+    ablation = rows[1]
+    assert ablation["stale-hit rate (%)"] > 0.0, "ablation should expose stale hits"
+    return rows
+
+
 def run_experiment() -> List[Dict[str, object]]:
     corpus = build_corpus(DOC_COUNT, seed=77)
     rows = [_queenbee_row(corpus)]
@@ -98,6 +225,7 @@ def run_experiment() -> List[Dict[str, object]]:
         rows,
         note=f"{PUBLISH_EVENTS} publish/update events, mean interarrival {MEAN_INTERARRIVAL:.0f} ms",
     )
+    run_invalidation_experiment()
     return rows
 
 

@@ -39,6 +39,10 @@ class QueenBeeConfig:
     # Capacity (in terms) of the LRU posting-list cache in front of
     # decentralized storage; 0 disables caching entirely.
     posting_cache_capacity: int = 256
+    # Validate cached posting lists against the per-term index generation
+    # (the epoch invalidation protocol).  Disabling it is the E2 ablation
+    # that quantifies the stale-hit rate the protocol eliminates.
+    cache_validation: bool = True
 
     # Ranking
     rank_redundancy: int = 3

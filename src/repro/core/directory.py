@@ -45,13 +45,31 @@ class DocumentDirectory:
         self.dht.put(doc_key(document.doc_id), record)
         self.dht.put(url_key(document.url), document.doc_id)
 
+    def mark_deleted(self, doc_id: int) -> bool:
+        """Replace a document's metadata with a tombstone (page deletion).
+
+        The DHT has no delete primitive, so absence is expressed as published
+        state: a ``deleted`` record that :meth:`resolve` hides and whose URL
+        mapping is cleared.  Returns False when no record existed.
+        """
+        try:
+            record = self.dht.get(doc_key(doc_id))
+        except KeyNotFoundError:
+            return False
+        self.dht.put(doc_key(doc_id), {"doc_id": doc_id, "deleted": True})
+        if isinstance(record, dict) and record.get("url"):
+            self.dht.put(url_key(record["url"]), None)
+        return True
+
     def resolve(self, doc_id: int) -> Dict[str, Any]:
-        """Metadata for ``doc_id`` (empty dict when unknown/unreachable)."""
+        """Metadata for ``doc_id`` (empty dict when unknown/unreachable/deleted)."""
         try:
             record = self.dht.get(doc_key(doc_id))
         except KeyNotFoundError:
             return {}
-        return dict(record) if isinstance(record, dict) else {}
+        if not isinstance(record, dict) or record.get("deleted"):
+            return {}
+        return dict(record)
 
     def resolve_url(self, url: str) -> Optional[int]:
         """The doc_id registered for ``url`` (``None`` when unknown)."""

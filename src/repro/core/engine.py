@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.chain.blockchain import Blockchain
@@ -23,6 +24,7 @@ from repro.core.worker import WorkerBee
 from repro.dht.dht import DHTNetwork
 from repro.index.analysis import Analyzer
 from repro.index.cache import PostingCache
+from repro.index.directory import TermDirectory
 from repro.index.distributed import DistributedIndex
 from repro.index.document import Document, DocumentStore
 from repro.index.inverted_index import LocalInvertedIndex
@@ -46,6 +48,7 @@ class EngineStats:
     """High-level counters over the lifetime of one engine."""
 
     documents_published: int = 0
+    documents_deleted: int = 0
     publishes_rejected: int = 0
     rank_rounds: int = 0
     workers_slashed: int = 0
@@ -93,9 +96,11 @@ class QueenBeeEngine:
             PostingCache(cfg.posting_cache_capacity) if cfg.posting_cache_capacity > 0 else None
         )
         self.index = DistributedIndex(
-            self.dht, self.storage, compress=cfg.compress_index, cache=self.posting_cache
+            self.dht, self.storage, compress=cfg.compress_index, cache=self.posting_cache,
+            validate_generations=cfg.cache_validation,
         )
         self.directory = DocumentDirectory(self.dht)
+        self.term_directory = TermDirectory(self.dht, self.storage)
         self.statistics = CollectionStatistics()
         self.freshness = FreshnessTracker()
         self.metrics = MetricsCollector()
@@ -110,6 +115,8 @@ class QueenBeeEngine:
         self._pending_links: Dict[str, List[int]] = {}
         self.last_popularity_payouts: Dict[str, int] = {}
         self._page_ranks: Dict[int, float] = {}
+        self._page_ranks_view: Mapping[int, float] = MappingProxyType(self._page_ranks)
+        self._rank_version = 0
         self._rank_cid: Optional[str] = None
         self._publishes_since_stats = 0
         self.stats_publish_interval = 10
@@ -134,6 +141,7 @@ class QueenBeeEngine:
                     analyzer=self.analyzer,
                     storage_peer=f"{self.peer_ids[i]}:store",
                     damping=cfg.rank_damping,
+                    term_directory=self.term_directory,
                 )
             )
         self._next_worker = 0
@@ -197,16 +205,18 @@ class QueenBeeEngine:
             if not receipt.accepted:
                 self.stats.publishes_rejected += 1
                 continue
-            local.add_document(document)
+            frequencies = local.add_document(document)
             worker = self.workers[worker_cycle % len(self.workers)]
             worker_cycle += 1
-            worker._previous_terms[document.doc_id] = self.analyzer.term_frequencies(
-                document.full_text
+            # Directory records are published even on the batch path, so the
+            # first post-bootstrap update of any page can diff against its
+            # bootstrapped term vector regardless of which worker handles it.
+            self.term_directory.publish(
+                document.doc_id, frequencies,
+                publisher=worker.storage_peer, prior_version=0,
             )
             self.directory.publish(document, receipt.cid)
-            self.statistics.add_document(
-                document.doc_id, document.length, local.term_frequencies_of(document.doc_id)
-            )
+            self.statistics.add_document(document.doc_id, document.length, frequencies)
             self._register_ground_truth(document)
             self.stats.documents_published += 1
 
@@ -217,6 +227,27 @@ class QueenBeeEngine:
             self.contracts.reward_worker_task(worker.address, "index")
         self.publish_statistics()
         return local.document_count
+
+    def delete_document(self, doc_id: int) -> bool:
+        """Remove a published page from the index (a first-class delete).
+
+        A worker bee resolves the page's term vector from the term directory,
+        removes it from every shard, publishes a directory tombstone, and is
+        rewarded like any other index task.  Ground truth (document store and
+        link graph) is updated so later rank rounds stop crediting the page.
+        """
+        worker = self._pick_worker()
+        if not worker.delete_document(doc_id, statistics=self.statistics):
+            return False
+        self.contracts.reward_worker_task(worker.address, "index")
+        self.documents.remove(doc_id)
+        self.link_graph.remove_node(doc_id)
+        self.stats.documents_deleted += 1
+        self.metrics.increment("publish.deletes")
+        self._publishes_since_stats += 1
+        if self._publishes_since_stats >= self.stats_publish_interval:
+            self.publish_statistics()
+        return True
 
     def publish_statistics(self) -> None:
         """Publish the shared collection statistics to the DWeb."""
@@ -239,6 +270,8 @@ class QueenBeeEngine:
         )
         result = coordinator.compute(self.link_graph)
         self._page_ranks = dict(result.ranks)
+        self._page_ranks_view = MappingProxyType(self._page_ranks)
+        self._rank_version += 1
         self._publish_rank_vector(result.ranks)
 
         # Reward every worker that participated, slash the ones whose answers
@@ -266,9 +299,22 @@ class QueenBeeEngine:
             mass[document.owner] = mass.get(document.owner, 0.0) + rank
         return mass
 
-    def page_ranks(self) -> Dict[int, float]:
-        """The engine's latest computed rank vector (coordinator-side copy)."""
-        return dict(self._page_ranks)
+    def page_ranks(self) -> Mapping[int, float]:
+        """The engine's latest rank vector as a cached read-only view.
+
+        The same :class:`~types.MappingProxyType` object is returned until
+        the next rank round replaces it (see :meth:`rank_version`), so
+        per-query consumers stop paying an O(corpus) dict copy per call.
+        """
+        return self._page_ranks_view
+
+    def rank_version(self) -> int:
+        """Monotonic version of the rank vector (bumped per rank round).
+
+        Frontends key memoized rank-derived values (e.g. the MaxScore rank
+        upper bound) on this counter instead of re-deriving them per query.
+        """
+        return self._rank_version
 
     def fetch_published_ranks(self) -> Dict[int, float]:
         """The rank vector as a frontend would fetch it from the DWeb."""
@@ -277,7 +323,9 @@ class QueenBeeEngine:
             payload = self.storage.get_text(cid)
         except Exception:
             return {}
-        return {int(doc_id): float(rank) for doc_id, rank in json.loads(payload).items()}
+        body = json.loads(payload)
+        ranks = body["ranks"] if isinstance(body, dict) and "ranks" in body else body
+        return {int(doc_id): float(rank) for doc_id, rank in ranks.items()}
 
     # -- searching --------------------------------------------------------------------
 
@@ -288,6 +336,7 @@ class QueenBeeEngine:
             simulator=self.simulator,
             index=self.index,
             rank_provider=self.page_ranks,
+            rank_version_provider=self.rank_version,
             metadata_resolver=self.directory.resolve,
             ad_provider=self.contracts.ads_for,
             analyzer=self.analyzer,
@@ -330,8 +379,16 @@ class QueenBeeEngine:
         self.metrics.increment("query.docs_scored", diagnostics.get("docs_scored", 0))
         self.metrics.increment("query.docs_pruned", diagnostics.get("docs_pruned", 0))
         if self.posting_cache is not None:
-            self.metrics.set_gauge("index.cache.hit_rate", self.posting_cache.stats.hit_rate)
-            self.metrics.set_gauge("index.cache.size", len(self.posting_cache))
+            cache_stats = self.posting_cache.stats
+            self.metrics.set_gauges(
+                {
+                    "index.cache.hit_rate": cache_stats.hit_rate,
+                    "index.cache.size": len(self.posting_cache),
+                    "index.cache.invalidations": cache_stats.invalidations,
+                    "index.cache.stale_hits": cache_stats.stale_hits,
+                    "index.cache.stale_hit_rate": cache_stats.stale_hit_rate,
+                }
+            )
 
     # -- fault injection (used by the resilience experiment) ----------------------------
 
@@ -370,7 +427,15 @@ class QueenBeeEngine:
             self.link_graph.add_edge(source_doc_id, document.doc_id)
 
     def _publish_rank_vector(self, ranks: Mapping[int, float]) -> None:
-        payload = json.dumps({str(doc_id): rank for doc_id, rank in ranks.items()}, sort_keys=True)
+        # The version travels with the vector so remote frontends can key
+        # their memoized rank bounds the same way local ones do.
+        payload = json.dumps(
+            {
+                "version": self._rank_version,
+                "ranks": {str(doc_id): rank for doc_id, rank in ranks.items()},
+            },
+            sort_keys=True,
+        )
         publisher_peer = self.workers[0].storage_peer if self.workers else None
         cid = self.storage.add_text(payload, publisher=publisher_peer)
         self.dht.put(RANK_VECTOR_KEY, cid)

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core.directory import DocumentDirectory
 from repro.index.analysis import Analyzer
+from repro.index.directory import TermDirectory
 from repro.index.distributed import DistributedIndex
 from repro.index.document import Document
 from repro.index.postings import PostingList
@@ -26,10 +27,14 @@ class IndexTaskResult:
 class WorkerBee:
     """A peer that volunteers index and rank work in exchange for honey.
 
-    The worker is deliberately stateless about the corpus: it reads the
-    published shard for each term it touches, merges, and republishes, so any
-    worker can index any page — the property that lets QueenBee parallelize
-    indexing across volunteers.
+    The worker is *fully* stateless about the corpus: it reads the published
+    shard for each term it touches, merges, and republishes — and it learns a
+    document's previous term vector from the versioned term directory
+    (``doc:<doc_id>`` records in the DHT) rather than from local memory.  Any
+    worker can therefore index, update, or delete any page, including pages
+    whose earlier versions were handled by a different volunteer — the
+    property that lets QueenBee parallelize indexing across volunteers
+    without stale postings surviving an update.
 
     Attack hooks
     ------------
@@ -48,6 +53,7 @@ class WorkerBee:
         damping: float = 0.85,
         index_tamper: Optional[Callable[[str, PostingList], PostingList]] = None,
         rank_tamper: Optional[Callable[[RankTask, RankContribution], RankContribution]] = None,
+        term_directory: Optional[TermDirectory] = None,
     ) -> None:
         self.address = address
         self.index = index
@@ -57,9 +63,12 @@ class WorkerBee:
         self.damping = damping
         self.index_tamper = index_tamper
         self.rank_tamper = rank_tamper
+        # Workers sharing a DHT share directory state by construction, so a
+        # default-constructed term directory still sees every other worker's
+        # published records.
+        self.term_directory = term_directory or TermDirectory(index.dht, index.storage)
         self.index_tasks_completed = 0
         self.rank_tasks_completed = 0
-        self._previous_terms: Dict[int, Dict[str, int]] = {}
 
     @property
     def is_malicious(self) -> bool:
@@ -75,22 +84,17 @@ class WorkerBee:
     ) -> IndexTaskResult:
         """Index one published page version into the distributed index.
 
-        Updates are handled by removing the document from terms it no longer
-        contains and merging it into the terms it does.  ``statistics`` (the
-        shared collection statistics, owned by the engine) is updated in place
-        when provided.
+        The previous term vector is fetched from the term directory, so
+        updates remove the document from terms it no longer contains even
+        when *this* worker never saw the previous version.  ``statistics``
+        (the shared collection statistics, owned by the engine) is updated in
+        place when provided.
         """
         frequencies = self.analyzer.term_frequencies(document.full_text)
-        previous = self._previous_terms.get(document.doc_id, {})
+        prior = self.term_directory.fetch(document.doc_id, requester=self.storage_peer)
+        previous = prior.terms if prior is not None and not prior.deleted else {}
         is_update = bool(previous)
         removed_terms = [term for term in previous if term not in frequencies]
-
-        # Per-term shard updates are independent of each other, so the worker
-        # issues them concurrently; the simulated cost is the slowest update,
-        # not the sum (cf. Simulator.parallel_region).
-        def removal_thunk(term: str):
-            return lambda: self.index.remove_document(term, document.doc_id,
-                                                      publisher=self.storage_peer)
 
         def merge_thunk(term: str, frequency: int):
             def run():
@@ -101,24 +105,68 @@ class WorkerBee:
                 return self.index.merge_term(term, postings, publisher=self.storage_peer)
             return run
 
-        thunks = [removal_thunk(term) for term in removed_terms]
-        thunks.extend(merge_thunk(term, frequency) for term, frequency in frequencies.items())
-        simulator = self.index.dht.simulator
-        if thunks:
-            simulator.parallel_region(thunks)
+        merges = [merge_thunk(term, frequency) for term, frequency in frequencies.items()]
+        self._update_shards(document.doc_id, removed_terms, merges)
 
+        self.term_directory.publish(
+            document.doc_id,
+            frequencies,
+            publisher=self.storage_peer,
+            prior_version=prior.version if prior is not None else 0,
+        )
         self.directory.publish(document, cid)
         if statistics is not None:
-            if is_update:
+            if previous:
                 statistics.remove_document(document.doc_id, previous)
             statistics.add_document(document.doc_id, document.length, frequencies)
-        self._previous_terms[document.doc_id] = frequencies
         self.index_tasks_completed += 1
         return IndexTaskResult(
             doc_id=document.doc_id,
             terms_updated=len(frequencies) + len(removed_terms),
             is_update=is_update,
         )
+
+    def delete_document(
+        self,
+        doc_id: int,
+        statistics: Optional[CollectionStatistics] = None,
+    ) -> bool:
+        """Remove a document from every shard it appears in (first-class delete).
+
+        The term set comes from the term directory, so any worker can process
+        the delete.  Publishes a directory tombstone (version bumped) and
+        clears the display metadata.  Returns False when the document was
+        never indexed or is already deleted.
+        """
+        prior = self.term_directory.fetch(doc_id, requester=self.storage_peer)
+        if prior is None or prior.deleted:
+            return False
+        self._update_shards(doc_id, list(prior.terms), [])
+        self.term_directory.delete(
+            doc_id, publisher=self.storage_peer, prior_version=prior.version
+        )
+        self.directory.mark_deleted(doc_id)
+        if statistics is not None:
+            statistics.remove_document(doc_id, prior.terms)
+        self.index_tasks_completed += 1
+        return True
+
+    def _update_shards(self, doc_id, removed_terms, merge_thunks) -> None:
+        """Issue removals for ``removed_terms`` plus ``merge_thunks`` concurrently.
+
+        Per-term shard updates are independent of each other, so the worker
+        runs them in one parallel region: the simulated cost is the slowest
+        update, not the sum (cf. Simulator.parallel_region).
+        """
+
+        def removal_thunk(term: str):
+            return lambda: self.index.remove_document(term, doc_id,
+                                                      publisher=self.storage_peer)
+
+        thunks = [removal_thunk(term) for term in removed_terms]
+        thunks.extend(merge_thunks)
+        if thunks:
+            self.index.dht.simulator.parallel_region(thunks)
 
     # -- ranking ---------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from repro.index.postings import Posting, PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.index.inverted_index import LocalInvertedIndex
 from repro.index.distributed import DistributedIndex
+from repro.index.directory import TermDirectory, TermDirectoryRecord
 
 __all__ = [
     "Analyzer",
@@ -25,4 +26,6 @@ __all__ = [
     "CollectionStatistics",
     "LocalInvertedIndex",
     "DistributedIndex",
+    "TermDirectory",
+    "TermDirectoryRecord",
 ]

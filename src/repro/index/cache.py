@@ -1,30 +1,41 @@
-"""An LRU cache for posting lists.
+"""An LRU cache for posting lists, with index-epoch invalidation.
 
 The distributed index resolves a term with one DHT lookup plus one content
 fetch over the simulated network — the dominant cost of every query (E1).
 Query streams are Zipfian, so a small LRU in front of decentralized storage
-absorbs most fetches for the head terms.  The cache is write-through: a
-publish for a cached term replaces the entry, so a frontend colocated with
-the publishing path never serves a stale shard.
+absorbs most fetches for the head terms.
+
+Freshness is handled by the index-epoch protocol rather than write-through:
+every published shard carries a monotonically increasing per-term
+*generation* (see :class:`~repro.index.distributed.DistributedIndex`), cache
+entries remember the generation they were filled at, and a lookup that passes
+the current generation detects a superseded entry, drops it, and reports a
+miss so the caller lazily refreshes from the network.  Unlike the previous
+write-through scheme — which refreshed only entries the publishing instance
+itself had cached — any cache whose reader learns the current generation
+stays fresh, however the entry got there.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.index.postings import PostingList
 
 
 @dataclass
 class PostingCacheStats:
-    """Hit/miss accounting (the E10 cache column)."""
+    """Hit/miss accounting (the E10 cache column, E2's stale-hit column)."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    # Lookups that served an entry whose generation was already superseded —
+    # only possible with generation validation disabled (the E2 ablation).
+    stale_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -35,21 +46,32 @@ class PostingCacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    @property
+    def stale_hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.stale_hits / lookups if lookups else 0.0
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_hits = 0
 
 
 class PostingCache:
-    """A bounded term -> :class:`PostingList` cache with LRU eviction."""
+    """A bounded term -> :class:`PostingList` cache with LRU eviction.
+
+    Entries carry the index generation of the shard they were filled from;
+    :meth:`get` validates them against the caller-supplied current generation
+    and treats superseded entries as misses (counted as invalidations).
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity!r}")
         self.capacity = capacity
-        self._entries: "OrderedDict[str, PostingList]" = OrderedDict()
+        self._entries: "OrderedDict[str, Tuple[PostingList, int]]" = OrderedDict()
         self.stats = PostingCacheStats()
 
     def __len__(self) -> int:
@@ -58,21 +80,38 @@ class PostingCache:
     def __contains__(self, term: str) -> bool:
         return term in self._entries
 
-    def get(self, term: str) -> Optional[PostingList]:
-        """The cached list for ``term`` (marking it most-recently-used), or None."""
+    def get(self, term: str, generation: Optional[int] = None) -> Optional[PostingList]:
+        """The cached list for ``term`` (marking it most-recently-used), or None.
+
+        When ``generation`` is given (the term's current index generation),
+        an entry filled at an older generation is stale: it is dropped,
+        counted as an invalidation, and reported as a miss so the caller
+        refreshes from the authoritative shard.
+        """
         entry = self._entries.get(term)
         if entry is None:
             self.stats.misses += 1
             return None
+        postings, entry_generation = entry
+        if generation is not None and entry_generation < generation:
+            del self._entries[term]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
         self._entries.move_to_end(term)
         self.stats.hits += 1
-        return entry
+        return postings
 
-    def put(self, term: str, postings: PostingList) -> None:
+    def generation_of(self, term: str) -> Optional[int]:
+        """The generation the cached entry was filled at (stats-neutral probe)."""
+        entry = self._entries.get(term)
+        return entry[1] if entry is not None else None
+
+    def put(self, term: str, postings: PostingList, generation: int = 0) -> None:
         """Insert or replace the entry for ``term``, evicting the LRU tail."""
         if term in self._entries:
             self._entries.move_to_end(term)
-        self._entries[term] = postings
+        self._entries[term] = (postings, generation)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1

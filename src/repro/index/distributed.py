@@ -5,13 +5,32 @@ Each term's posting list is serialized, published to decentralized storage
 the CID of the latest version is recorded in the DHT under ``idx:<term>``.
 The query frontend resolves a term with one DHT lookup plus one content
 fetch — exactly the cost model that drives QueenBee's query latency in E1.
+
+Index epochs
+------------
+Every publish of a term's shard bumps that term's *generation*, a
+monotonically increasing counter carried inside the shard payload and
+tracked in the index's epoch registry.  Posting caches stamp their entries
+with the generation they were filled at; a later fetch validates the entry
+against the current generation and lazily refreshes superseded ones.  This
+replaces the old write-through-on-publish scheme, which refreshed only
+entries the publishing instance happened to have cached and gave readers no
+way to notice a superseded shard.
+
+The registry itself is in-process state: it stands in for the lightweight
+epoch feed a deployed system would gossip or piggyback on DHT traffic so
+that *remote* caches learn of supersession without refetching shards.  In
+this simulator every participant shares one ``DistributedIndex`` per engine,
+which makes the shared registry exactly consistent; a frontend running its
+own index instance would need the real feed (or CID-pointer revalidation)
+to get the same guarantee.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import KeyNotFoundError, TermNotFoundError
 from repro.dht.dht import DHTNetwork
@@ -60,8 +79,12 @@ class DistributedIndex:
         ablation disables it to quantify the saving.
     cache:
         Optional :class:`~repro.index.cache.PostingCache` consulted before
-        the DHT.  Publishes write through it, so the local view never goes
-        stale; fetches that hit it skip the simulated network entirely.
+        the DHT.  Entries are validated against the term's current generation
+        (see *Index epochs* above); superseded entries are refreshed lazily.
+    validate_generations:
+        When false, cache entries are served without the generation check —
+        the ablation the E2 freshness bench uses to quantify the stale-hit
+        rate the protocol eliminates.
     """
 
     def __init__(
@@ -70,12 +93,35 @@ class DistributedIndex:
         storage: DecentralizedStorage,
         compress: bool = True,
         cache: Optional[PostingCache] = None,
+        validate_generations: bool = True,
     ) -> None:
         self.dht = dht
         self.storage = storage
         self.compress = compress
         self.cache = cache
+        self.validate_generations = validate_generations
         self.stats = DistributedIndexStats()
+        # The epoch registry: term -> latest published generation, seeded
+        # from fetched shard payloads for terms this instance did not publish
+        # itself.  Stands in for the epoch feed of a real deployment (see
+        # the module docstring); consistent here because all participants
+        # share the engine's single index instance.
+        self._generations: Dict[str, int] = {}
+
+    # -- epochs ---------------------------------------------------------------------
+
+    def generation(self, term: str) -> int:
+        """The latest known generation of ``term`` (0 when never published)."""
+        return self._generations.get(term, 0)
+
+    def _bump_generation(self, term: str) -> int:
+        generation = self._generations.get(term, 0) + 1
+        self._generations[term] = generation
+        return generation
+
+    def _observe_generation(self, term: str, generation: int) -> None:
+        if generation > self._generations.get(term, 0):
+            self._generations[term] = generation
 
     # -- publishing (worker-bee side) ----------------------------------------------
 
@@ -89,13 +135,13 @@ class DistributedIndex:
 
         Returns the CID of the stored shard.  The previous shard (if any)
         stays in storage — content addressing makes old versions immutable —
-        but the DHT pointer moves to the new CID.
+        but the DHT pointer moves to the new CID, and the term's generation
+        is bumped so cached copies of the old shard stop validating.
         """
-        payload = self._encode_shard(term, postings)
+        generation = self._bump_generation(term)
+        payload = self._encode_shard(term, postings, generation)
         cid = self.storage.add_text(payload, publisher=publisher)
         self.dht.put(term_key(term), cid)
-        if self.cache is not None and term in self.cache:
-            self.cache.put(term, postings)
         self.stats.terms_published += 1
         self.stats.bytes_published += len(payload)
         return cid
@@ -113,7 +159,10 @@ class DistributedIndex:
         worker bees use when a publish event touches an already-indexed term.
         """
         try:
-            existing = self.fetch_term(term)
+            # Publish-path reads always resolve the authoritative shard: a
+            # cached copy may predate another publisher's update, and merging
+            # from it would republish (resurrect) postings that were removed.
+            existing = self.fetch_term(term, use_cache=False)
         except TermNotFoundError:
             existing = PostingList()
         merged = existing.merge(new_postings)
@@ -122,10 +171,13 @@ class DistributedIndex:
     def remove_document(self, term: str, doc_id: int, publisher: Optional[str] = None) -> bool:
         """Remove one document from a term's shard (page deletion/update)."""
         try:
-            existing = self.fetch_term(term)
+            # Authoritative read, same as merge_term: removing from a stale
+            # cached shard would republish other documents' dead postings.
+            existing = self.fetch_term(term, use_cache=False)
         except TermNotFoundError:
             return False
-        # fetch_term may return a cache-shared list; never mutate it in place.
+        # The fetched list may be shared with other readers; never mutate it
+        # in place.
         updated = existing.copy()
         if not updated.remove(doc_id):
             return False
@@ -144,20 +196,31 @@ class DistributedIndex:
 
     # -- fetching (frontend side) -----------------------------------------------------
 
-    def fetch_term(self, term: str, requester: Optional[str] = None) -> PostingList:
+    def fetch_term(
+        self,
+        term: str,
+        requester: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> PostingList:
         """Resolve and fetch the posting list for ``term``.
 
         The returned list may be shared with the posting cache and other
         readers — treat it as read-only and :meth:`PostingList.copy` before
         mutating.  Raises :class:`TermNotFoundError` when the term has never
         been published or its shard is unreachable (the recall loss counted
-        in E3).
+        in E3).  ``use_cache=False`` bypasses the posting cache entirely
+        (reads and fills) — the reference path the E2 bench compares against.
         """
-        if self.cache is not None:
+        if self.cache is not None and use_cache:
             # Hit/miss accounting lives in self.cache.stats, the single
             # source of truth for cache behaviour.
-            cached = self.cache.get(term)
+            current = self.generation(term) if self.validate_generations else None
+            cached = self.cache.get(term, generation=current)
             if cached is not None:
+                if not self.validate_generations:
+                    entry_generation = self.cache.generation_of(term)
+                    if entry_generation is not None and entry_generation < self.generation(term):
+                        self.cache.stats.stale_hits += 1
                 return cached
         try:
             cid = self.dht.get(term_key(term))
@@ -172,9 +235,10 @@ class DistributedIndex:
         self.stats.terms_fetched += 1
         self.stats.bytes_fetched += len(payload)
         self.stats.per_fetch_bytes.append(len(payload))
-        postings = self._decode_shard(payload)
-        if self.cache is not None:
-            self.cache.put(term, postings)
+        postings, generation = self._decode_shard(payload)
+        self._observe_generation(term, generation)
+        if self.cache is not None and use_cache:
+            self.cache.put(term, postings, generation=generation)
         return postings
 
     def fetch_statistics(self, requester: Optional[str] = None) -> CollectionStatistics:
@@ -192,13 +256,16 @@ class DistributedIndex:
 
     # -- serialization ----------------------------------------------------------------
 
-    def _encode_shard(self, term: str, postings: PostingList) -> str:
+    def _encode_shard(self, term: str, postings: PostingList, generation: int) -> str:
         # max_tf rides along with every shard: it lets a frontend compute the
         # term's best-case (MaxScore) contribution without scanning the list.
+        # gen is the shard's index generation, the epoch caches validate
+        # their entries against.
         if self.compress:
             body = {
                 "term": term,
                 "encoding": "delta-varint",
+                "gen": generation,
                 "max_tf": postings.max_term_frequency,
                 "postings": postings.to_payload(),
             }
@@ -206,19 +273,21 @@ class DistributedIndex:
             body = {
                 "term": term,
                 "encoding": "raw",
+                "gen": generation,
                 "max_tf": postings.max_term_frequency,
                 "postings": [[p.doc_id, p.term_frequency] for p in postings],
             }
         return json.dumps(body, sort_keys=True)
 
-    def _decode_shard(self, payload: str) -> PostingList:
+    def _decode_shard(self, payload: str) -> Tuple[PostingList, int]:
         # The shard's max_tf field is not needed here — PostingList computes
         # it lazily — but stays in the payload so index-level consumers (e.g.
         # a future bound-only planner fetch) can read it without decoding.
         body = json.loads(payload)
+        generation = int(body.get("gen", 0))
         if body.get("encoding") == "delta-varint":
-            return PostingList.from_payload(body["postings"])
+            return PostingList.from_payload(body["postings"]), generation
         result = PostingList()
         for doc_id, frequency in body.get("postings", []):
             result.add(int(doc_id), int(frequency))
-        return result
+        return result, generation

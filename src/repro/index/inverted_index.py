@@ -3,6 +3,13 @@
 Worker bees build per-term shards with this structure before publishing them
 to decentralized storage; the centralized baseline uses it directly as its
 whole index.
+
+The per-document term map kept here (``_doc_terms``) is the *local* analogue
+of the distributed system's versioned term directory (``doc:<doc_id>``
+records, :mod:`repro.index.directory`): both exist so that removing or
+updating a document can find every term its previous version touched.
+Locally a dict suffices; in the distributed index the same state must be
+published to the DHT so *any* worker can perform the diff.
 """
 
 from __future__ import annotations

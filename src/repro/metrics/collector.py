@@ -39,6 +39,11 @@ class MetricsCollector:
         """Record the latest value of ``name`` (overwrites, never accumulates)."""
         self._gauges[name] = float(value)
 
+    def set_gauges(self, values: Dict[str, float]) -> None:
+        """Record a batch of gauges at once (cache hit/invalidation snapshots)."""
+        for name, value in values.items():
+            self._gauges[name] = float(value)
+
     def gauge(self, name: str) -> float:
         return self._gauges.get(name, 0.0)
 

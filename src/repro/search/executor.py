@@ -145,6 +145,7 @@ class QueryExecutor:
         combiner: Optional[CombinedScorer] = None,
         top_k: int = 10,
         mode: str = MODE_TAAT,
+        rank_bound_provider: Optional[Callable[[], float]] = None,
     ) -> None:
         if top_k < 1:
             raise ValueError(f"top_k must be at least 1, got {top_k!r}")
@@ -160,6 +161,11 @@ class QueryExecutor:
         self.combiner = combiner or CombinedScorer()
         self.top_k = top_k
         self.mode = mode
+        # Optional externally-memoized global rank upper bound.  Deriving it
+        # from the rank vector is an O(corpus) max(); a caller that tracks
+        # the rank-vector version (the frontend) supplies a provider so the
+        # max() is paid once per rank round instead of once per query.
+        self.rank_bound_provider = rank_bound_provider
 
     def execute(self, plan: QueryPlan, mode: Optional[str] = None) -> ExecutionOutcome:
         """Run the plan in the executor's (or an overriding) mode."""
@@ -274,15 +280,20 @@ class QueryExecutor:
 
         document_count = self.statistics.document_count
         # The global rank bound needs a max() over the corpus-sized rank
-        # vector, so it is computed lazily: only once the top-k heap is full
-        # and pruning decisions actually need it.
+        # vector, so it is resolved lazily: only once the top-k heap is full
+        # and pruning decisions actually need it.  A rank_bound_provider
+        # (memoized against the rank-vector version by the frontend) replaces
+        # the local max() entirely.
         rank_ub_memo: List[float] = []
 
         def rank_ub() -> float:
             if not rank_ub_memo:
-                rank_ub_memo.append(
-                    self.combiner.rank_upper_bound(self.page_ranks, document_count)
-                )
+                if self.rank_bound_provider is not None:
+                    rank_ub_memo.append(self.rank_bound_provider())
+                else:
+                    rank_ub_memo.append(
+                        self.combiner.rank_upper_bound(self.page_ranks, document_count)
+                    )
             return rank_ub_memo[0]
 
         # Min-heap of (score, -doc_id): the root is the weakest member of the

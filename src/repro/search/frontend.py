@@ -4,6 +4,14 @@ Ties together query parsing, planning, distributed posting-list retrieval,
 ranking, and ad placement.  A frontend instance runs on a user's device (any
 DWeb peer); it holds no index state of its own, only the handles needed to
 reach the decentralized index and the ad contract.
+
+Freshness: posting lists are fetched through the distributed index, which
+validates cached shards against each term's index generation (the epoch
+invalidation protocol) and lazily refreshes superseded entries — so a
+frontend keeps returning update/delete-correct results without any
+publisher-side notification.  Within one ``search_batch`` call the prefetched
+lists are a consistent snapshot: queries in the batch see the index as of the
+prefetch instant.
 """
 
 from __future__ import annotations
@@ -29,6 +37,10 @@ from repro.sim.simulator import Simulator
 MetadataResolver = Callable[[int], Dict[str, Any]]
 # Returns the current page-rank vector (doc_id -> rank).
 RankProvider = Callable[[], Mapping[int, float]]
+# Returns the monotonic version of the rank vector (bumped per rank round);
+# the frontend keys memoized rank-derived values (the MaxScore rank upper
+# bound) on it so the O(corpus) max() is paid once per version, not per query.
+RankVersionProvider = Callable[[], int]
 # Returns active ads for a keyword (list of dicts like AdMarket.ads_for).
 AdProvider = Callable[[str], List[Dict[str, Any]]]
 
@@ -69,6 +81,11 @@ class SearchFrontend:
     rank_provider:
         Callable returning the latest page-rank vector (fetched by the engine
         from decentralized storage and cached).
+    rank_version_provider:
+        Optional callable returning the rank vector's monotonic version.
+        When given, the frontend memoizes the MaxScore rank upper bound per
+        (version, corpus size) instead of recomputing the O(corpus) max()
+        on every query.
     metadata_resolver:
         Callable mapping doc_id to display metadata.
     ad_provider:
@@ -81,6 +98,7 @@ class SearchFrontend:
         simulator: Simulator,
         index: DistributedIndex,
         rank_provider: Optional[RankProvider] = None,
+        rank_version_provider: Optional[RankVersionProvider] = None,
         metadata_resolver: Optional[MetadataResolver] = None,
         ad_provider: Optional[AdProvider] = None,
         analyzer: Optional[Analyzer] = None,
@@ -96,6 +114,7 @@ class SearchFrontend:
         self.simulator = simulator
         self.index = index
         self.rank_provider = rank_provider or (lambda: {})
+        self.rank_version_provider = rank_version_provider
         self.metadata_resolver = metadata_resolver or (lambda doc_id: {})
         self.ad_provider = ad_provider
         self.analyzer = analyzer or Analyzer()
@@ -108,6 +127,11 @@ class SearchFrontend:
         self.bm25 = bm25
         self.combiner = combiner or CombinedScorer()
         self.stats = FrontendStats()
+        # Memo for the MaxScore rank upper bound, keyed by (rank version,
+        # corpus size) — both inputs of the bound that can change between
+        # queries.  Only populated when a rank_version_provider is wired.
+        self._rank_bound_key: Optional[tuple] = None
+        self._rank_bound = 0.0
 
     # -- statistics handling ------------------------------------------------------
 
@@ -121,6 +145,31 @@ class SearchFrontend:
         if self._statistics is None:
             self.refresh_statistics()
         return self._statistics
+
+    # -- rank bound memoization ---------------------------------------------------
+
+    def _rank_bound_provider(
+        self, page_ranks: Mapping[int, float], document_count: int
+    ) -> Optional[Callable[[], float]]:
+        """A zero-arg provider of the global rank upper bound, or ``None``.
+
+        Without a version provider the executor falls back to its own lazy
+        per-query computation (unchanged behaviour for bare executors).  The
+        bound stays lazy here too: the O(corpus) max() runs only when a query
+        actually fills its top-k heap, then is reused until the rank vector's
+        version — or the corpus size the bound normalizes by — changes.
+        """
+        if self.rank_version_provider is None:
+            return None
+
+        def provider() -> float:
+            key = (self.rank_version_provider(), document_count)
+            if self._rank_bound_key != key:
+                self._rank_bound = self.combiner.rank_upper_bound(page_ranks, document_count)
+                self._rank_bound_key = key
+            return self._rank_bound
+
+        return provider
 
     # -- the main entry point --------------------------------------------------------
 
@@ -220,15 +269,19 @@ class SearchFrontend:
         statistics = self.statistics
         planner = QueryPlanner(statistics.df, strategy=self.planning_strategy)
         plan = planner.plan(query)
+        page_ranks = self.rank_provider()
         executor = QueryExecutor(
             fetch_postings=fetcher
             or (lambda term: self.index.fetch_term(term, requester=self.requester)),
             statistics=statistics,
-            page_ranks=self.rank_provider(),
+            page_ranks=page_ranks,
             bm25=self.bm25 or BM25Scorer(statistics),
             combiner=self.combiner,
             top_k=self.top_k,
             mode=self.execution_mode,
+            rank_bound_provider=self._rank_bound_provider(
+                page_ranks, statistics.document_count
+            ),
         )
         outcome = executor.execute(plan)
 

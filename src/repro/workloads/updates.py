@@ -1,4 +1,11 @@
-"""Publish/update streams for the freshness experiment (E2)."""
+"""Publish/update/delete streams for the freshness experiments (E2).
+
+Updates are *content rewrites*, not pure appends: a fraction of the page's
+words is dropped alongside the freshness marker that is added, so every
+update exercises the stale-postings path (terms the new version no longer
+contains must disappear from the distributed index — the bug class the
+versioned term directory fixes).  Deletes retire a published page entirely.
+"""
 
 from __future__ import annotations
 
@@ -13,11 +20,12 @@ from repro.workloads.corpus import GeneratedCorpus
 
 @dataclass
 class PublishEvent:
-    """One publish (create or update) scheduled at a simulated time."""
+    """One publish (create, update, or delete) scheduled at a simulated time."""
 
     time: float
     document: Document
     is_update: bool = False
+    is_delete: bool = False
 
 
 @dataclass
@@ -51,6 +59,12 @@ class PublishWorkloadGenerator:
     update_probability:
         Probability that an event updates an existing page rather than
         creating a new one (once no new pages remain, everything is updates).
+    delete_probability:
+        Probability that an event deletes a published page instead (checked
+        before the update/create split; 0 keeps the stream delete-free).
+    update_drop_fraction:
+        Fraction of a page's words an update rewrites away, so updates drop
+        terms from the index rather than only adding them.
     """
 
     def __init__(
@@ -59,6 +73,8 @@ class PublishWorkloadGenerator:
         initial_fraction: float = 0.5,
         mean_interarrival: float = 200.0,
         update_probability: float = 0.4,
+        delete_probability: float = 0.0,
+        update_drop_fraction: float = 0.3,
         seed: int = 0,
     ) -> None:
         if not 0.0 <= initial_fraction <= 1.0:
@@ -67,10 +83,16 @@ class PublishWorkloadGenerator:
             raise WorkloadError("mean_interarrival must be positive")
         if not 0.0 <= update_probability <= 1.0:
             raise WorkloadError("update_probability must be in [0, 1]")
+        if not 0.0 <= delete_probability <= 1.0:
+            raise WorkloadError("delete_probability must be in [0, 1]")
+        if not 0.0 <= update_drop_fraction < 1.0:
+            raise WorkloadError("update_drop_fraction must be in [0, 1)")
         self.corpus = corpus
         self.initial_fraction = initial_fraction
         self.mean_interarrival = mean_interarrival
         self.update_probability = update_probability
+        self.delete_probability = delete_probability
+        self.update_drop_fraction = update_drop_fraction
         self.rng = random.Random(seed)
 
     def initial_documents(self) -> List[Document]:
@@ -90,14 +112,23 @@ class PublishWorkloadGenerator:
         update_words = ["fresh", "update", "revision", "breaking", "new"]
         for _ in range(event_count):
             now += self.rng.expovariate(1.0 / self.mean_interarrival)
-            make_update = published and (
-                not pending_new or self.rng.random() < self.update_probability
+            # Deletes need a surviving page beyond the victim so the stream
+            # never empties the corpus entirely.
+            make_delete = len(published) > 1 and self.rng.random() < self.delete_probability
+            make_update = (
+                not make_delete
+                and published
+                and (not pending_new or self.rng.random() < self.update_probability)
             )
-            if make_update:
+            if make_delete:
+                victim = self.rng.choice(published)
+                published.remove(victim)
+                events.append(PublishEvent(time=now, document=victim, is_delete=True))
+            elif make_update:
                 base = self.rng.choice(published)
                 marker = self.rng.choice(update_words)
                 updated = base.updated(
-                    text=f"{base.text} {marker}", published_at=now
+                    text=f"{self._rewrite(base.text)} {marker}", published_at=now
                 )
                 published[published.index(base)] = updated
                 events.append(PublishEvent(time=now, document=updated, is_update=True))
@@ -116,3 +147,19 @@ class PublishWorkloadGenerator:
                 published.append(document)
                 events.append(PublishEvent(time=now, document=document, is_update=False))
         return PublishWorkload(events=events)
+
+    def _rewrite(self, text: str) -> str:
+        """Drop ``update_drop_fraction`` of the words (keeping at least one).
+
+        Dropping whole words is what makes updates remove terms from the
+        index — the path that turns stale when a worker cannot see the
+        page's previous term vector.
+        """
+        words = text.split()
+        if len(words) < 2 or self.update_drop_fraction == 0.0:
+            return text
+        keep = max(1, int(round(len(words) * (1.0 - self.update_drop_fraction))))
+        if keep >= len(words):
+            return text
+        kept_indices = sorted(self.rng.sample(range(len(words)), keep))
+        return " ".join(words[i] for i in kept_indices)

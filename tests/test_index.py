@@ -421,7 +421,7 @@ class TestPostingCache:
         assert not cache.invalidate("a")
         assert "a" not in cache
 
-    def test_distributed_index_read_through_and_write_through(self, dht, storage):
+    def test_distributed_index_read_through_and_epoch_invalidation(self, dht, storage):
         from repro.index.cache import PostingCache
 
         cache = PostingCache(8)
@@ -432,10 +432,34 @@ class TestPostingCache:
         assert fetched_warm is fetched_cold
         assert cache.stats.hits == 1 and cache.stats.misses == 1
         assert index.stats.terms_fetched == 1
-        # A republish must replace the cached entry, not serve the stale one.
+        # A republish bumps the term's generation; the cached entry stops
+        # validating and the next fetch lazily refreshes from the network.
         index.publish_term("bee", PostingList([Posting(1, 2), Posting(5, 1)]))
+        assert index.generation("bee") == 2
         assert index.fetch_term("bee").doc_ids == [1, 5]
-        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        assert cache.stats.invalidations == 1
+        assert index.stats.terms_fetched == 2
+        # The refreshed entry validates again: served from cache, no fetch.
+        assert index.fetch_term("bee").doc_ids == [1, 5]
+        assert index.stats.terms_fetched == 2
+        assert cache.stats.stale_hits == 0
+
+    def test_distributed_index_stale_hits_counted_without_validation(self, dht, storage):
+        from repro.index.cache import PostingCache
+
+        cache = PostingCache(8)
+        index = DistributedIndex(dht, storage, cache=cache, validate_generations=False)
+        index.publish_term("bee", PostingList([Posting(1, 2)]))
+        index.fetch_term("bee")                    # populate the cache at gen 1
+        index.publish_term("bee", PostingList([Posting(1, 2), Posting(5, 1)]))
+        # Validation off: the superseded entry is served and counted stale.
+        stale = index.fetch_term("bee")
+        assert stale.doc_ids == [1]
+        assert cache.stats.stale_hits == 1
+        assert cache.stats.stale_hit_rate == pytest.approx(1 / 2)
+        # Bypassing the cache reads the authoritative shard without filling.
+        assert index.fetch_term("bee", use_cache=False).doc_ids == [1, 5]
+        assert cache.generation_of("bee") == 1
 
     def test_remove_document_does_not_mutate_shared_fetched_list(self, dht, storage):
         from repro.index.cache import PostingCache
