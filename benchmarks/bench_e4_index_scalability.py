@@ -6,9 +6,14 @@ cheap as both the corpus and the overlay grow, and the index must not blow up
 in size.
 
 This bench sweeps corpus size and overlay size and reports DHT lookup rounds
-per term resolution, bytes fetched per query term, total index bytes, and
+per term resolution, bytes fetched per query, the *largest single content
+fetch* (the load any one serving peer must bear), total index bytes, and
 index build throughput.  The compression ablation quantifies the delta+varint
-posting codec against raw lists.
+posting codec against raw lists; the sharding rows show that doc-id-range
+shards cap the largest fetch near the shard payload size while the unsharded
+layout's heaviest fetch keeps growing with the corpus — the "no single peer
+serves a whole head term" property.  Results are also written to
+``BENCH_E4.json`` for PR-over-PR tracking.
 """
 
 from __future__ import annotations
@@ -18,7 +23,13 @@ from typing import Dict, List
 from repro.index.analysis import Analyzer
 from repro.index.inverted_index import LocalInvertedIndex
 
-from benchmarks.common import build_corpus, build_engine, build_queries, print_table
+from benchmarks.common import (
+    build_corpus,
+    build_engine,
+    build_queries,
+    print_table,
+    write_bench_json,
+)
 
 SWEEP = (
     # (documents, peers)
@@ -27,13 +38,15 @@ SWEEP = (
     (800, 64),
 )
 QUERY_COUNT = 30
+SHARD_SIZE = 64
 
 
-def _row(doc_count: int, peer_count: int, compress: bool) -> Dict[str, object]:
+def _row(doc_count: int, peer_count: int, compress: bool, shard_size: int = 0) -> Dict[str, object]:
     corpus = build_corpus(doc_count, seed=900 + doc_count)
     queries = build_queries(corpus, QUERY_COUNT, seed=doc_count)
     engine = build_engine(peer_count=peer_count, worker_count=max(4, peer_count // 8),
-                          compress_index=compress, seed=900 + doc_count)
+                          compress_index=compress, index_shard_size=shard_size,
+                          seed=900 + doc_count)
     wall_start = engine.simulator.now
     engine.bootstrap_corpus(corpus.documents)
     build_time = engine.simulator.now - wall_start
@@ -57,8 +70,11 @@ def _row(doc_count: int, peer_count: int, compress: bool) -> Dict[str, object]:
         "documents": doc_count,
         "peers": peer_count,
         "codec": "delta+varint" if compress else "raw",
+        "shard size": shard_size or "-",
         "dht rounds/lookup": dht_stats.mean_rounds,
         "bytes/term fetch": sum(per_fetch) / len(per_fetch),
+        "max fetch (bytes)": max(per_fetch),
+        "KiB fetched/query": index_stats.bytes_fetched / 1024.0 / QUERY_COUNT,
         "index size (KiB)": local.index_size_bytes(compressed=compress) / 1024.0,
         "build docs/s (sim)": doc_count / (build_time / 1000.0) if build_time else 0.0,
     }
@@ -66,28 +82,59 @@ def _row(doc_count: int, peer_count: int, compress: bool) -> Dict[str, object]:
 
 def run_experiment() -> List[Dict[str, object]]:
     rows = [_row(docs, peers, compress=True) for docs, peers in SWEEP]
+    # Sharded rows at every sweep point: the heaviest single fetch must stay
+    # capped near the shard payload instead of growing with the corpus.
+    rows.extend(
+        _row(docs, peers, compress=True, shard_size=SHARD_SIZE) for docs, peers in SWEEP
+    )
     # Compression ablation at the middle point.
     rows.append(_row(SWEEP[1][0], SWEEP[1][1], compress=False))
     print_table(
         "E4: decentralized index scalability",
         rows,
-        note="DHT rounds are per iterative lookup; Kademlia should keep them ~logarithmic in peers",
+        note=(
+            "DHT rounds are per iterative lookup; Kademlia should keep them "
+            "~logarithmic in peers.  'max fetch' is the heaviest single "
+            "content fetch — sharding caps the load any one peer serves."
+        ),
+    )
+    write_bench_json(
+        "BENCH_E4.json",
+        {
+            "experiment": "E4",
+            "config": {
+                "sweep": [list(point) for point in SWEEP],
+                "queries": QUERY_COUNT,
+                "shard_size": SHARD_SIZE,
+            },
+            "rows": rows,
+        },
     )
     return rows
 
 
 def test_e4_index_scalability(benchmark):
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    compressed = [r for r in rows if r["codec"] == "delta+varint"]
+    unsharded = [r for r in rows if r["codec"] == "delta+varint" and r["shard size"] == "-"]
+    sharded = [r for r in rows if r["shard size"] != "-"]
     # Lookup cost grows far slower than the overlay: ~log(n) rounds.
-    assert all(r["dht rounds/lookup"] < 8 for r in compressed)
+    assert all(r["dht rounds/lookup"] < 8 for r in unsharded + sharded)
     # Index size grows with the corpus.
-    sizes = [r["index size (KiB)"] for r in compressed]
+    sizes = [r["index size (KiB)"] for r in unsharded]
     assert sizes == sorted(sizes)
     # The codec saves space versus raw posting lists at the same design point.
     raw = next(r for r in rows if r["codec"] == "raw")
-    same_point = next(r for r in compressed if r["documents"] == raw["documents"])
+    same_point = next(r for r in unsharded if r["documents"] == raw["documents"])
     assert same_point["index size (KiB)"] < raw["index size (KiB)"]
+    # Sharding bounds the heaviest fetch: at the largest sweep point the
+    # unsharded head-term fetch dwarfs the sharded cap, and the sharded cap
+    # stays roughly flat as the corpus quintuples.
+    biggest = max(r["documents"] for r in sharded)
+    unsharded_big = next(r for r in unsharded if r["documents"] == biggest)
+    sharded_big = next(r for r in sharded if r["documents"] == biggest)
+    assert sharded_big["max fetch (bytes)"] < unsharded_big["max fetch (bytes)"]
+    sharded_caps = [r["max fetch (bytes)"] for r in sorted(sharded, key=lambda r: r["documents"])]
+    assert sharded_caps[-1] < sharded_caps[0] * 3
 
 
 if __name__ == "__main__":

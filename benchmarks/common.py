@@ -12,6 +12,8 @@ fall) is what matters, not absolute numbers — see EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from typing import Dict, Iterable, List, Sequence
 
@@ -94,3 +96,30 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def write_bench_json(name: str, payload: Dict[str, object]) -> str:
+    """Write a machine-readable benchmark record to the repository root.
+
+    ``name`` is the output filename (e.g. ``BENCH_E10.json``).  The files
+    are committed so the perf trajectory is tracked PR-over-PR: CI and
+    reviewers diff the numbers instead of re-reading tables.  Floats are
+    rounded so insignificant digits don't churn the diff.
+    """
+
+    def _round(value):
+        if isinstance(value, float):
+            return round(value, 6)
+        if isinstance(value, dict):
+            return {key: _round(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [_round(item) for item in value]
+        return value
+
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", name)
+    body = {"schema": 1, **_round(payload)}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(body, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    sys.stdout.write(f"[bench] wrote {os.path.normpath(path)}\n")
+    return os.path.normpath(path)

@@ -36,13 +36,19 @@ class QueenBeeConfig:
     # Index
     compress_index: bool = True
     top_k: int = 10
-    # Capacity (in terms) of the LRU posting-list cache in front of
+    # Capacity (in shards) of the LRU posting cache in front of
     # decentralized storage; 0 disables caching entirely.
     posting_cache_capacity: int = 256
-    # Validate cached posting lists against the per-term index generation
-    # (the epoch invalidation protocol).  Disabling it is the E2 ablation
-    # that quantifies the stale-hit rate the protocol eliminates.
+    # Validate cached shards against their manifest generation (the epoch
+    # invalidation protocol).  Disabling it is the E2 ablation that
+    # quantifies the stale-hit rate the protocol eliminates.
     cache_validation: bool = True
+    # Maximum postings per doc-id-range shard: posting lists above this
+    # split into range shards behind a per-term manifest, so no single peer
+    # serves a whole head term and per-shard impact bounds tighten MaxScore
+    # pruning.  0 publishes every term as a single shard (the pre-sharding
+    # layout).
+    index_shard_size: int = 128
 
     # Ranking
     rank_redundancy: int = 3
@@ -72,6 +78,18 @@ class QueenBeeConfig:
     # "maxscore" is the document-at-a-time top-k engine with pruning;
     # "taat" is the reference term-at-a-time path (identical results).
     execution_mode: str = "maxscore"
+    # Issue manifest/shard DHT lookups and content fetches concurrently
+    # during query prefetch (latency bounded by the slowest chain instead of
+    # the sum over terms).  False restores the sequential prefetch — the
+    # overlap ablation measured in E10.
+    overlapped_prefetch: bool = True
+    # Capacity (in pages) of the frontend's top-k result cache, keyed by
+    # (normalized query, term generations, rank version, stats version).
+    # 0 (default) disables it: the cache is opt-in because its key tracks
+    # index/rank/statistics freshness but *not* peer reachability, so
+    # experiments that measure degraded service (E3) must not have repeated
+    # queries silently answered from pre-failure pages.  E10 opts in.
+    result_cache_capacity: int = 0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on impossible combinations."""
@@ -79,6 +97,10 @@ class QueenBeeConfig:
             raise ValueError(f"unknown execution_mode {self.execution_mode!r}")
         if self.posting_cache_capacity < 0:
             raise ValueError("posting_cache_capacity must be non-negative")
+        if self.index_shard_size < 0:
+            raise ValueError("index_shard_size must be non-negative")
+        if self.result_cache_capacity < 0:
+            raise ValueError("result_cache_capacity must be non-negative")
         if self.peer_count < 2:
             raise ValueError("peer_count must be at least 2")
         if not 0 < self.worker_count <= self.peer_count:

@@ -97,7 +97,12 @@ class QueenBeeEngine:
         )
         self.index = DistributedIndex(
             self.dht, self.storage, compress=cfg.compress_index, cache=self.posting_cache,
-            validate_generations=cfg.cache_validation,
+            validate_generations=cfg.cache_validation, shard_size=cfg.index_shard_size,
+            # Published shards carry their range's quantized minimum document
+            # length (tightens the per-shard MaxScore bound); the engine's
+            # shared statistics are the length source of truth.  Lazy lambda:
+            # self.statistics is constructed a few lines below.
+            length_lookup=lambda doc_id: self.statistics.length_of(doc_id),
         )
         self.directory = DocumentDirectory(self.dht)
         self.term_directory = TermDirectory(self.dht, self.storage)
@@ -346,13 +351,16 @@ class QueenBeeEngine:
             planning_strategy=self.config.planning_strategy,
             execution_mode=self.config.execution_mode,
             requester=requester,
+            overlapped_prefetch=self.config.overlapped_prefetch,
+            result_cache_capacity=self.config.result_cache_capacity,
+            shard_size_hint=self.config.index_shard_size,
         )
 
     def search(self, query: str, frontend: Optional[SearchFrontend] = None) -> ResultPage:
         """Answer one query (convenience wrapper around a default frontend)."""
         frontend = frontend or self._frontend()
         page = frontend.search(query)
-        self._record_query_metrics(page)
+        self._record_query_metrics(page, frontend)
         return page
 
     def search_batch(
@@ -362,7 +370,7 @@ class QueenBeeEngine:
         frontend = frontend or self._frontend()
         pages = frontend.search_batch(list(queries))
         for page in pages:
-            self._record_query_metrics(page)
+            self._record_query_metrics(page, frontend)
         self.metrics.increment("query.batches")
         return pages
 
@@ -371,13 +379,25 @@ class QueenBeeEngine:
             self._default_frontend = self.create_frontend()
         return self._default_frontend
 
-    def _record_query_metrics(self, page: ResultPage) -> None:
+    def _record_query_metrics(
+        self, page: ResultPage, frontend: Optional[SearchFrontend] = None
+    ) -> None:
         self.stats.queries_served += 1
         self.metrics.observe("query.latency", page.latency)
         diagnostics = page.diagnostics
         self.metrics.increment("query.postings_scanned", diagnostics.get("postings_scanned", 0))
         self.metrics.increment("query.docs_scored", diagnostics.get("docs_scored", 0))
         self.metrics.increment("query.docs_pruned", diagnostics.get("docs_pruned", 0))
+        self.metrics.increment("query.shards_skipped", diagnostics.get("shards_skipped", 0))
+        if diagnostics.get("result_cache") == "hit":
+            self.metrics.increment("query.result_cache_hits")
+        if frontend is not None and frontend.result_cache is not None:
+            self.metrics.set_gauges(
+                {
+                    "frontend.result_cache.hit_rate": frontend.result_cache.stats.hit_rate,
+                    "frontend.result_cache.size": len(frontend.result_cache),
+                }
+            )
         if self.posting_cache is not None:
             cache_stats = self.posting_cache.stats
             self.metrics.set_gauges(

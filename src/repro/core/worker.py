@@ -28,13 +28,20 @@ class WorkerBee:
     """A peer that volunteers index and rank work in exchange for honey.
 
     The worker is *fully* stateless about the corpus: it reads the published
-    shard for each term it touches, merges, and republishes — and it learns a
-    document's previous term vector from the versioned term directory
+    shards for each term it touches, merges, and republishes — and it learns
+    a document's previous term vector from the versioned term directory
     (``doc:<doc_id>`` records in the DHT) rather than from local memory.  Any
     worker can therefore index, update, or delete any page, including pages
     whose earlier versions were handled by a different volunteer — the
     property that lets QueenBee parallelize indexing across volunteers
     without stale postings surviving an update.
+
+    Republishing is shard-granular: ``DistributedIndex.publish_term``
+    fingerprints each doc-id-range shard against the previous manifest, so
+    an update that lands in one range of a head term's list re-stores only
+    that shard (plus the small manifest) and leaves every other shard's
+    cache entries valid — the cost of an update no longer scales with the
+    whole posting list.
 
     Attack hooks
     ------------
@@ -105,8 +112,35 @@ class WorkerBee:
                 return self.index.merge_term(term, postings, publisher=self.storage_peer)
             return run
 
+        # Statistics are updated *before* the shard publishes: publish_term
+        # stamps each shard with its range's minimum document length (the
+        # per-shard bound ingredient), so the length source of truth must
+        # already reflect this version.  During the publishes the document's
+        # length is held at a *conservative* value — min(prior, new), or 0
+        # (length-free) for a first version — so bounds stamped by a
+        # partially-failed update stay admissible against both the
+        # rolled-back and the retried state; the true length lands after
+        # the shards commit (a pure length fix-up: df is untouched).  On
+        # failure the mutation is rolled back so a retry applies the
+        # df/length delta exactly once, not twice.
+        prior_length = statistics.length_of(document.doc_id) if statistics is not None else 0
+        conservative_length = min(prior_length, document.length) if previous else 0
+        if statistics is not None:
+            if previous:
+                statistics.remove_document(document.doc_id, previous)
+            statistics.add_document(document.doc_id, conservative_length, frequencies)
+
         merges = [merge_thunk(term, frequency) for term, frequency in frequencies.items()]
-        self._update_shards(document.doc_id, removed_terms, merges)
+        try:
+            self._update_shards(document.doc_id, removed_terms, merges)
+        except Exception:
+            if statistics is not None:
+                statistics.remove_document(document.doc_id, frequencies)
+                if previous:
+                    statistics.add_document(document.doc_id, prior_length, previous)
+            raise
+        if statistics is not None:
+            statistics.add_document(document.doc_id, document.length, frequencies)
 
         self.term_directory.publish(
             document.doc_id,
@@ -115,10 +149,6 @@ class WorkerBee:
             prior_version=prior.version if prior is not None else 0,
         )
         self.directory.publish(document, cid)
-        if statistics is not None:
-            if previous:
-                statistics.remove_document(document.doc_id, previous)
-            statistics.add_document(document.doc_id, document.length, frequencies)
         self.index_tasks_completed += 1
         return IndexTaskResult(
             doc_id=document.doc_id,
@@ -141,13 +171,22 @@ class WorkerBee:
         prior = self.term_directory.fetch(doc_id, requester=self.storage_peer)
         if prior is None or prior.deleted:
             return False
-        self._update_shards(doc_id, list(prior.terms), [])
+        # Same ordering rule as index_document: lengths must be current
+        # before the shard republishes stamp their min-length bounds — and
+        # the same rollback rule, so a failed delete retries cleanly.
+        prior_length = statistics.length_of(doc_id) if statistics is not None else 0
+        if statistics is not None:
+            statistics.remove_document(doc_id, prior.terms)
+        try:
+            self._update_shards(doc_id, list(prior.terms), [])
+        except Exception:
+            if statistics is not None:
+                statistics.add_document(doc_id, prior_length, prior.terms)
+            raise
         self.term_directory.delete(
             doc_id, publisher=self.storage_peer, prior_version=prior.version
         )
         self.directory.mark_deleted(doc_id)
-        if statistics is not None:
-            statistics.remove_document(doc_id, prior.terms)
         self.index_tasks_completed += 1
         return True
 

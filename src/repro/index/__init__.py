@@ -13,7 +13,14 @@ from repro.index.document import Document, DocumentStore
 from repro.index.postings import Posting, PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.index.inverted_index import LocalInvertedIndex
-from repro.index.distributed import DistributedIndex
+from repro.index.distributed import (
+    DistributedIndex,
+    ShardedPostings,
+    ShardInfo,
+    TermManifest,
+    shard_key,
+    term_key,
+)
 from repro.index.directory import TermDirectory, TermDirectoryRecord
 
 __all__ = [
@@ -26,6 +33,11 @@ __all__ = [
     "CollectionStatistics",
     "LocalInvertedIndex",
     "DistributedIndex",
+    "ShardedPostings",
+    "ShardInfo",
+    "TermManifest",
+    "shard_key",
+    "term_key",
     "TermDirectory",
     "TermDirectoryRecord",
 ]

@@ -1,19 +1,25 @@
-"""An LRU cache for posting lists, with index-epoch invalidation.
+"""An LRU cache for posting-list shards, with index-epoch invalidation.
 
-The distributed index resolves a term with one DHT lookup plus one content
-fetch over the simulated network — the dominant cost of every query (E1).
-Query streams are Zipfian, so a small LRU in front of decentralized storage
-absorbs most fetches for the head terms.
+The distributed index resolves a term with one DHT lookup (its shard
+manifest) plus one content fetch per needed shard over the simulated
+network — the dominant cost of every query (E1).  Query streams are Zipfian,
+so a small LRU in front of decentralized storage absorbs most fetches for
+the head terms.
+
+Entries are **per shard**: keys are the shard's DHT key
+(:func:`~repro.index.distributed.shard_key`), so a republish that touches
+one range shard of a long list invalidates only that shard's entry and the
+untouched shards keep serving from cache.
 
 Freshness is handled by the index-epoch protocol rather than write-through:
-every published shard carries a monotonically increasing per-term
-*generation* (see :class:`~repro.index.distributed.DistributedIndex`), cache
-entries remember the generation they were filled at, and a lookup that passes
-the current generation detects a superseded entry, drops it, and reports a
-miss so the caller lazily refreshes from the network.  Unlike the previous
-write-through scheme — which refreshed only entries the publishing instance
-itself had cached — any cache whose reader learns the current generation
-stays fresh, however the entry got there.
+every published shard carries the generation it was last changed at (see
+:class:`~repro.index.distributed.DistributedIndex`), cache entries remember
+the generation they were filled at, and a lookup that passes the current
+manifest's generation detects a superseded entry, drops it, and reports a
+miss so the caller lazily refreshes from the network.  Validation compares
+by *equality*, not ordering: per-shard generations are carried forward for
+content-identical shards, so an entry whose generation merely differs from
+the manifest's cannot be trusted to hold the manifest's content.
 """
 
 from __future__ import annotations
@@ -83,17 +89,17 @@ class PostingCache:
     def get(self, term: str, generation: Optional[int] = None) -> Optional[PostingList]:
         """The cached list for ``term`` (marking it most-recently-used), or None.
 
-        When ``generation`` is given (the term's current index generation),
-        an entry filled at an older generation is stale: it is dropped,
-        counted as an invalidation, and reported as a miss so the caller
-        refreshes from the authoritative shard.
+        When ``generation`` is given (the shard's generation per the current
+        manifest), an entry filled at any *other* generation is stale: it is
+        dropped, counted as an invalidation, and reported as a miss so the
+        caller refreshes from the authoritative shard.
         """
         entry = self._entries.get(term)
         if entry is None:
             self.stats.misses += 1
             return None
         postings, entry_generation = entry
-        if generation is not None and entry_generation < generation:
+        if generation is not None and entry_generation != generation:
             del self._entries[term]
             self.stats.invalidations += 1
             self.stats.misses += 1

@@ -1,21 +1,40 @@
-"""The distributed inverted index.
+"""The distributed inverted index: doc-id-range shards behind a term manifest.
 
-Each term's posting list is serialized, published to decentralized storage
-(so it is content-addressed and replicated like any other DWeb content), and
-the CID of the latest version is recorded in the DHT under ``idx:<term>``.
-The query frontend resolves a term with one DHT lookup plus one content
-fetch — exactly the cost model that drives QueenBee's query latency in E1.
+Layout
+------
+A term's postings no longer live in one monolithic shard.  ``publish_term``
+splits the sorted posting list into **doc-id-range shards** of at most
+``shard_size`` postings each; every shard payload is published to
+decentralized storage (content-addressed and replicated like any other DWeb
+content) and its CID is recorded in the DHT under ``idx:<term>:<shard>``.
+The DHT value under ``idx:<term>`` is a small JSON **shard manifest**:
+
+* the term's current *generation* (the index epoch, bumped per publish),
+* one entry per shard with its doc-id boundaries (``lo``/``hi``), posting
+  count, **quantized max term frequency** (the ingredient of the per-shard
+  MaxScore impact bound — quantized *upward* on a geometric grid so the bound
+  stays conservative while manifests stay small), the shard's own generation,
+  its content CID, and a content fingerprint.
+
+The query frontend resolves a term with one DHT lookup (the manifest) plus
+one content fetch per shard it actually needs — the per-shard bounds let the
+executor skip shards that cannot reach the current top-k threshold, and
+conjunctive queries skip shards outside the terms' feasible doc-id window
+without fetching them at all.  Lists at or below ``shard_size`` publish as a
+single shard, so the cost model degrades gracefully to the paper's original
+one-lookup-one-fetch shape (E1/E4).
 
 Index epochs
 ------------
-Every publish of a term's shard bumps that term's *generation*, a
-monotonically increasing counter carried inside the shard payload and
-tracked in the index's epoch registry.  Posting caches stamp their entries
-with the generation they were filled at; a later fetch validates the entry
-against the current generation and lazily refreshes superseded ones.  This
-replaces the old write-through-on-publish scheme, which refreshed only
-entries the publishing instance happened to have cached and gave readers no
-way to notice a superseded shard.
+Every publish bumps the term's *generation*, carried in the manifest and
+tracked in the index's epoch registry.  Shards, however, keep **per-shard
+generations**: a republish that leaves a shard's content byte-identical
+(fingerprint match against the previous manifest) carries the old shard
+generation forward and skips re-storing and re-pointing it — so posting
+caches keep serving the untouched shards of an updated term, and only the
+shard an update actually touched is refetched.  Cache entries are stamped
+with the shard generation they were filled at and validate by *equality*
+against the current manifest's entry.
 
 The registry itself is in-process state: it stands in for the lightweight
 epoch feed a deployed system would gossip or piggyback on DHT traffic so
@@ -30,32 +49,237 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import KeyNotFoundError, TermNotFoundError
 from repro.dht.dht import DHTNetwork
 from repro.index.cache import PostingCache
 from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
+from repro.storage.cid import compute_cid
 from repro.storage.ipfs import DecentralizedStorage
 
 STATS_KEY = "idx:__collection_statistics__"
 
+# Postings per shard above which a term's list splits into range shards.
+# 0 disables splitting (single-shard manifests, the pre-sharding layout).
+DEFAULT_SHARD_SIZE = 0
+
+# Geometric quantization grid for the per-shard max-tf bound carried in the
+# manifest.  Quantization always rounds *up*, so the derived impact bound can
+# only be looser than exact, never tighter — pruning stays admissible and the
+# sharded top-k stays bit-identical to the unsharded reference.
+_QUANT_RATIO = 1.2
+
 
 def term_key(term: str) -> str:
-    """DHT key under which a term's current shard CID is stored."""
+    """DHT key under which a term's shard manifest is stored."""
     return f"idx:{term}"
+
+
+def shard_key(term: str, shard: int) -> str:
+    """DHT key under which one range shard's content CID is stored."""
+    return f"idx:{term}:{shard}"
+
+
+def quantize_max_tf(max_tf: int) -> int:
+    """Round ``max_tf`` up to the geometric quantization grid (conservative)."""
+    if max_tf <= 1:
+        return max(0, max_tf)
+    level = 1.0
+    while True:
+        level *= _QUANT_RATIO
+        quantized = int(level) if level == int(level) else int(level) + 1
+        if quantized >= max_tf:
+            return quantized
+
+
+def quantize_min_length_down(length: int) -> int:
+    """Round a minimum document length *down* to the quantization grid.
+
+    The per-shard impact bound evaluates BM25's length normalization at the
+    shard's minimum document length; rounding the minimum down can only
+    loosen the bound, never tighten it, so pruning stays admissible.  (This
+    is what makes per-shard bounds genuinely tighter than the length-free
+    whole-list bound: the length-free form saturates in tf almost
+    immediately, while a shard of normal-length documents is bounded well
+    below it.)
+    """
+    if length <= 1:
+        return max(0, length)
+    level = 1.0
+    best = 1
+    while True:
+        level *= _QUANT_RATIO
+        quantized = int(level) if level == int(level) else int(level) + 1
+        if quantized > length:
+            return best
+        best = quantized
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One manifest entry: a shard's doc-id range, bounds, and identity."""
+
+    index: int
+    lo: int
+    hi: int
+    count: int
+    max_tf: int  # quantized upward; >= the shard's true max term frequency
+    generation: int
+    cid: str
+    fingerprint: str
+    # Quantized-down minimum document length in the shard (0 = unknown, the
+    # length-free fallback).  Evaluating BM25's length normalization at this
+    # floor upper-bounds every contribution the shard can make.
+    min_len: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "i": self.index, "lo": self.lo, "hi": self.hi, "n": self.count,
+            "qtf": self.max_tf, "ml": self.min_len, "gen": self.generation,
+            "cid": self.cid, "fp": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, body: Dict[str, object]) -> "ShardInfo":
+        return cls(
+            index=int(body["i"]), lo=int(body["lo"]), hi=int(body["hi"]),
+            count=int(body["n"]), max_tf=int(body["qtf"]),
+            generation=int(body["gen"]), cid=str(body["cid"]),
+            fingerprint=str(body["fp"]), min_len=int(body.get("ml", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class TermManifest:
+    """The small per-term record the DHT serves under ``idx:<term>``."""
+
+    term: str
+    generation: int
+    shards: Tuple[ShardInfo, ...]
+
+    @property
+    def posting_count(self) -> int:
+        return sum(shard.count for shard in self.shards)
+
+    @property
+    def min_doc_id(self) -> Optional[int]:
+        # Empty shards (kept to stabilise shard numbering across
+        # republishes) carry sentinel ranges; skip them.
+        for shard in self.shards:
+            if shard.count:
+                return shard.lo
+        return None
+
+    @property
+    def max_doc_id(self) -> Optional[int]:
+        for shard in reversed(self.shards):
+            if shard.count:
+                return shard.hi
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": "qb-manifest",
+                "term": self.term,
+                "gen": self.generation,
+                "shards": [shard.to_dict() for shard in self.shards],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TermManifest":
+        body = json.loads(payload)
+        return cls(
+            term=str(body["term"]),
+            generation=int(body["gen"]),
+            shards=tuple(ShardInfo.from_dict(entry) for entry in body["shards"]),
+        )
+
+
+class ShardedPostings:
+    """Lazy reader over one term's range shards.
+
+    The executor's cursor layer consumes this instead of a materialized
+    :class:`PostingList`: shard boundaries and quantized bounds come from the
+    manifest without any content fetch, and :meth:`shard` fetches (and
+    memoizes) individual shard contents on demand — so shards the executor
+    skips are never pulled over the network.  :meth:`materialize` rebuilds
+    the full list for consumers that need it (the TAAT reference path, the
+    publish-side merge).
+    """
+
+    def __init__(
+        self,
+        manifest: TermManifest,
+        loader: Callable[[int], PostingList],
+        preloaded: Optional[Dict[int, PostingList]] = None,
+    ) -> None:
+        self.manifest = manifest
+        self._loader = loader
+        self._shards: Dict[int, PostingList] = dict(preloaded or {})
+
+    @property
+    def term(self) -> str:
+        return self.manifest.term
+
+    @property
+    def shard_infos(self) -> Tuple[ShardInfo, ...]:
+        return self.manifest.shards
+
+    @property
+    def min_doc_id(self) -> Optional[int]:
+        return self.manifest.min_doc_id
+
+    @property
+    def max_doc_id(self) -> Optional[int]:
+        return self.manifest.max_doc_id
+
+    def __len__(self) -> int:
+        return self.manifest.posting_count
+
+    def loaded(self, index: int) -> bool:
+        return index in self._shards
+
+    def shard(self, index: int) -> PostingList:
+        """The postings of shard ``index`` (fetched on first access)."""
+        postings = self._shards.get(index)
+        if postings is None:
+            postings = self._loader(index)
+            self._shards[index] = postings
+        return postings
+
+    def materialize(self) -> PostingList:
+        """The full posting list (fetches every non-empty shard not loaded)."""
+        chunks = [
+            self.shard(info.index) for info in self.manifest.shards if info.count
+        ]
+        if not chunks:
+            return PostingList()
+        return PostingList.concatenate(chunks)
 
 
 @dataclass
 class DistributedIndexStats:
-    """Counters for the scalability and latency experiments."""
+    """Counters for the scalability and latency experiments.
+
+    ``terms_fetched`` counts shard content fetches that went to the network
+    (one per shard, so a multi-shard term counts each shard it actually
+    loads); ``shards_unchanged`` counts republishes that carried a shard
+    forward untouched (fingerprint match — no store, no DHT write).
+    """
 
     terms_published: int = 0
     terms_fetched: int = 0
     fetch_misses: int = 0
     bytes_published: int = 0
     bytes_fetched: int = 0
+    manifest_fetches: int = 0
+    shards_published: int = 0
+    shards_unchanged: int = 0
     per_fetch_bytes: List[int] = field(default_factory=list)
 
     def reset(self) -> None:
@@ -64,6 +288,9 @@ class DistributedIndexStats:
         self.fetch_misses = 0
         self.bytes_published = 0
         self.bytes_fetched = 0
+        self.manifest_fetches = 0
+        self.shards_published = 0
+        self.shards_unchanged = 0
         self.per_fetch_bytes.clear()
 
 
@@ -79,12 +306,22 @@ class DistributedIndex:
         ablation disables it to quantify the saving.
     cache:
         Optional :class:`~repro.index.cache.PostingCache` consulted before
-        the DHT.  Entries are validated against the term's current generation
-        (see *Index epochs* above); superseded entries are refreshed lazily.
+        the DHT.  Entries are **per shard** (keyed by :func:`shard_key`) and
+        carry the shard generation they were filled at; they validate by
+        equality against the current manifest (see *Index epochs* above).
     validate_generations:
-        When false, cache entries are served without the generation check —
-        the ablation the E2 freshness bench uses to quantify the stale-hit
-        rate the protocol eliminates.
+        When false, cached manifests and shards are served without the
+        generation check — the ablation the E2 freshness bench uses to
+        quantify the stale-hit rate the protocol eliminates.
+    shard_size:
+        Maximum postings per shard; lists above it split into range shards.
+        0 (default) publishes every term as a single shard.
+    length_lookup:
+        Optional ``doc_id -> document length`` (the engine wires the shared
+        collection statistics).  When present, each shard's manifest entry
+        carries the quantized-down minimum length of its documents, which
+        tightens the per-shard impact bound; absent, bounds fall back to
+        BM25's length-free form.
     """
 
     def __init__(
@@ -94,19 +331,35 @@ class DistributedIndex:
         compress: bool = True,
         cache: Optional[PostingCache] = None,
         validate_generations: bool = True,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        length_lookup: Optional[Callable[[int], int]] = None,
     ) -> None:
+        if shard_size < 0:
+            raise ValueError(f"shard_size must be non-negative, got {shard_size!r}")
         self.dht = dht
         self.storage = storage
         self.compress = compress
         self.cache = cache
         self.validate_generations = validate_generations
+        self.shard_size = shard_size
+        self.length_lookup = length_lookup
         self.stats = DistributedIndexStats()
         # The epoch registry: term -> latest published generation, seeded
-        # from fetched shard payloads for terms this instance did not publish
+        # from fetched manifests for terms this instance did not publish
         # itself.  Stands in for the epoch feed of a real deployment (see
         # the module docstring); consistent here because all participants
         # share the engine's single index instance.
         self._generations: Dict[str, int] = {}
+        # Manifest cache, filled on fetch only (never on publish, so the
+        # validation-off ablation really does model a cache that does not
+        # learn of supersession).  Entries validate against the registry.
+        self._manifests: Dict[str, TermManifest] = {}
+        # Publisher-side record of the latest manifest per term.  This is
+        # ground truth for *instrumentation only* (exact stale-hit
+        # accounting in the validation-off ablation: a carried-forward,
+        # content-identical shard is not a stale read even though the term
+        # generation moved on); the read path never consults it.
+        self._authoritative: Dict[str, TermManifest] = {}
 
     # -- epochs ---------------------------------------------------------------------
 
@@ -131,20 +384,76 @@ class DistributedIndex:
         postings: PostingList,
         publisher: Optional[str] = None,
     ) -> str:
-        """Publish ``postings`` as the authoritative shard for ``term``.
+        """Publish ``postings`` as the authoritative shards for ``term``.
 
-        Returns the CID of the stored shard.  The previous shard (if any)
-        stays in storage — content addressing makes old versions immutable —
-        but the DHT pointer moves to the new CID, and the term's generation
-        is bumped so cached copies of the old shard stop validating.
+        Splits the list into doc-id-range shards, stores the shards whose
+        content changed (fingerprint diff against the previous manifest —
+        unchanged shards keep their CID *and* their generation, so caches
+        holding them stay valid), moves the ``idx:<term>:<i>`` pointers, and
+        publishes the new manifest under ``idx:<term>``.  Old shard payloads
+        stay in storage — content addressing makes them immutable — but the
+        manifest is what readers resolve.  Returns the CID of the first
+        shard (the whole list's CID in the common single-shard case).
+
+        The per-shard DHT pointers are deliberately redundant with the
+        manifest's ``cid`` fields: the query path fetches shard content
+        straight from the manifest (no per-shard lookup), while the pointers
+        give repair/rebalance jobs an address for one shard without reading
+        the manifest.  A pointer left behind by a shrinking list keeps
+        resolving to its (immutable) old payload; it is harmless because
+        nothing resolves shards the current manifest does not name.
         """
         generation = self._bump_generation(term)
-        payload = self._encode_shard(term, postings, generation)
-        cid = self.storage.add_text(payload, publisher=publisher)
-        self.dht.put(term_key(term), cid)
+        previous = self._previous_manifest(term) if generation > 1 else None
+        chunks = self._split_for_republish(postings, previous)
+
+        infos: List[ShardInfo] = []
+        for index, chunk in enumerate(chunks):
+            min_len = self._chunk_min_length(chunk)
+            body = self._encode_shard_body(term, chunk, index, min_len)
+            fingerprint = compute_cid(json.dumps(body, sort_keys=True))
+            prior = (
+                previous.shards[index]
+                if previous is not None and index < len(previous.shards)
+                else None
+            )
+            if prior is not None and prior.fingerprint == fingerprint:
+                # Byte-identical shard: carry the whole manifest entry —
+                # generation, CID, bounds — forward untouched.  (The
+                # fingerprint covers min_len, so a document-length change
+                # always republishes — the stored bound never goes stale.)
+                infos.append(prior)
+                self.stats.shards_unchanged += 1
+                continue
+            body["gen"] = generation
+            payload = json.dumps(body, sort_keys=True)
+            cid = self.storage.add_text(payload, publisher=publisher)
+            self.dht.put(shard_key(term, index), cid)
+            self.stats.shards_published += 1
+            self.stats.bytes_published += len(payload)
+            lo = chunk.min_doc_id if len(chunk) else 0
+            hi = chunk.max_doc_id if len(chunk) else -1
+            infos.append(
+                ShardInfo(
+                    index=index, lo=lo, hi=hi, count=len(chunk),
+                    max_tf=quantize_max_tf(chunk.max_term_frequency),
+                    generation=generation, cid=cid, fingerprint=fingerprint,
+                    min_len=min_len,
+                )
+            )
+
+        manifest = TermManifest(term=term, generation=generation, shards=tuple(infos))
+        self._authoritative[term] = manifest
+        manifest_json = manifest.to_json()
+        self.dht.put(term_key(term), manifest_json)
         self.stats.terms_published += 1
-        self.stats.bytes_published += len(payload)
-        return cid
+        self.stats.bytes_published += len(manifest_json)
+        if self.cache is not None and previous is not None:
+            # Shard keys beyond the new shard count can never validate again;
+            # drop them eagerly instead of waiting for LRU pressure.
+            for stale in previous.shards[len(infos):]:
+                self.cache.invalidate(shard_key(term, stale.index))
+        return infos[0].cid
 
     def merge_term(
         self,
@@ -152,29 +461,48 @@ class DistributedIndex:
         new_postings: PostingList,
         publisher: Optional[str] = None,
     ) -> str:
-        """Fold ``new_postings`` into the published shard for ``term``.
+        """Fold ``new_postings`` into the published shards for ``term``.
 
-        Fetches the current shard (if one exists), merges with the new data
-        winning on conflicts, and republishes.  This is the incremental path
-        worker bees use when a publish event touches an already-indexed term.
+        Fetches the current list (if one exists), merges with the new data
+        winning on conflicts, and republishes.  Thanks to the fingerprint
+        diff in :meth:`publish_term`, only the range shards the merge
+        actually changed are re-stored.  This is the incremental path worker
+        bees use when a publish event touches an already-indexed term.
+
+        A term that is *published but currently unreachable* (a shard's
+        providers are offline) re-raises instead of merging: treating it as
+        empty would republish a manifest containing only ``new_postings``
+        and permanently wipe every other document from the term.  The
+        caller retries when the network heals; only a term with no DHT
+        pointer at all starts from empty.
         """
         try:
-            # Publish-path reads always resolve the authoritative shard: a
+            # Publish-path reads always resolve the authoritative shards: a
             # cached copy may predate another publisher's update, and merging
             # from it would republish (resurrect) postings that were removed.
             existing = self.fetch_term(term, use_cache=False)
         except TermNotFoundError:
+            if self.has_term(term):
+                raise
             existing = PostingList()
         merged = existing.merge(new_postings)
         return self.publish_term(term, merged, publisher=publisher)
 
     def remove_document(self, term: str, doc_id: int, publisher: Optional[str] = None) -> bool:
-        """Remove one document from a term's shard (page deletion/update)."""
+        """Remove one document from a term's shards (page deletion/update).
+
+        Returns False only for a term that was never published.  A published
+        term whose shards are currently unreachable re-raises (same rule as
+        :meth:`merge_term`): swallowing the failure would silently leave the
+        stale posting the removal exists to eliminate.
+        """
         try:
             # Authoritative read, same as merge_term: removing from a stale
             # cached shard would republish other documents' dead postings.
             existing = self.fetch_term(term, use_cache=False)
         except TermNotFoundError:
+            if self.has_term(term):
+                raise
             return False
         # The fetched list may be shared with other readers; never mutate it
         # in place.
@@ -196,49 +524,123 @@ class DistributedIndex:
 
     # -- fetching (frontend side) -----------------------------------------------------
 
+    def fetch_term_manifest(
+        self,
+        term: str,
+        requester: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> TermManifest:
+        """Resolve the shard manifest for ``term`` (one DHT lookup, no content).
+
+        Raises :class:`TermNotFoundError` when the term has never been
+        published.  Cached manifests validate against the epoch registry;
+        with ``validate_generations`` off, a cached manifest is served as-is
+        (the E2 ablation) and superseded shard reads count as stale hits.
+        Manifest caching rides the posting-cache config: an instance built
+        without a cache pays the full one-DHT-lookup-per-resolution cost
+        model on every fetch (what the cache-free benchmark rows measure).
+        """
+        use_cache = use_cache and self.cache is not None
+        if use_cache:
+            cached = self._manifests.get(term)
+            if cached is not None:
+                if not self.validate_generations or cached.generation == self.generation(term):
+                    return cached
+        try:
+            value = self.dht.get(term_key(term))
+        except KeyNotFoundError as exc:
+            self.stats.fetch_misses += 1
+            raise TermNotFoundError(f"term {term!r} has no published shard") from exc
+        manifest = self._decode_manifest(term, value, requester=requester)
+        self.stats.manifest_fetches += 1
+        self._observe_generation(term, manifest.generation)
+        if use_cache:
+            self._manifests[term] = manifest
+        return manifest
+
+    def fetch_term_sharded(
+        self,
+        term: str,
+        requester: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> ShardedPostings:
+        """Resolve ``term`` to a lazy :class:`ShardedPostings` reader.
+
+        The manifest is fetched eagerly (it is the DHT lookup); shard
+        contents load on demand through the per-shard posting cache, so
+        consumers that skip shards never pay their content fetch.
+        """
+        manifest = self.fetch_term_manifest(term, requester=requester, use_cache=use_cache)
+
+        def loader(index: int) -> PostingList:
+            return self._fetch_shard(manifest, index, requester=requester, use_cache=use_cache)
+
+        return ShardedPostings(manifest, loader)
+
     def fetch_term(
         self,
         term: str,
         requester: Optional[str] = None,
         use_cache: bool = True,
     ) -> PostingList:
-        """Resolve and fetch the posting list for ``term``.
+        """Resolve and fetch the full posting list for ``term``.
 
         The returned list may be shared with the posting cache and other
         readers — treat it as read-only and :meth:`PostingList.copy` before
         mutating.  Raises :class:`TermNotFoundError` when the term has never
-        been published or its shard is unreachable (the recall loss counted
-        in E3).  ``use_cache=False`` bypasses the posting cache entirely
-        (reads and fills) — the reference path the E2 bench compares against.
+        been published or a shard is unreachable (the recall loss counted
+        in E3).  ``use_cache=False`` bypasses the manifest and posting
+        caches entirely (reads and fills) — the reference path the E2 bench
+        compares against.
         """
+        return self.fetch_term_sharded(
+            term, requester=requester, use_cache=use_cache
+        ).materialize()
+
+    def _fetch_shard(
+        self,
+        manifest: TermManifest,
+        index: int,
+        requester: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> PostingList:
+        """One shard's postings, through the per-shard posting cache."""
+        info = manifest.shards[index]
+        key = shard_key(manifest.term, index)
         if self.cache is not None and use_cache:
             # Hit/miss accounting lives in self.cache.stats, the single
             # source of truth for cache behaviour.
-            current = self.generation(term) if self.validate_generations else None
-            cached = self.cache.get(term, generation=current)
+            expected = info.generation if self.validate_generations else None
+            cached = self.cache.get(key, generation=expected)
             if cached is not None:
                 if not self.validate_generations:
-                    entry_generation = self.cache.generation_of(term)
-                    if entry_generation is not None and entry_generation < self.generation(term):
-                        self.cache.stats.stale_hits += 1
+                    # The manifest itself may be superseded (it was served
+                    # without validation): count the read as a stale hit iff
+                    # the entry's generation differs from the shard's
+                    # generation in the *authoritative* manifest — a
+                    # carried-forward, content-identical shard is not stale
+                    # even though the term's generation moved on.
+                    entry_generation = self.cache.generation_of(key)
+                    authoritative = self._authoritative.get(manifest.term)
+                    if authoritative is not None and entry_generation is not None:
+                        if index >= len(authoritative.shards):
+                            self.cache.stats.stale_hits += 1
+                        elif entry_generation != authoritative.shards[index].generation:
+                            self.cache.stats.stale_hits += 1
                 return cached
         try:
-            cid = self.dht.get(term_key(term))
-        except KeyNotFoundError as exc:
-            self.stats.fetch_misses += 1
-            raise TermNotFoundError(f"term {term!r} has no published shard") from exc
-        try:
-            payload = self.storage.get_text(cid, requester=requester)
+            payload = self.storage.get_text(info.cid, requester=requester)
         except Exception as exc:
             self.stats.fetch_misses += 1
-            raise TermNotFoundError(f"shard for term {term!r} is unreachable") from exc
+            raise TermNotFoundError(
+                f"shard {index} of term {manifest.term!r} is unreachable"
+            ) from exc
         self.stats.terms_fetched += 1
         self.stats.bytes_fetched += len(payload)
         self.stats.per_fetch_bytes.append(len(payload))
         postings, generation = self._decode_shard(payload)
-        self._observe_generation(term, generation)
         if self.cache is not None and use_cache:
-            self.cache.put(term, postings, generation=generation)
+            self.cache.put(key, postings, generation=generation)
         return postings
 
     def fetch_statistics(self, requester: Optional[str] = None) -> CollectionStatistics:
@@ -251,38 +653,119 @@ class DistributedIndex:
         return CollectionStatistics.from_dict(json.loads(payload))
 
     def has_term(self, term: str) -> bool:
-        """Whether a shard pointer exists for ``term`` (no content fetch)."""
+        """Whether a manifest exists for ``term`` (no content fetch)."""
         return self.dht.contains(term_key(term))
 
     # -- serialization ----------------------------------------------------------------
 
-    def _encode_shard(self, term: str, postings: PostingList, generation: int) -> str:
-        # max_tf rides along with every shard: it lets a frontend compute the
-        # term's best-case (MaxScore) contribution without scanning the list.
-        # gen is the shard's index generation, the epoch caches validate
-        # their entries against.
+    def _previous_manifest(self, term: str) -> Optional[TermManifest]:
+        """The authoritative manifest published before this publish, if any."""
+        try:
+            value = self.dht.get(term_key(term))
+        except KeyNotFoundError:
+            return None
+        try:
+            return self._decode_manifest(term, value)
+        except TermNotFoundError:
+            return None
+
+    def _decode_manifest(
+        self, term: str, value: object, requester: Optional[str] = None
+    ) -> TermManifest:
+        """Decode a DHT value into a manifest.
+
+        A plain CID string (the pre-manifest layout) is upgraded on the fly
+        into a synthetic single-shard manifest by fetching the legacy shard.
+        """
+        if isinstance(value, str) and value.startswith("{"):
+            return TermManifest.from_json(value)
+        try:
+            payload = self.storage.get_text(str(value), requester=requester)
+        except Exception as exc:
+            self.stats.fetch_misses += 1
+            raise TermNotFoundError(f"shard for term {term!r} is unreachable") from exc
+        postings, generation = self._decode_shard(payload)
+        return TermManifest(
+            term=term,
+            generation=generation,
+            shards=(
+                ShardInfo(
+                    index=0,
+                    lo=postings.min_doc_id if len(postings) else 0,
+                    hi=postings.max_doc_id if len(postings) else -1,
+                    count=len(postings),
+                    max_tf=quantize_max_tf(postings.max_term_frequency),
+                    generation=generation,
+                    cid=str(value),
+                    fingerprint="",
+                ),
+            ),
+        )
+
+    def _split_for_republish(
+        self, postings: PostingList, previous: Optional[TermManifest]
+    ) -> List[PostingList]:
+        """Range chunks for a (re)publish, keeping edits shard-local.
+
+        A fresh publish chunks by count.  A *republish* splits along the
+        previous manifest's doc-id boundaries instead, so a delete or
+        insert in one range leaves every other range byte-identical (their
+        fingerprints match and they carry generation + CID forward); a
+        count-based re-chunk would shift every boundary after the edit and
+        republish the whole tail.  A chunk that outgrows twice the shard
+        size is re-split by count (boundaries after it shift — the usual
+        append path); empty chunks are kept so shard numbering, and hence
+        the fingerprints of later shards, stay stable.
+        """
+        if (
+            self.shard_size <= 0
+            or previous is None
+            or len(previous.shards) < 2
+            or len(postings) <= self.shard_size
+        ):
+            return postings.split_chunks(self.shard_size)
+        boundaries = [shard.hi for shard in previous.shards[:-1]]
+        chunks: List[PostingList] = []
+        for chunk in postings.split_at(boundaries):
+            if len(chunk) > 2 * self.shard_size:
+                chunks.extend(chunk.split_chunks(self.shard_size))
+            else:
+                chunks.append(chunk)
+        return chunks
+
+    def _chunk_min_length(self, chunk: PostingList) -> int:
+        """Quantized-down minimum document length in ``chunk`` (0 = unknown)."""
+        if self.length_lookup is None or not len(chunk):
+            return 0
+        shortest = min(self.length_lookup(posting.doc_id) for posting in chunk)
+        return quantize_min_length_down(max(0, shortest))
+
+    def _encode_shard_body(
+        self, term: str, postings: PostingList, index: int, min_len: int
+    ) -> Dict[str, object]:
+        # The body (everything except gen) is what the publish-path
+        # fingerprint hashes, so an unchanged shard republished under a new
+        # term generation still fingerprints identically — and a change to
+        # any bound ingredient (postings, min_len) forces a republish.
         if self.compress:
-            body = {
+            return {
                 "term": term,
+                "shard": index,
                 "encoding": "delta-varint",
-                "gen": generation,
                 "max_tf": postings.max_term_frequency,
+                "min_len": min_len,
                 "postings": postings.to_payload(),
             }
-        else:
-            body = {
-                "term": term,
-                "encoding": "raw",
-                "gen": generation,
-                "max_tf": postings.max_term_frequency,
-                "postings": [[p.doc_id, p.term_frequency] for p in postings],
-            }
-        return json.dumps(body, sort_keys=True)
+        return {
+            "term": term,
+            "shard": index,
+            "encoding": "raw",
+            "max_tf": postings.max_term_frequency,
+            "min_len": min_len,
+            "postings": [[p.doc_id, p.term_frequency] for p in postings],
+        }
 
     def _decode_shard(self, payload: str) -> Tuple[PostingList, int]:
-        # The shard's max_tf field is not needed here — PostingList computes
-        # it lazily — but stays in the payload so index-level consumers (e.g.
-        # a future bound-only planner fetch) can read it without decoding.
         body = json.loads(payload)
         generation = int(body.get("gen", 0))
         if body.get("encoding") == "delta-varint":

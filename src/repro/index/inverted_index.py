@@ -103,6 +103,17 @@ class LocalInvertedIndex:
         posting_list = self._postings.get(term)
         return posting_list.max_term_frequency if posting_list is not None else 0
 
+    def heaviest_terms(self, count: int) -> List[str]:
+        """The ``count`` terms with the longest posting lists (ties by name).
+
+        These are the *head terms* — the lists the doc-id-range sharding of
+        the distributed index exists to split; benchmarks use this to build
+        head-term workloads and to pick shard sizes relative to the heaviest
+        list.
+        """
+        ranked = sorted(self._postings.items(), key=lambda item: (-len(item[1]), item[0]))
+        return [term for term, _ in ranked[:count]]
+
     def doc_ids(self) -> List[int]:
         return sorted(self._doc_terms)
 

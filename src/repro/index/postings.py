@@ -64,6 +64,72 @@ class PostingList:
         result._postings = list(self._postings)
         return result
 
+    @property
+    def min_doc_id(self) -> Optional[int]:
+        """Smallest doc_id in the list (None when empty)."""
+        return self._postings[0].doc_id if self._postings else None
+
+    @property
+    def max_doc_id(self) -> Optional[int]:
+        """Largest doc_id in the list (None when empty)."""
+        return self._postings[-1].doc_id if self._postings else None
+
+    def split_chunks(self, chunk_size: int) -> List["PostingList"]:
+        """Split into consecutive doc-id-range chunks of at most ``chunk_size``.
+
+        The chunks partition the list: concatenating them in order reproduces
+        it exactly (see :meth:`concatenate`), which is what makes the sharded
+        index layout bit-identical to the unsharded one.  ``chunk_size <= 0``
+        returns the whole list as a single chunk.
+        """
+        if chunk_size <= 0 or len(self._postings) <= chunk_size:
+            return [self]
+        chunks: List[PostingList] = []
+        for start in range(0, len(self._postings), chunk_size):
+            chunk = PostingList()
+            chunk._postings = self._postings[start : start + chunk_size]
+            chunks.append(chunk)
+        return chunks
+
+    def split_at(self, boundaries: Sequence[int]) -> List["PostingList"]:
+        """Split at fixed doc-id ``boundaries`` (ascending, inclusive upper).
+
+        Chunk ``i`` holds postings with ``doc_id <= boundaries[i]`` (and
+        above the previous boundary); a final chunk takes the remainder.
+        Chunks may be empty.  Used to re-publish an updated list along its
+        previous shard boundaries so an edit in one doc-id range leaves the
+        other ranges byte-identical.
+        """
+        chunks: List[PostingList] = []
+        start = 0
+        for boundary in boundaries:
+            end = start
+            while end < len(self._postings) and self._postings[end].doc_id <= boundary:
+                end += 1
+            chunk = PostingList()
+            chunk._postings = self._postings[start:end]
+            chunks.append(chunk)
+            start = end
+        tail = PostingList()
+        tail._postings = self._postings[start:]
+        chunks.append(tail)
+        return chunks
+
+    @classmethod
+    def concatenate(cls, chunks: Sequence["PostingList"]) -> "PostingList":
+        """Rebuild one list from disjoint, doc-id-ordered range chunks.
+
+        The inverse of :meth:`split_chunks`.  Chunk ranges must be disjoint
+        and ascending (the shard manifest guarantees this); the result is the
+        exact postings sequence, no re-sorting or conflict resolution.
+        """
+        if len(chunks) == 1:
+            return chunks[0]
+        result = cls()
+        for chunk in chunks:
+            result._postings.extend(chunk._postings)
+        return result
+
     def arrays(self) -> Tuple[List[int], List[int]]:
         """Cached parallel ``(doc_ids, term_frequencies)`` arrays.
 

@@ -18,6 +18,10 @@ class CollectionStatistics:
     total_length: int = 0
     document_lengths: Dict[int, int] = field(default_factory=dict)
     document_frequency: Dict[str, int] = field(default_factory=dict)
+    # Monotonic mutation counter: bumped on every add/remove so consumers
+    # that memoize statistics-derived values (the frontend's result cache)
+    # can detect in-place changes without hashing the whole object.
+    version: int = 0
 
     @property
     def average_length(self) -> float:
@@ -27,6 +31,7 @@ class CollectionStatistics:
 
     def add_document(self, doc_id: int, length: int, terms: Dict[str, int]) -> None:
         """Register one document's length and the terms it contains."""
+        self.version += 1
         previous = self.document_lengths.get(doc_id)
         if previous is not None:
             # Re-adding a document (page update): lengths are replaced, but
@@ -44,6 +49,7 @@ class CollectionStatistics:
 
     def remove_document(self, doc_id: int, terms: Dict[str, int]) -> None:
         """Unregister a document (deletions and the removal half of updates)."""
+        self.version += 1
         length = self.document_lengths.pop(doc_id, None)
         if length is None:
             return
@@ -64,10 +70,17 @@ class CollectionStatistics:
         return self.document_lengths.get(doc_id, 0)
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable snapshot published to decentralized storage."""
+        """JSON-serializable snapshot published to decentralized storage.
+
+        The version counter travels with the snapshot: consumers that key
+        memoized values on it (the frontend result cache) stay freshness-
+        safe even when their statistics arrive via fetch rather than by
+        sharing the engine's live object.
+        """
         return {
             "document_count": self.document_count,
             "total_length": self.total_length,
+            "version": self.version,
             "document_lengths": {str(k): v for k, v in self.document_lengths.items()},
             "document_frequency": dict(self.document_frequency),
         }
@@ -75,6 +88,7 @@ class CollectionStatistics:
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "CollectionStatistics":
         stats = cls()
+        stats.version = int(payload.get("version", 0))
         stats.document_count = int(payload.get("document_count", 0))
         stats.total_length = int(payload.get("total_length", 0))
         stats.document_lengths = {

@@ -55,6 +55,19 @@ class BM25Scorer:
         """
         return self.idf(term) * (self.k1 + 1.0), self.k1 * (1.0 - self.b)
 
+    def tf_denominator(self, length: int) -> float:
+        """The BM25 tf-denominator constant for a document of ``length``.
+
+        ``k1 * (1 - b + b * length / avgdl)`` — the per-term score is
+        ``scale * tf / (tf + tf_denominator(length))`` and is decreasing in
+        ``length``, so evaluating it at a *lower bound* on document length
+        (e.g. a shard's quantized minimum length) yields an admissible upper
+        bound on any contribution from that shard.  ``length = 0`` recovers
+        the length-free bound of :meth:`impact_parameters`.
+        """
+        avgdl = self.statistics.average_length or 1.0
+        return self.k1 * (1.0 - self.b + self.b * length / avgdl)
+
     def upper_bound(self, term: str, max_term_frequency: int) -> float:
         """The largest BM25 contribution ``term`` can make to any document."""
         if max_term_frequency <= 0:

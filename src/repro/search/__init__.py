@@ -13,6 +13,7 @@ from repro.search.planner import QueryPlan, QueryPlanner
 from repro.search.results import ResultPage, SearchResult
 from repro.search.executor import QueryExecutor
 from repro.search.frontend import SearchFrontend
+from repro.search.result_cache import ResultCache
 
 __all__ = [
     "ParsedQuery",
@@ -22,5 +23,6 @@ __all__ = [
     "SearchResult",
     "ResultPage",
     "QueryExecutor",
+    "ResultCache",
     "SearchFrontend",
 ]

@@ -10,18 +10,37 @@ Two execution modes share one interface:
 ``maxscore`` (document-at-a-time with MaxScore pruning)
     The production path: posting cursors advance document-at-a-time with
     galloping skips, a bounded min-heap tracks the current top-k, and
-    per-term *max-impact* upper bounds (published alongside each shard) let
-    the executor skip scoring — or stop scanning entirely — once no remaining
-    document can enter the top-k.  Pruning only ever uses *strict* bound
-    comparisons, so the returned top-k (documents, scores, and tie-breaks) is
-    bit-identical to the ``taat`` path.
+    per-term *max-impact* upper bounds let the executor skip scoring — or
+    stop scanning entirely — once no remaining document can enter the top-k.
+    Pruning only ever uses *strict* bound comparisons, so the returned top-k
+    (documents, scores, and tie-breaks) is bit-identical to the ``taat``
+    path.
+
+Sharded terms
+-------------
+A fetcher may return a lazy :class:`~repro.index.distributed.ShardedPostings`
+reader instead of a materialised :class:`PostingList`.  Cursors then operate
+on *segments* — one per doc-id-range shard, with the shard's quantized
+max-impact bound from the manifest — and three extra prunings become
+available, all strictly bound-based and therefore result-preserving:
+
+* whole driver shards whose range-bound cannot reach the top-k threshold are
+  skipped without being scanned (or even fetched);
+* conjunctive evaluation is clamped to the terms' feasible doc-id window, so
+  shards outside it are never loaded;
+* disjunctive (MaxScore) essential-list selection uses each cursor's
+  *remaining* bound — the max over its unconsumed shards — instead of the
+  whole-list bound, demoting lists to non-essential as their high-impact
+  shards are consumed, and per-candidate bounds use the shard-local bound at
+  the candidate's position rather than the whole-list max.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import TermNotFoundError
 from repro.index.postings import PostingList
@@ -30,10 +49,12 @@ from repro.ranking.bm25 import BM25Scorer
 from repro.ranking.scoring import CombinedScorer
 from repro.search.planner import EXECUTION_MODES, MODE_MAXSCORE, MODE_TAAT, QueryPlan
 
-# A posting fetcher resolves one term to its posting list; it raises
-# TermNotFoundError for unknown/unreachable terms.  In QueenBee it is the
-# distributed index; in the centralized baseline it is the local index.
-PostingFetcher = Callable[[str], PostingList]
+# A posting fetcher resolves one term to its postings — a PostingList, or a
+# lazy ShardedPostings reader (duck-typed via .shard_infos) for sharded
+# terms; it raises TermNotFoundError for unknown/unreachable terms.  In
+# QueenBee it is the distributed index; in the centralized baseline it is
+# the local index.
+PostingFetcher = Callable[[str], Any]
 
 # Upper bounds are inflated by this factor before threshold comparisons so a
 # bound that equals the exact score in real arithmetic can never fall below
@@ -48,88 +69,304 @@ class ExecutionOutcome:
     In ``maxscore`` mode, ``candidates`` holds only the documents the engine
     actually *visited* (pruned document spaces are skipped wholesale), so it
     can be shorter than the ``taat`` candidate set; ``scores`` is identical
-    between modes.
+    between modes.  ``postings_by_term`` holds whatever the fetcher returned
+    (materialised lists in ``taat`` mode, possibly lazy readers in
+    ``maxscore`` mode).
     """
 
     candidates: List[int] = field(default_factory=list)
     scores: Dict[int, float] = field(default_factory=dict)
     page_ranks: Dict[int, float] = field(default_factory=dict)
-    postings_by_term: Dict[str, PostingList] = field(default_factory=dict)
+    postings_by_term: Dict[str, Any] = field(default_factory=dict)
     missing_terms: Tuple[str, ...] = field(default_factory=tuple)
     terms_fetched: int = 0
     postings_scanned: int = 0
     docs_scored: int = 0
     docs_pruned: int = 0
+    shards_skipped: int = 0
     early_exit: bool = False
     mode: str = MODE_TAAT
 
 
-class _Cursor:
-    """One term's posting cursor: parallel doc_id / frequency arrays.
+def _materialize(postings: Any) -> PostingList:
+    """A full PostingList from either a list or a sharded reader."""
+    if isinstance(postings, PostingList):
+        return postings
+    return postings.materialize()
 
-    ``scale`` is the term's weighted idf times ``k1 + 1``; with the shared
-    length-free denominator constant it turns a term frequency into the
-    best-case score contribution (``impact``), and ``upper_bound`` is the
-    impact of the list's maximum frequency.
+
+class _ShardUnreachable(Exception):
+    """A lazy shard load failed mid-execution; carries the term to degrade."""
+
+    def __init__(self, term: str) -> None:
+        super().__init__(term)
+        self.term = term
+
+
+class _Segment:
+    """One doc-id range of a term's postings: a shard, or the whole list."""
+
+    __slots__ = ("index", "lo", "hi", "count", "max_tf", "min_len")
+
+    def __init__(
+        self, index: int, lo: int, hi: int, count: int, max_tf: int, min_len: int = 0
+    ) -> None:
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.count = count
+        self.max_tf = max_tf
+        self.min_len = min_len
+
+
+class _Cursor:
+    """One term's posting cursor over lazily-loaded doc-id-range segments.
+
+    ``scale`` is the term's weighted idf times ``k1 + 1``; with a
+    tf-denominator it turns a term frequency into the best-case score
+    contribution (``impact``).  Per-segment bounds evaluate the denominator
+    at the segment's quantized *minimum document length* (from the shard
+    manifest), which is far tighter than the length-free whole-list bound —
+    the length-free form saturates in tf almost immediately.  These bounds
+    are what shard skipping and remaining-bound demotion exploit;
+    ``upper_bound`` is their maximum.
+
+    Segment contents load on first *content* access (frequencies, or
+    galloping inside the segment); probes that only need a segment's first
+    doc_id are answered from the manifest (``lo``) without loading.
     """
 
-    __slots__ = ("term", "doc_ids", "frequencies", "position", "scale", "upper_bound")
+    __slots__ = (
+        "term", "segments", "bounds", "suffix_bounds", "upper_bound",
+        "scale", "tf_constant", "seg", "offset", "_arrays", "_loader",
+        "total", "_segment_los",
+    )
 
-    def __init__(self, term: str, postings: PostingList, scale: float, tf_constant: float) -> None:
+    def __init__(
+        self,
+        term: str,
+        postings: Any,
+        scale: float,
+        tf_constant: float,
+        tf_denominator: Optional[Callable[[int], float]] = None,
+    ) -> None:
         self.term = term
-        # Shared read-only views cached on the posting list itself, so a
-        # cached/prefetched list is not re-copied for every query using it.
-        self.doc_ids, self.frequencies = postings.arrays()
-        self.position = 0
         self.scale = scale
-        self.upper_bound = self.impact(postings.max_term_frequency, tf_constant)
+        self.tf_constant = tf_constant
+        self.seg = 0
+        self.offset = 0
+        if isinstance(postings, PostingList):
+            # Shared read-only views cached on the posting list itself, so a
+            # cached/prefetched list is not re-copied for every query using
+            # it.  A plain list is one eager segment with its exact max_tf.
+            doc_ids, frequencies = postings.arrays()
+            if doc_ids:
+                self.segments = [
+                    _Segment(
+                        0, doc_ids[0], doc_ids[-1], len(doc_ids), postings.max_term_frequency
+                    )
+                ]
+                self._arrays: List[Optional[Tuple[List[int], List[int]]]] = [
+                    (doc_ids, frequencies)
+                ]
+            else:
+                self.segments = []
+                self._arrays = []
+            self._loader: Optional[Callable[[int], PostingList]] = None
+        else:
+            infos = postings.shard_infos
+            # Segments keep the manifest's shard index: empty shards are
+            # filtered here, so positions and shard numbers can diverge.
+            self.segments = [
+                _Segment(info.index, info.lo, info.hi, info.count, info.max_tf, info.min_len)
+                for info in infos
+                if info.count
+            ]
+            self._arrays = [None] * len(self.segments)
+            reader = postings
 
-    def impact(self, term_frequency: int, tf_constant: float) -> float:
+            def load(index: int) -> PostingList:
+                return reader.shard(index)
+
+            self._loader = load
+        self.total = sum(segment.count for segment in self.segments)
+        self._segment_los = [segment.lo for segment in self.segments]
+        self.bounds = [
+            self._segment_impact(segment, tf_denominator) for segment in self.segments
+        ]
+        # suffix_bounds[i] = max bound over segments[i:]; the cursor's
+        # remaining bound is suffix_bounds[seg].
+        self.suffix_bounds = list(self.bounds)
+        for i in range(len(self.suffix_bounds) - 2, -1, -1):
+            self.suffix_bounds[i] = max(self.suffix_bounds[i], self.suffix_bounds[i + 1])
+        self.upper_bound = self.suffix_bounds[0] if self.suffix_bounds else 0.0
+
+    def _segment_impact(
+        self, segment: _Segment, tf_denominator: Optional[Callable[[int], float]]
+    ) -> float:
+        """Best contribution any document in ``segment`` can receive.
+
+        With a manifest-supplied minimum length, the tf-denominator is
+        evaluated there (documents are at least that long, so their actual
+        impact can only be smaller); otherwise the length-free constant.
+        """
+        if segment.max_tf <= 0:
+            return 0.0
+        constant = self.tf_constant
+        if segment.min_len > 0 and tf_denominator is not None:
+            constant = tf_denominator(segment.min_len)
+        return self.scale * segment.max_tf / (segment.max_tf + constant)
+
+    def impact(self, term_frequency: int, tf_constant: Optional[float] = None) -> float:
         """Best-case (shortest-document) contribution of one posting."""
         if term_frequency <= 0:
             return 0.0
-        return self.scale * term_frequency / (term_frequency + tf_constant)
+        constant = self.tf_constant if tf_constant is None else tf_constant
+        return self.scale * term_frequency / (term_frequency + constant)
 
     def __len__(self) -> int:
-        return len(self.doc_ids)
+        return self.total
 
     @property
     def exhausted(self) -> bool:
-        return self.position >= len(self.doc_ids)
+        return self.seg >= len(self.segments)
+
+    @property
+    def min_doc_id(self) -> Optional[int]:
+        return self.segments[0].lo if self.segments else None
+
+    @property
+    def max_doc_id(self) -> Optional[int]:
+        return self.segments[-1].hi if self.segments else None
+
+    @property
+    def at_segment_start(self) -> bool:
+        return self.offset == 0
+
+    @property
+    def current_segment(self) -> _Segment:
+        return self.segments[self.seg]
+
+    def _ids(self) -> List[int]:
+        arrays = self._arrays[self.seg]
+        if arrays is None:
+            try:
+                postings = self._loader(self.segments[self.seg].index)  # type: ignore[misc]
+            except TermNotFoundError as exc:
+                # Degrade like an unreachable whole term (the pre-sharding
+                # behaviour): the executor retries without this term.
+                raise _ShardUnreachable(self.term) from exc
+            arrays = postings.arrays()
+            self._arrays[self.seg] = arrays
+        return arrays[0]
 
     @property
     def current(self) -> int:
-        return self.doc_ids[self.position]
+        """The doc_id under the cursor (manifest-answered at segment start)."""
+        if self.offset == 0:
+            return self.segments[self.seg].lo
+        return self._ids()[self.offset]
+
+    @property
+    def current_frequency(self) -> int:
+        arrays = self._arrays[self.seg]
+        if arrays is None:
+            self._ids()
+            arrays = self._arrays[self.seg]
+        return arrays[1][self.offset]
+
+    def advance(self) -> None:
+        """Step to the next posting (crossing into the next segment)."""
+        self.offset += 1
+        if self.offset >= self.segments[self.seg].count:
+            self.seg += 1
+            self.offset = 0
+
+    def skip_segment(self) -> int:
+        """Drop the rest of the current segment; returns postings skipped."""
+        skipped = self.segments[self.seg].count - self.offset
+        self.seg += 1
+        self.offset = 0
+        return skipped
+
+    def remaining(self) -> int:
+        """Postings at or after the cursor position."""
+        if self.exhausted:
+            return 0
+        rest = sum(segment.count for segment in self.segments[self.seg + 1:])
+        return rest + self.segments[self.seg].count - self.offset
+
+    def remaining_bound(self) -> float:
+        """Max impact over the postings the cursor has not consumed yet."""
+        return self.suffix_bounds[self.seg] if not self.exhausted else 0.0
+
+    def range_bound(self, lo: int, hi: int) -> float:
+        """Max impact over segments overlapping ``[lo, hi]`` (no loading).
+
+        Segments are disjoint and sorted by ``lo``, so the candidates start
+        at the last segment whose ``lo <= hi``, scanning backwards only
+        while segments still overlap — O(log S + overlap) on the
+        many-segment head terms this is hot for.
+        """
+        position = bisect.bisect_right(self._segment_los, hi) - 1
+        best = 0.0
+        while position >= 0:
+            segment = self.segments[position]
+            if segment.hi < lo:
+                break
+            bound = self.bounds[position]
+            if bound > best:
+                best = bound
+            position -= 1
+        return best
 
     def seek(self, target: int) -> int:
-        """Gallop the cursor to the first doc_id >= ``target``.
+        """Move to the first doc_id >= ``target``.
 
         Returns the number of postings probed, the honest unit of work a
-        skip costs (log of the jump, not the jump itself).
+        skip costs (log of the jump, not the jump itself; hopping an entire
+        unloaded segment via its manifest range costs one probe).
         """
-        ids = self.doc_ids
-        position = self.position
-        if position >= len(ids) or ids[position] >= target:
-            self.position = position
-            return 1 if position < len(ids) else 0
-        probes = 1
-        step = 1
-        low = position
-        high = position + step
-        while high < len(ids) and ids[high] < target:
+        probes = 0
+        while not self.exhausted:
+            segment = self.segments[self.seg]
+            if self.offset == 0 and target <= segment.lo:
+                return probes + 1
+            if target > segment.hi:
+                # The whole remainder of this segment is below the target:
+                # hop it from the manifest without touching its content.
+                self.seg += 1
+                self.offset = 0
+                probes += 1
+                continue
+            ids = self._ids()
+            position = self.offset
+            if ids[position] >= target:
+                return probes + 1
             probes += 1
-            low = high
-            step *= 2
+            step = 1
+            low = position
             high = position + step
-        high = min(high, len(ids))
-        while low < high:
-            mid = (low + high) // 2
-            probes += 1
-            if ids[mid] < target:
-                low = mid + 1
-            else:
-                high = mid
-        self.position = low
+            while high < len(ids) and ids[high] < target:
+                probes += 1
+                low = high
+                step *= 2
+                high = position + step
+            high = min(high, len(ids))
+            while low < high:
+                mid = (low + high) // 2
+                probes += 1
+                if ids[mid] < target:
+                    low = mid + 1
+                else:
+                    high = mid
+            if low >= len(ids):
+                # Cannot happen while target <= segment.hi, but stay safe.
+                self.seg += 1
+                self.offset = 0
+                continue
+            self.offset = low
+            return probes
         return probes
 
 
@@ -146,6 +383,7 @@ class QueryExecutor:
         top_k: int = 10,
         mode: str = MODE_TAAT,
         rank_bound_provider: Optional[Callable[[], float]] = None,
+        rank_range_provider: Optional[Callable[[int, Optional[int]], float]] = None,
     ) -> None:
         if top_k < 1:
             raise ValueError(f"top_k must be at least 1, got {top_k!r}")
@@ -166,6 +404,13 @@ class QueryExecutor:
         # the rank-vector version (the frontend) supplies a provider so the
         # max() is paid once per rank round instead of once per query.
         self.rank_bound_provider = rank_bound_provider
+        # Optional doc-id-range rank maximum: ``(lo, hi) -> max rank`` over
+        # documents in [lo, hi] (hi=None means "at or after lo").  Head
+        # terms' text bounds are tiny (low idf), so whether a shard can
+        # reach the threshold hinges on the best rank *in its range*; the
+        # frontend supplies a RankRangeIndex-backed provider memoized per
+        # rank version.  Falls back to the global bound when absent.
+        self.rank_range_provider = rank_range_provider
 
     def execute(self, plan: QueryPlan, mode: Optional[str] = None) -> ExecutionOutcome:
         """Run the plan in the executor's (or an overriding) mode."""
@@ -187,7 +432,7 @@ class QueryExecutor:
 
         for term in plan.ordered_terms:
             try:
-                postings = self.fetch_postings(term)
+                postings = _materialize(self.fetch_postings(term))
             except TermNotFoundError:
                 missing.append(term)
                 if conjunctive:
@@ -231,19 +476,38 @@ class QueryExecutor:
     # -- document-at-a-time with MaxScore pruning ------------------------------------
 
     def _execute_maxscore(self, plan: QueryPlan) -> ExecutionOutcome:
+        """Run the DAAT/MaxScore engine, degrading unreachable terms.
+
+        A shard that becomes unreachable *mid-execution* (lazy cursor load —
+        only possible on the disjunctive path, where shard fetches are
+        deferred) is handled like an unreachable whole term on the eager
+        path: the execution restarts with that term treated as missing.
+        Restarts are bounded by the query's term count, and re-fetches hit
+        the frontend's memoized readers and the posting cache.
+        """
+        broken: set = set()
+        while True:
+            try:
+                return self._execute_maxscore_once(plan, broken)
+            except _ShardUnreachable as exc:
+                broken.add(exc.term)
+
+    def _execute_maxscore_once(self, plan: QueryPlan, broken: set) -> ExecutionOutcome:
         outcome = ExecutionOutcome(mode=MODE_MAXSCORE)
         conjunctive = plan.query.is_conjunctive
         missing: List[str] = []
         cursors: List[_Cursor] = []
-        tf_constant = 0.0
         # Feasible doc-id window for conjunctive queries: if a fetched list is
         # empty, or the window closes (all-lists doc-id ranges are disjoint),
         # the intersection is provably empty and the remaining fetches are
         # skipped — recovering most of TAAT's stop-fetching-early behaviour.
+        # The window comes from manifests alone, so no shard content loads.
         window_low, window_high = 0, None
 
         for term in plan.ordered_terms:
             try:
+                if term in broken:
+                    raise TermNotFoundError(f"term {term!r} has an unreachable shard")
                 postings = self.fetch_postings(term)
             except TermNotFoundError:
                 missing.append(term)
@@ -254,25 +518,30 @@ class QueryExecutor:
                 continue
             outcome.terms_fetched += 1
             outcome.postings_by_term[term] = postings
+            # The term's max impact on the *combined* score: its best BM25
+            # contribution scaled by the combiner's text weight.
+            scale, tf_constant = self.bm25.impact_parameters(term)
+            scale *= self.combiner.bm25_weight
+            cursor = _Cursor(
+                term, postings, scale, tf_constant,
+                tf_denominator=self.bm25.tf_denominator,
+            )
             if conjunctive:
-                if len(postings) == 0:
+                if cursor.min_doc_id is None:
                     outcome.missing_terms = tuple(missing)
                     outcome.early_exit = True
                     return outcome
-                doc_ids = postings.arrays()[0]
-                window_low = max(window_low, doc_ids[0])
+                window_low = max(window_low, cursor.min_doc_id)
                 window_high = (
-                    doc_ids[-1] if window_high is None else min(window_high, doc_ids[-1])
+                    cursor.max_doc_id
+                    if window_high is None
+                    else min(window_high, cursor.max_doc_id)
                 )
                 if window_low > window_high:
                     outcome.missing_terms = tuple(missing)
                     outcome.early_exit = True
                     return outcome
-            # The term's max impact on the *combined* score: its best BM25
-            # contribution scaled by the combiner's text weight.
-            scale, tf_constant = self.bm25.impact_parameters(term)
-            scale *= self.combiner.bm25_weight
-            cursors.append(_Cursor(term, postings, scale, tf_constant))
+            cursors.append(cursor)
 
         outcome.missing_terms = tuple(missing)
         if not cursors:
@@ -296,15 +565,27 @@ class QueryExecutor:
                     )
             return rank_ub_memo[0]
 
+        def rank_bound(lo: Optional[int] = None, hi: Optional[int] = None) -> float:
+            """Rank-component bound for docs in [lo, hi] (global when lo=None).
+
+            The range form needs a rank_range_provider; without one it
+            falls back to the global bound — never tighter, always valid.
+            """
+            if lo is None or self.rank_range_provider is None:
+                return rank_ub()
+            return self.combiner.rank_component(
+                self.rank_range_provider(lo, hi), document_count
+            )
+
         # Min-heap of (score, -doc_id): the root is the weakest member of the
         # current top-k under the same (-score, doc_id) order the reference
         # path sorts by, so strict bound comparisons preserve exact ties.
         heap: List[Tuple[float, int]] = []
 
         if conjunctive:
-            self._daat_and(plan, cursors, heap, rank_ub, tf_constant, outcome)
+            self._daat_and(plan, cursors, heap, rank_bound, window_low, window_high, outcome)
         else:
-            self._daat_or(plan, cursors, heap, rank_ub, tf_constant, outcome)
+            self._daat_or(plan, cursors, heap, rank_bound, outcome)
 
         ordered = sorted(heap, key=lambda item: (-item[0], -item[1]))
         outcome.scores = {-neg_doc_id: score for score, neg_doc_id in ordered}
@@ -334,35 +615,78 @@ class QueryExecutor:
         plan: QueryPlan,
         cursors: List[_Cursor],
         heap: List[Tuple[float, int]],
-        rank_ub: Callable[[], float],
-        tf_constant: float,
+        rank_bound: Callable[..., float],
+        window_low: int,
+        window_high: Optional[int],
         outcome: ExecutionOutcome,
     ) -> None:
-        """Drive the shortest list, gallop the others, prune by per-doc bound."""
+        """Drive the shortest list, gallop the others, prune by bounds.
+
+        The driver is clamped to the feasible window, whole driver shards
+        whose range-bound cannot beat the threshold are skipped unscanned,
+        and surviving candidates are pruned by their actual-frequency bound
+        — all strict comparisons, so results match TAAT exactly.
+        """
         cursors.sort(key=len)
         driver, others = cursors[0], cursors[1:]
         total_ub = sum(cursor.upper_bound for cursor in cursors)
         full = self.top_k
-        for index, doc_id in enumerate(driver.doc_ids):
-            if len(heap) == full and total_ub * _BOUND_SLACK + rank_ub() < heap[0][0]:
-                # Even a document matching every term at max impact with the
-                # best possible rank cannot displace the current top-k.
-                outcome.docs_pruned += len(driver.doc_ids) - index
+        if window_low > 0:
+            outcome.postings_scanned += driver.seek(window_low)
+        while not driver.exhausted:
+            doc_id = driver.current
+            if window_high is not None and doc_id > window_high:
+                outcome.docs_pruned += driver.remaining()
                 outcome.early_exit = True
                 return
+            threshold = heap[0][0] if len(heap) == full else None
+            if threshold is not None:
+                # Suffix rank bound (best rank at or after the cursor): an
+                # O(log buckets) query, cheap enough per posting, and it
+                # tightens monotonically as the driver advances.  (The
+                # windowed range form would be tighter still but scans
+                # buckets linearly — too hot for this loop.)
+                if total_ub * _BOUND_SLACK + rank_bound(doc_id) < threshold:
+                    # Even a document matching every term at max impact with
+                    # the best rank remaining in the window cannot displace
+                    # the current top-k.
+                    outcome.docs_pruned += driver.remaining()
+                    outcome.early_exit = True
+                    return
+                if driver.at_segment_start:
+                    # Per-shard bound over the driver shard's doc-id range:
+                    # the driver's own shard bound plus every other term's
+                    # max impact *within that range* (their overlapping
+                    # shards' quantized bounds, tighter than whole-list
+                    # max-tf), plus the best rank in the range.  Below
+                    # threshold, the whole shard is skipped without scanning
+                    # — or fetching — it.
+                    segment = driver.current_segment
+                    segment_bound = driver.bounds[driver.seg] + sum(
+                        other.range_bound(segment.lo, segment.hi) for other in others
+                    )
+                    if (
+                        segment_bound * _BOUND_SLACK + rank_bound(segment.lo, segment.hi)
+                        < threshold
+                    ):
+                        outcome.docs_pruned += driver.skip_segment()
+                        outcome.shards_skipped += 1
+                        continue
             outcome.postings_scanned += 1
-            found = {driver.term: driver.frequencies[index]}
-            text_bound = driver.impact(driver.frequencies[index], tf_constant)
+            frequency = driver.current_frequency
+            found = {driver.term: frequency}
+            text_bound = driver.impact(frequency)
             present = True
             for other in others:
                 outcome.postings_scanned += other.seek(doc_id)
                 if other.exhausted or other.current != doc_id:
                     present = False
                     break
-                frequency = other.frequencies[other.position]
-                found[other.term] = frequency
-                text_bound += other.impact(frequency, tf_constant)
+                other_frequency = other.current_frequency
+                found[other.term] = other_frequency
+                text_bound += other.impact(other_frequency)
             if not present:
+                driver.advance()
                 continue
             outcome.candidates.append(doc_id)
             rank_part = self.combiner.rank_component(
@@ -370,53 +694,69 @@ class QueryExecutor:
             )
             # The document's frequencies are known here, so the bound uses its
             # actual impacts (length-free), far tighter than the max-tf sum.
-            if len(heap) == full and text_bound * _BOUND_SLACK + rank_part < heap[0][0]:
+            if (
+                len(heap) == full
+                and text_bound * _BOUND_SLACK + rank_part < heap[0][0]
+            ):
                 outcome.docs_pruned += 1
+                driver.advance()
                 continue
             self._offer(heap, doc_id, self._score_exact(plan, doc_id, found))
             outcome.docs_scored += 1
+            driver.advance()
 
     def _daat_or(
         self,
         plan: QueryPlan,
         cursors: List[_Cursor],
         heap: List[Tuple[float, int]],
-        rank_ub: Callable[[], float],
-        tf_constant: float,
+        rank_bound: Callable[..., float],
         outcome: ExecutionOutcome,
     ) -> None:
         """Classic MaxScore: essential lists drive, non-essential only confirm.
 
-        Cursors are kept sorted by upper bound; the *non-essential* prefix is
-        the longest prefix whose summed bounds (plus the global rank bound)
-        stay strictly below the top-k threshold — documents appearing only
-        there can never enter the top-k, so their lists are never enumerated,
-        only probed for documents the essential lists surface.
+        Cursors are ordered by their *remaining* bound (the max over their
+        unconsumed shards); the *non-essential* prefix is the longest prefix
+        whose summed bounds (plus the rank bound over the remaining doc-id
+        space) stay strictly below the top-k threshold — documents appearing
+        only there can never enter the top-k, so their lists are never
+        enumerated, only probed for documents the essential lists surface.
+        As cursors consume their high-impact shards their remaining bounds
+        drop, demoting them to non-essential earlier than whole-list bounds
+        would; and an essential cursor's next shard is skipped outright when
+        every term's range bound plus the best rank in the shard's range
+        cannot reach the threshold.
         """
-        cursors.sort(key=lambda cursor: cursor.upper_bound)
-        prefix: List[float] = []
-        running = 0.0
-        for cursor in cursors:
-            running += cursor.upper_bound
-            prefix.append(running)
         full = self.top_k
         last_candidate = -1
 
         while True:
+            active = [cursor for cursor in cursors if not cursor.exhausted]
+            if not active:
+                return
+            # Remaining bounds change as shards are consumed, so the order
+            # and prefix sums are recomputed per round (query terms are few).
+            active.sort(key=lambda cursor: cursor.remaining_bound())
+            prefix: List[float] = []
+            running = 0.0
+            for cursor in active:
+                running += cursor.remaining_bound()
+                prefix.append(running)
             threshold = heap[0][0] if len(heap) == full else None
             first_essential = 0
             if threshold is not None:
-                if prefix[-1] * _BOUND_SLACK + rank_ub() < threshold:
-                    # Even a document in every list at max impact with the best
-                    # possible rank cannot displace the current top-k.
+                remaining_rank = rank_bound(last_candidate + 1)
+                if prefix[-1] * _BOUND_SLACK + remaining_rank < threshold:
+                    # Even a document in every remaining shard at max impact
+                    # with the best remaining rank cannot displace the top-k.
                     outcome.early_exit = True
                     return
                 while (
-                    first_essential < len(cursors) - 1
-                    and prefix[first_essential] * _BOUND_SLACK + rank_ub() < threshold
+                    first_essential < len(active) - 1
+                    and prefix[first_essential] * _BOUND_SLACK + remaining_rank < threshold
                 ):
                     first_essential += 1
-            essential = cursors[first_essential:]
+            essential = active[first_essential:]
             candidate = None
             for cursor in essential:
                 # A list promoted from non-essential may still point at an
@@ -424,6 +764,33 @@ class QueryExecutor:
                 # are strictly increasing and no document is offered twice.
                 if not cursor.exhausted and cursor.current <= last_candidate:
                     outcome.postings_scanned += cursor.seek(last_candidate + 1)
+                if threshold is not None:
+                    # Shard skip: no document in this shard's doc-id range —
+                    # whichever lists it appears in — can reach the top-k, so
+                    # this list's postings there are never enumerated.  A
+                    # skipped document surfacing via *another* essential list
+                    # is scored without this list's contribution, which is
+                    # sound: the range bound proves its full score stays
+                    # strictly below the threshold, so the offer is rejected
+                    # either way.
+                    while not cursor.exhausted and cursor.at_segment_start:
+                        segment = cursor.current_segment
+                        shard_bound = sum(
+                            other.range_bound(segment.lo, segment.hi) for other in active
+                        )
+                        if (
+                            shard_bound * _BOUND_SLACK
+                            + rank_bound(segment.lo, segment.hi)
+                            < threshold
+                        ):
+                            # Counted in shards_skipped only: a document can
+                            # sit in several lists' skipped segments, so
+                            # adding postings here would double-count what
+                            # docs_pruned means (documents) elsewhere.
+                            cursor.skip_segment()
+                            outcome.shards_skipped += 1
+                        else:
+                            break
                 if not cursor.exhausted:
                     current = cursor.current
                     if candidate is None or current < candidate:
@@ -436,24 +803,28 @@ class QueryExecutor:
             rank_part = self.combiner.rank_component(
                 self.page_ranks.get(candidate, 0.0), self.statistics.document_count
             )
-            # Known impacts for the essential lists containing the candidate,
-            # max impacts for the non-essential lists it *might* appear in.
-            text_bound = prefix[first_essential - 1] if first_essential > 0 else 0.0
+            # Known impacts for the essential lists containing the candidate;
+            # for the non-essential lists it *might* appear in, the shard
+            # bound at the candidate's position (tighter than whole-list).
+            text_bound = sum(
+                cursor.range_bound(candidate, candidate)
+                for cursor in active[:first_essential]
+            )
             for cursor in essential:
                 if not cursor.exhausted and cursor.current == candidate:
-                    frequency = cursor.frequencies[cursor.position]
+                    frequency = cursor.current_frequency
                     found[cursor.term] = frequency
-                    text_bound += cursor.impact(frequency, tf_constant)
-                    cursor.position += 1
+                    text_bound += cursor.impact(frequency)
+                    cursor.advance()
                     outcome.postings_scanned += 1
             outcome.candidates.append(candidate)
 
             if threshold is not None and text_bound * _BOUND_SLACK + rank_part < threshold:
                 outcome.docs_pruned += 1
                 continue
-            for cursor in cursors[:first_essential]:
+            for cursor in active[:first_essential]:
                 outcome.postings_scanned += cursor.seek(candidate)
                 if not cursor.exhausted and cursor.current == candidate:
-                    found[cursor.term] = cursor.frequencies[cursor.position]
+                    found[cursor.term] = cursor.current_frequency
             self._offer(heap, candidate, self._score_exact(plan, candidate, found))
             outcome.docs_scored += 1

@@ -5,30 +5,51 @@ ranking, and ad placement.  A frontend instance runs on a user's device (any
 DWeb peer); it holds no index state of its own, only the handles needed to
 reach the decentralized index and the ad contract.
 
-Freshness: posting lists are fetched through the distributed index, which
-validates cached shards against each term's index generation (the epoch
-invalidation protocol) and lazily refreshes superseded entries — so a
-frontend keeps returning update/delete-correct results without any
-publisher-side notification.  Within one ``search_batch`` call the prefetched
-lists are a consistent snapshot: queries in the batch see the index as of the
-prefetch instant.
+Term resolution and overlap
+---------------------------
+A term resolves to its **shard manifest** (one DHT lookup under
+``idx:<term>``) plus the content fetches of the doc-id-range shards the
+query actually needs (see :mod:`repro.index.distributed` for the layout).
+The frontend issues these as an *overlapped* prefetch through the
+simulator's parallel regions: first all manifest lookups concurrently, then
+all needed shard fetches concurrently, so resolution latency is bounded by
+the slowest single chain instead of the sum over terms and shards.  For
+conjunctive queries the manifests alone determine the feasible doc-id
+window, and shards outside it are never fetched.  ``search_batch`` extends
+the same overlap across the union of a whole batch's distinct terms — batch
+prefetch latency drops by roughly the unique-term fan-out versus the
+sequential prefetch (``overlapped_prefetch=False``, the E10 ablation).
+
+Caching layers
+--------------
+Below the frontend, the per-shard posting cache absorbs repeated shard
+fetches (validated by the index-epoch protocol, so update/delete-correct
+results need no publisher-side notification).  Above it, an optional
+**result cache** stores whole top-k pages keyed by (normalized query, the
+max index generation across its terms, rank version, statistics version) —
+any republish, rank round, or corpus change shifts the key, so stale pages
+are never served.  Ads are re-selected on every hit; only the ranked
+results are reused.
+
+Within one ``search_batch`` call the prefetched lists are a consistent
+snapshot: queries in the batch see the index as of the prefetch instant.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import QueryParseError, TermNotFoundError
 from repro.index.analysis import Analyzer, tokenize
 from repro.index.distributed import DistributedIndex
-from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.ranking.bm25 import BM25Scorer
-from repro.ranking.scoring import CombinedScorer
+from repro.ranking.scoring import CombinedScorer, RankRangeIndex
 from repro.search.executor import QueryExecutor
 from repro.search.planner import MODE_MAXSCORE, STRATEGY_RAREST_FIRST, QueryPlanner
 from repro.search.query import ParsedQuery, parse_query
+from repro.search.result_cache import ResultCache
 from repro.search.results import AdPlacement, ResultPage, SearchResult
 from repro.sim.simulator import Simulator
 
@@ -39,7 +60,8 @@ MetadataResolver = Callable[[int], Dict[str, Any]]
 RankProvider = Callable[[], Mapping[int, float]]
 # Returns the monotonic version of the rank vector (bumped per rank round);
 # the frontend keys memoized rank-derived values (the MaxScore rank upper
-# bound) on it so the O(corpus) max() is paid once per version, not per query.
+# bound, result-cache entries) on it so they are re-derived once per version,
+# not per query.
 RankVersionProvider = Callable[[], int]
 # Returns active ads for a keyword (list of dicts like AdMarket.ads_for).
 AdProvider = Callable[[str], List[Dict[str, Any]]]
@@ -55,6 +77,11 @@ class FrontendStats:
     batches: int = 0
     batch_term_occurrences: int = 0
     batch_unique_terms: int = 0
+    prefetch_regions: int = 0
+    shards_prefetched: int = 0
+    shards_window_skipped: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
     latencies: List[float] = field(default_factory=list)
 
     def record(self, latency: float, result_count: int) -> None:
@@ -75,9 +102,12 @@ class SearchFrontend:
     Parameters
     ----------
     simulator:
-        Supplies the clock used to measure end-to-end query latency.
+        Supplies the clock used to measure end-to-end query latency and the
+        parallel regions the overlapped prefetch runs in.
     index:
-        The distributed index to fetch posting lists from.
+        The distributed index to fetch posting lists from.  Indexes exposing
+        the sharded interface (``fetch_term_sharded``) get lazy shard-level
+        resolution; anything with a plain ``fetch_term`` still works.
     rank_provider:
         Callable returning the latest page-rank vector (fetched by the engine
         from decentralized storage and cached).
@@ -85,12 +115,23 @@ class SearchFrontend:
         Optional callable returning the rank vector's monotonic version.
         When given, the frontend memoizes the MaxScore rank upper bound per
         (version, corpus size) instead of recomputing the O(corpus) max()
-        on every query.
+        on every query, and result-cache keys include the version.
     metadata_resolver:
         Callable mapping doc_id to display metadata.
     ad_provider:
         Callable returning ads for a keyword (usually ``contracts.ads_for``);
         omit it to run an ad-free frontend.
+    overlapped_prefetch:
+        Issue manifest/shard lookups concurrently (default).  False restores
+        the sequential prefetch — the ablation quantified in E10.
+    result_cache_capacity:
+        Entries in the top-k page cache; 0 (default) disables it.  The cache
+        requires a ``rank_version_provider`` and an index exposing
+        ``generation`` to build freshness-safe keys; without them it stays
+        inert.
+    shard_size_hint:
+        The deployment's shard size, used only for the planner's shard
+        fan-out estimate in diagnostics (0 = unknown/unsharded).
     """
 
     def __init__(
@@ -110,6 +151,9 @@ class SearchFrontend:
         requester: Optional[str] = None,
         bm25: Optional[BM25Scorer] = None,
         combiner: Optional[CombinedScorer] = None,
+        overlapped_prefetch: bool = True,
+        result_cache_capacity: int = 0,
+        shard_size_hint: int = 0,
     ) -> None:
         self.simulator = simulator
         self.index = index
@@ -126,12 +170,21 @@ class SearchFrontend:
         self.requester = requester
         self.bm25 = bm25
         self.combiner = combiner or CombinedScorer()
+        self.overlapped_prefetch = overlapped_prefetch
+        self.shard_size_hint = shard_size_hint
+        self.result_cache = (
+            ResultCache(result_cache_capacity) if result_cache_capacity > 0 else None
+        )
         self.stats = FrontendStats()
         # Memo for the MaxScore rank upper bound, keyed by (rank version,
         # corpus size) — both inputs of the bound that can change between
         # queries.  Only populated when a rank_version_provider is wired.
         self._rank_bound_key: Optional[tuple] = None
         self._rank_bound = 0.0
+        # Memo for the doc-id-range rank index (shard-skip bounds), rebuilt
+        # once per rank version — O(corpus) per rank round, not per query.
+        self._rank_range_key: Optional[int] = None
+        self._rank_range_index: Optional[RankRangeIndex] = None
 
     # -- statistics handling ------------------------------------------------------
 
@@ -171,6 +224,192 @@ class SearchFrontend:
 
         return provider
 
+    def _rank_range_provider(
+        self, page_ranks: Mapping[int, float]
+    ) -> Optional[Callable[[int, Optional[int]], float]]:
+        """A ``(lo, hi) -> max rank in range`` provider, or ``None``.
+
+        Backs the executor's per-shard rank bounds with a
+        :class:`~repro.ranking.scoring.RankRangeIndex` rebuilt once per rank
+        version.  Head terms' pruning hinges on it: their idf (hence text
+        bound) is tiny, so whether a doc-id-range shard can reach the top-k
+        threshold is decided by the best rank inside the shard's range.
+        """
+        if self.rank_version_provider is None:
+            return None
+
+        def provider(lo: int, hi: Optional[int] = None) -> float:
+            key = self.rank_version_provider()
+            if self._rank_range_key != key or self._rank_range_index is None:
+                self._rank_range_index = RankRangeIndex(page_ranks)
+                self._rank_range_key = key
+            return self._rank_range_index.range_max(lo, hi)
+
+        return provider
+
+    # -- term prefetch -----------------------------------------------------------
+
+    def _resolve_term(self, term: str) -> Any:
+        """One term's postings: a lazy sharded reader when the index has one."""
+        sharded = getattr(self.index, "fetch_term_sharded", None)
+        if sharded is not None:
+            return sharded(term, requester=self.requester)
+        return self.index.fetch_term(term, requester=self.requester)
+
+    def _run_region(self, thunks: List[Callable[[], Any]]) -> List[Any]:
+        """Run prefetch branches, overlapped when configured and worthwhile."""
+        if self.overlapped_prefetch and len(thunks) > 1:
+            self.stats.prefetch_regions += 1
+            return self.simulator.parallel_region(thunks)
+        return [thunk() for thunk in thunks]
+
+    def _prefetch_terms(
+        self,
+        terms: Sequence[str],
+        conjunctive: bool = False,
+        eager: bool = True,
+    ) -> Tuple[Dict[str, Any], Set[str]]:
+        """Resolve every distinct term, overlapping lookups and fetches.
+
+        Phase one resolves manifests (one DHT lookup per term) concurrently;
+        phase two fetches the needed shard contents concurrently.  For
+        conjunctive queries the manifests' doc-id ranges bound the feasible
+        window first, so shards no candidate can live in are never fetched.
+        With ``eager=False`` (single disjunctive queries) phase two is
+        skipped entirely: the executor's cursors load shards on demand, so
+        shards that MaxScore's bounds retire — or that an early exit never
+        reaches — are never fetched at all.  Returns the resolved readers
+        plus the set of unknown terms.
+        """
+        unique = sorted(set(terms))
+        readers: Dict[str, Any] = {}
+        missing: Set[str] = set()
+
+        def resolve_thunk(term: str) -> Callable[[], Any]:
+            def run() -> Any:
+                try:
+                    return self._resolve_term(term)
+                except TermNotFoundError:
+                    return None
+            return run
+
+        resolved = self._run_region([resolve_thunk(term) for term in unique])
+        for term, reader in zip(unique, resolved):
+            if reader is None:
+                missing.add(term)
+            else:
+                readers[term] = reader
+
+        if not eager and not conjunctive:
+            return readers, missing
+
+        window: Optional[Tuple[int, int]] = None
+        if conjunctive:
+            if missing:
+                # An AND query with an unknown term is empty; nothing to fetch.
+                return readers, missing
+            los, his = [], []
+            for reader in readers.values():
+                lo = getattr(reader, "min_doc_id", None)
+                hi = getattr(reader, "max_doc_id", None)
+                if lo is None or hi is None:
+                    return readers, missing
+                los.append(lo)
+                his.append(hi)
+            if los:
+                window = (max(los), min(his))
+                if window[0] > window[1]:
+                    # Disjoint ranges: provably empty result, fetch nothing.
+                    return readers, missing
+
+        shard_thunks: List[Callable[[], Any]] = []
+
+        def shard_thunk(term: str, reader: Any, index: int) -> Callable[[], Any]:
+            def run() -> Optional[str]:
+                # Branches must not raise inside a parallel region; an
+                # unreachable shard degrades its whole term to missing, the
+                # same as an unreachable term on the unsharded path (the
+                # recall loss E3 measures).
+                try:
+                    reader.shard(index)
+                    return None
+                except TermNotFoundError:
+                    return term
+            return run
+
+        for term, reader in readers.items():
+            infos = getattr(reader, "shard_infos", None)
+            if infos is None:
+                continue  # plain PostingList: content already fetched
+            for info in infos:
+                if not info.count:
+                    continue  # empty shard (kept for numbering): nothing to fetch
+                if window is not None and (info.hi < window[0] or info.lo > window[1]):
+                    self.stats.shards_window_skipped += 1
+                    continue
+                if not reader.loaded(info.index):
+                    shard_thunks.append(shard_thunk(term, reader, info.index))
+        if shard_thunks:
+            for failed_term in self._run_region(shard_thunks):
+                if failed_term is not None:
+                    readers.pop(failed_term, None)
+                    missing.add(failed_term)
+            self.stats.shards_prefetched += len(shard_thunks)
+        return readers, missing
+
+    # -- result cache ------------------------------------------------------------
+
+    def _result_cache_key(self, query: ParsedQuery) -> Optional[Hashable]:
+        """A freshness-safe key for the query's page, or None when uncacheable.
+
+        The key pins every input of the page: normalized query, the index
+        generation of *each* of its terms (a republish of any one term
+        shifts the key — a max() would let a lower-generation term change
+        behind a higher one), the rank version, and the collection-
+        statistics version (plus count/length so a *replaced* statistics
+        object also shifts the key).
+        """
+        if self.result_cache is None or self.rank_version_provider is None:
+            return None
+        generation_of = getattr(self.index, "generation", None)
+        if generation_of is None:
+            return None
+        statistics = self.statistics
+        terms = tuple(sorted(query.terms))
+        return (
+            terms,
+            tuple(generation_of(term) for term in terms),
+            query.mode,
+            self.top_k,
+            self.rank_version_provider(),
+            statistics.version,
+            statistics.document_count,
+            statistics.total_length,
+        )
+
+    def _page_from_cache(
+        self, template: ResultPage, raw_query: str, started: float, extra_latency: float
+    ) -> ResultPage:
+        """Compose a response from a cached page template.
+
+        Ranked results are shared (read-only); the per-request parts — raw
+        query string, ads, latency, diagnostics — are rebuilt fresh.
+        """
+        ads = self._select_ads(tuple(tokenize(raw_query)) + template.terms)
+        latency = self.simulator.now - started + extra_latency
+        diagnostics = dict(template.diagnostics)
+        diagnostics["result_cache"] = "hit"
+        page = replace(
+            template,
+            query=raw_query,
+            results=list(template.results),
+            ads=ads,
+            latency=latency,
+            diagnostics=diagnostics,
+        )
+        self.stats.record(latency, page.result_count)
+        return page
+
     # -- the main entry point --------------------------------------------------------
 
     def search(self, raw_query: str) -> ResultPage:
@@ -186,12 +425,21 @@ class SearchFrontend:
     def search_batch(self, raw_queries: Sequence[str]) -> List[ResultPage]:
         """Answer a stream of queries, amortizing DHT lookups across them.
 
-        The batch is parsed up front, the union of distinct terms is fetched
-        once (one DHT lookup + content fetch per *unique* term instead of per
-        occurrence), and every query then executes against the prefetched
-        lists.  With a Zipfian query stream the deduplication alone removes
-        most of the network cost; the posting cache extends the saving across
-        batches.
+        The batch is parsed up front, the union of distinct terms (excluding
+        queries the result cache already answers) is prefetched once with
+        overlapped lookups, and every query then executes against the
+        prefetched readers.  With a Zipfian query stream the deduplication
+        alone removes most of the network cost; the posting and result
+        caches extend the saving across batches.
+
+        Batch prefetch is *eager* (every shard of every wanted term): the
+        batch API optimises latency, and one overlapped region beats each
+        query lazily pulling shards in sequence — the per-shard posting
+        cache keeps eagerly-fetched shards free for the rest of the stream.
+        Single disjunctive queries take the opposite trade (lazy loads, see
+        :meth:`_prefetch_terms`).  If the result cache evicts an entry that
+        was present at parse time, that query's terms resolve through the
+        per-term fallback — a latency cost only, never a correctness one.
 
         Each page's ``latency`` includes an equal share of the shared
         prefetch time, so batched and sequential latencies feed the same
@@ -199,6 +447,7 @@ class SearchFrontend:
         """
         started = self.simulator.now
         parsed: List[Optional[ParsedQuery]] = []
+        keys: List[Optional[Hashable]] = []
         term_occurrences = 0
         wanted: Set[str] = set()
         for raw_query in raw_queries:
@@ -207,18 +456,19 @@ class SearchFrontend:
             except QueryParseError:
                 self.stats.failed_queries += 1
                 parsed.append(None)
+                keys.append(None)
                 continue
             parsed.append(query)
+            key = self._result_cache_key(query)
+            keys.append(key)
             term_occurrences += len(query.terms)
+            if key is not None and key in self.result_cache:
+                # The page will be served from the result cache; don't spend
+                # network on its terms (unless another query needs them).
+                continue
             wanted.update(query.terms)
 
-        prefetched: Dict[str, PostingList] = {}
-        missing: Set[str] = set()
-        for term in sorted(wanted):
-            try:
-                prefetched[term] = self.index.fetch_term(term, requester=self.requester)
-            except TermNotFoundError:
-                missing.add(term)
+        readers, missing = self._prefetch_terms(sorted(wanted))
 
         self.stats.batches += 1
         self.stats.batch_term_occurrences += term_occurrences
@@ -228,27 +478,17 @@ class SearchFrontend:
             (self.simulator.now - started) / parsed_count if parsed_count else 0.0
         )
 
-        def fetch(term: str) -> PostingList:
-            postings = prefetched.get(term)
-            if postings is None:
-                if term in missing:
-                    raise TermNotFoundError(f"term {term!r} has no published shard")
-                # Terms can slip past prefetching only via a refreshed parse;
-                # fall back to the index rather than failing the query.
-                postings = self.index.fetch_term(term, requester=self.requester)
-                prefetched[term] = postings
-            return postings
-
         pages: List[ResultPage] = []
-        for raw_query, query in zip(raw_queries, parsed):
+        for raw_query, query, key in zip(raw_queries, parsed, keys):
             if query is None:
                 pages.append(ResultPage(query=raw_query, latency=0.0))
                 continue
             query_started = self.simulator.now
             pages.append(
                 self._run_query(
-                    raw_query, query, query_started, fetcher=fetch,
-                    extra_latency=prefetch_share,
+                    raw_query, query, query_started,
+                    readers=readers, known_missing=missing,
+                    extra_latency=prefetch_share, cache_key=key,
                 )
             )
         batch_latency = self.simulator.now - started
@@ -263,16 +503,56 @@ class SearchFrontend:
         raw_query: str,
         query: ParsedQuery,
         started: float,
-        fetcher: Optional[Callable[[str], PostingList]] = None,
+        readers: Optional[Dict[str, Any]] = None,
+        known_missing: Optional[Set[str]] = None,
         extra_latency: float = 0.0,
+        cache_key: Optional[Hashable] = None,
     ) -> ResultPage:
+        # The batch path passes the key it computed at parse time (one
+        # generation/statistics derivation per query, and the membership
+        # check and the lookup agree on the same key by construction).
+        if cache_key is None:
+            cache_key = self._result_cache_key(query)
+        if cache_key is not None:
+            template = self.result_cache.get(cache_key)
+            if template is not None:
+                self.stats.result_cache_hits += 1
+                return self._page_from_cache(template, raw_query, started, extra_latency)
+            self.stats.result_cache_misses += 1
+
+        if readers is None:
+            # Conjunctive queries need their (window-restricted) shards for
+            # the driver scan anyway, so fetch them overlapped up front;
+            # disjunctive queries resolve manifests only and let the cursors
+            # pull shards lazily — pruned shards are never fetched.
+            readers, known_missing = self._prefetch_terms(
+                query.terms,
+                conjunctive=query.is_conjunctive,
+                eager=query.is_conjunctive,
+            )
+        missing = known_missing or set()
+
+        def fetch(term: str) -> Any:
+            postings = readers.get(term)
+            if postings is None:
+                if term in missing:
+                    raise TermNotFoundError(f"term {term!r} has no published shard")
+                # Terms can slip past prefetching only via a refreshed parse;
+                # fall back to the index rather than failing the query.
+                postings = self._resolve_term(term)
+                readers[term] = postings
+            return postings
+
         statistics = self.statistics
-        planner = QueryPlanner(statistics.df, strategy=self.planning_strategy)
+        planner = QueryPlanner(
+            statistics.df,
+            strategy=self.planning_strategy,
+            shard_size=self.shard_size_hint,
+        )
         plan = planner.plan(query)
         page_ranks = self.rank_provider()
         executor = QueryExecutor(
-            fetch_postings=fetcher
-            or (lambda term: self.index.fetch_term(term, requester=self.requester)),
+            fetch_postings=fetch,
             statistics=statistics,
             page_ranks=page_ranks,
             bm25=self.bm25 or BM25Scorer(statistics),
@@ -282,6 +562,7 @@ class SearchFrontend:
             rank_bound_provider=self._rank_bound_provider(
                 page_ranks, statistics.document_count
             ),
+            rank_range_provider=self._rank_range_provider(page_ranks),
         )
         outcome = executor.execute(plan)
 
@@ -319,12 +600,28 @@ class SearchFrontend:
                 "execution_mode": outcome.mode,
                 "terms_fetched": outcome.terms_fetched,
                 "estimated_postings": plan.estimated_postings,
+                "estimated_shard_fetches": plan.estimated_shard_fetches,
                 "postings_scanned": outcome.postings_scanned,
                 "docs_scored": outcome.docs_scored,
                 "docs_pruned": outcome.docs_pruned,
+                "shards_skipped": outcome.shards_skipped,
                 "early_exit": outcome.early_exit,
             },
         )
+        if cache_key is not None and not outcome.missing_terms:
+            # Store a detached template: the batch loop and callers mutate
+            # page.diagnostics/results on the returned object.  Pages with
+            # missing (unreachable) terms are never cached — they reflect
+            # transient reachability, which no key ingredient tracks.
+            self.result_cache.put(
+                cache_key,
+                replace(
+                    page,
+                    results=list(page.results),
+                    ads=[],
+                    diagnostics=dict(page.diagnostics),
+                ),
+            )
         self.stats.record(latency, page.result_count)
         return page
 

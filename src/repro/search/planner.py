@@ -36,6 +36,10 @@ class QueryPlan:
     ordered_terms: Tuple[str, ...] = field(default_factory=tuple)
     strategy: str = STRATEGY_RAREST_FIRST
     estimated_frequencies: Tuple[int, ...] = field(default_factory=tuple)
+    # Shard fan-out estimate per ordered term (ceil(df / shard_size), 1 when
+    # the deployment's shard size is unknown): the number of range-shard
+    # content fetches a full resolution of each term would need.
+    estimated_shards: Tuple[int, ...] = field(default_factory=tuple)
 
     @property
     def estimated_postings(self) -> int:
@@ -48,6 +52,15 @@ class QueryPlan:
         """
         return sum(self.estimated_frequencies)
 
+    @property
+    def estimated_shard_fetches(self) -> int:
+        """Shard content fetches a full (skip-free) resolution would issue.
+
+        Compare against the shards actually fetched to see what the
+        feasible-window and per-shard-bound skips saved.
+        """
+        return sum(self.estimated_shards)
+
 
 class QueryPlanner:
     """Builds a :class:`QueryPlan` from published document frequencies.
@@ -55,17 +68,21 @@ class QueryPlanner:
     ``df_lookup`` maps a term to its document frequency (0 for unknown terms);
     in QueenBee it is backed by the collection statistics published to
     decentralized storage, so planning costs no extra network round trips.
+    ``shard_size`` is the deployment's doc-id-range shard size, used to
+    estimate each term's shard fan-out (0 = unsharded: one shard per term).
     """
 
     def __init__(
         self,
         df_lookup: Callable[[str], int],
         strategy: str = STRATEGY_RAREST_FIRST,
+        shard_size: int = 0,
     ) -> None:
         if strategy not in (STRATEGY_RAREST_FIRST, STRATEGY_QUERY_ORDER):
             raise ValueError(f"unknown planning strategy {strategy!r}")
         self.df_lookup = df_lookup
         self.strategy = strategy
+        self.shard_size = shard_size
 
     def plan(self, query: ParsedQuery) -> QueryPlan:
         """Order the query's terms according to the configured strategy."""
@@ -79,4 +96,8 @@ class QueryPlanner:
             ordered_terms=tuple(term for term, _ in frequencies),
             strategy=self.strategy,
             estimated_frequencies=tuple(df for _, df in frequencies),
+            estimated_shards=tuple(
+                max(1, -(-df // self.shard_size)) if self.shard_size > 0 else 1
+                for _, df in frequencies
+            ),
         )

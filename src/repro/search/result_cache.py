@@ -1,0 +1,100 @@
+"""A frontend-side cache of whole top-k result pages.
+
+The posting cache absorbs repeated *term* fetches; this layer absorbs
+repeated *queries*.  Real query streams are heavily repetitive (the E10
+Zipf workload models this), and for a repeated query the frontend re-runs
+planning, cursor evaluation, and scoring against byte-identical inputs —
+work the result cache eliminates entirely.
+
+Freshness is handled by keying, not invalidation callbacks.  A cache key
+bundles every input that can change a page between two executions of the
+same normalized query:
+
+* the normalized query itself (sorted terms + query mode + top_k),
+* the **per-term index generations**, as a tuple aligned with the sorted
+  terms — a republish of *any* term shifts the key.  (A max() over the
+  generations would not: a lower-generation term can change behind a
+  higher-generation sibling without moving the max.)
+* the **rank version** (bumped per PageRank round),
+* the **collection-statistics version** (bumped on every document add or
+  remove — BM25 depends on df/avgdl, so any corpus change invalidates).
+
+Stale entries are therefore never *served*; they simply stop being
+addressed and age out of the LRU.  Ads are not cached: ad inventory changes
+independently of the index, so the frontend re-selects ads on every hit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.search.results import ResultPage
+
+
+@dataclass
+class ResultCacheStats:
+    """Hit/miss accounting (the E10 result-cache column)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class ResultCache:
+    """A bounded key -> :class:`ResultPage` cache with LRU eviction.
+
+    The stored page is a template: the frontend re-derives the per-request
+    parts (raw query string, ads, latency) on every hit and shares the
+    ranked result list, which is treated as read-only by all consumers.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"result cache capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, ResultPage]" = OrderedDict()
+        self.stats = ResultCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[ResultPage]:
+        """The cached page for ``key`` (marking it most-recently-used)."""
+        page = self._entries.get(key)
+        if page is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return page
+
+    def put(self, key: Hashable, page: ResultPage) -> None:
+        """Insert or replace the entry for ``key``, evicting the LRU tail."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = page
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

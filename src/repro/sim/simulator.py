@@ -89,8 +89,17 @@ class Simulator:
         Each thunk runs with the clock reset to the region's start time; after
         all branches have run, the clock lands on ``start + max(durations)``.
         This mirrors :meth:`repro.net.network.SimulatedNetwork.rpc_parallel`
-        but for arbitrary multi-RPC operations (e.g. a worker bee updating all
-        of a page's term shards concurrently).
+        but for arbitrary multi-RPC operations — a worker bee updating all of
+        a page's term shards concurrently, or a frontend prefetching every
+        manifest and range shard of a query batch in one overlapped region.
+        Regions nest: a branch may open its own inner region (the inner
+        region's cost collapses to its slowest branch, which then counts
+        toward the outer branch's duration).
+
+        If a branch raises, the exception propagates with the clock left at
+        the failed branch's end — time stays monotone, but the remaining
+        branches do not run; branches that can fail should catch their own
+        errors and return a sentinel instead (the frontend's prefetch does).
 
         The branches must not schedule future events that depend on the
         intermediate clock positions; QueenBee's index/rank pipelines don't.

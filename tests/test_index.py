@@ -17,7 +17,7 @@ from repro.index.compression import (
     varint_decode,
     varint_encode,
 )
-from repro.index.distributed import DistributedIndex, term_key
+from repro.index.distributed import DistributedIndex, shard_key, term_key
 from repro.index.document import Document, DocumentStore
 from repro.index.inverted_index import LocalInvertedIndex
 from repro.index.postings import Posting, PostingList, intersect_many
@@ -457,9 +457,10 @@ class TestPostingCache:
         assert stale.doc_ids == [1]
         assert cache.stats.stale_hits == 1
         assert cache.stats.stale_hit_rate == pytest.approx(1 / 2)
-        # Bypassing the cache reads the authoritative shard without filling.
+        # Bypassing the cache reads the authoritative shard without filling
+        # (cache entries are per shard key since the manifest layout).
         assert index.fetch_term("bee", use_cache=False).doc_ids == [1, 5]
-        assert cache.generation_of("bee") == 1
+        assert cache.generation_of(shard_key("bee", 0)) == 1
 
     def test_remove_document_does_not_mutate_shared_fetched_list(self, dht, storage):
         from repro.index.cache import PostingCache

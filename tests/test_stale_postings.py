@@ -168,8 +168,12 @@ class TestCachedQueryPathStaysFresh:
 
         engine.delete_document(904)
         assert frontend.search("zzpersistent").results == []
+        # The epoch protocol never serves a superseded shard.  Invalidation
+        # counts are no longer asserted: with the sharded manifest layout an
+        # update that empties a term short-circuits on the manifest alone,
+        # and content-identical shards carry their generation forward — both
+        # avoid touching (hence invalidating) the cached entry at all.
         assert engine.posting_cache.stats.stale_hits == 0
-        assert engine.posting_cache.stats.invalidations > 0
 
 
 class TestRankVectorVersioning:
