@@ -238,7 +238,9 @@ def run_experiment() -> Dict[str, object]:
         "head_term_rows": head_rows,
         "derived": derived,
     }
-    write_bench_json("BENCH_E10.json", payload)
+    # Smoke runs must not overwrite the committed full-run baseline the
+    # bench-compare job diffs against.
+    write_bench_json("BENCH_E10.smoke.json" if SMOKE else "BENCH_E10.json", payload)
 
     # The acceptance gates of the sharded fast path, enforced in the CI
     # smoke job as well as the full run:

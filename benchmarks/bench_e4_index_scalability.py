@@ -11,14 +11,25 @@ fetch* (the load any one serving peer must bear), total index bytes, and
 index build throughput.  The compression ablation quantifies the delta+varint
 posting codec against raw lists; the sharding rows show that doc-id-range
 shards cap the largest fetch near the shard payload size while the unsharded
-layout's heaviest fetch keeps growing with the corpus — the "no single peer
-serves a whole head term" property.  Results are also written to
-``BENCH_E4.json`` for PR-over-PR tracking.
+layout's heaviest fetch keeps growing with the corpus.
+
+The **placement rows** finish that load-spreading story: sharding splits a
+head term across shard *keys*, but an unsteered publish pins every shard on
+the publishing peer — the "max shards/provider" column shows the heaviest
+term's whole shard set concentrated on one provider.  With provider-record-
+aware placement on, the same column must fall to at most the anti-affinity
+bound ``ceil(shards/replication)`` (and in a healthy overlay to ~1), while
+the returned top-k pages stay bit-identical.  Results are also written to
+``BENCH_E4.json`` for PR-over-PR tracking; ``E4_SMOKE=1`` runs a tiny
+configuration asserting the placement invariant and the top-k identity (the
+CI smoke job).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import math
+import os
+from typing import Dict, List, Tuple
 
 from repro.index.analysis import Analyzer
 from repro.index.inverted_index import LocalInvertedIndex
@@ -31,22 +42,49 @@ from benchmarks.common import (
     write_bench_json,
 )
 
+SMOKE = bool(os.environ.get("E4_SMOKE"))
 SWEEP = (
     # (documents, peers)
-    (150, 16),
-    (400, 32),
-    (800, 64),
+    ((90, 12),)
+    if SMOKE
+    else ((150, 16), (400, 32), (800, 64))
 )
-QUERY_COUNT = 30
-SHARD_SIZE = 64
+QUERY_COUNT = 15 if SMOKE else 30
+SHARD_SIZE = 16 if SMOKE else 64
 
 
-def _row(doc_count: int, peer_count: int, compress: bool, shard_size: int = 0) -> Dict[str, object]:
+def _heaviest_term_load(engine, local: LocalInvertedIndex) -> Tuple[str, int, int]:
+    """(term, shard count, max shards-per-provider) for the heaviest term.
+
+    Load is measured from the DHT provider records of the term's current
+    shard CIDs — the ground truth a fetch routes against, independent of the
+    placement policy's own bookkeeping.
+    """
+    term = local.heaviest_terms(1)[0]
+    manifest = engine.index.fetch_term_manifest(term)
+    counts: Dict[str, int] = {}
+    shards = 0
+    for info in manifest.shards:
+        if not info.count:
+            continue
+        shards += 1
+        for provider in engine.storage.providers_of(info.cid):
+            counts[provider] = counts.get(provider, 0) + 1
+    return term, shards, max(counts.values()) if counts else 0
+
+
+def _row(
+    doc_count: int,
+    peer_count: int,
+    compress: bool,
+    shard_size: int = 0,
+    placement: bool = False,
+) -> Tuple[Dict[str, object], List[List[Tuple[int, float]]]]:
     corpus = build_corpus(doc_count, seed=900 + doc_count)
     queries = build_queries(corpus, QUERY_COUNT, seed=doc_count)
     engine = build_engine(peer_count=peer_count, worker_count=max(4, peer_count // 8),
                           compress_index=compress, index_shard_size=shard_size,
-                          seed=900 + doc_count)
+                          index_placement=placement, seed=900 + doc_count)
     wall_start = engine.simulator.now
     engine.bootstrap_corpus(corpus.documents)
     build_time = engine.simulator.now - wall_start
@@ -54,71 +92,139 @@ def _row(doc_count: int, peer_count: int, compress: bool, shard_size: int = 0) -
     engine.dht.stats.reset()
     engine.index.stats.reset()
     frontend = engine.create_frontend()
-    for query in queries:
-        engine.search(query, frontend=frontend)
-    dht_stats = engine.dht.stats
-    index_stats = engine.index.stats
+    pages = [engine.search(query, frontend=frontend) for query in queries]
+    top_k = [[(result.doc_id, result.score) for result in page.results] for page in pages]
+    # Snapshot the query-workload metrics *before* the provider-load probe:
+    # _heaviest_term_load issues its own DHT lookups (one get_set per shard),
+    # which must not leak into the gated 'dht rounds/lookup' number.
+    mean_rounds = engine.dht.stats.mean_rounds
+    per_fetch = list(engine.index.stats.per_fetch_bytes) or [0]
+    bytes_fetched = engine.index.stats.bytes_fetched
 
-    # Index size measured from a local rebuild with the same analyzer, so the
-    # compressed/uncompressed comparison is apples-to-apples.
+    # One local rebuild with the same analyzer serves both the heaviest-term
+    # probe and the apples-to-apples index-size measurement.
     local = LocalInvertedIndex(Analyzer())
     for document in corpus.documents:
         local.add_document(document)
 
-    per_fetch = index_stats.per_fetch_bytes or [0]
-    return {
+    _, head_shards, head_max_load = _heaviest_term_load(engine, local)
+    # The anti-affinity bound uses the replication factor the placement
+    # policy actually enforces (config-derived, not a bench-side constant,
+    # so the gate cannot drift from the engine's behaviour).
+    replication = engine.config.placement_replication_factor or engine.config.storage_replication
+
+    row = {
         "documents": doc_count,
         "peers": peer_count,
         "codec": "delta+varint" if compress else "raw",
         "shard size": shard_size or "-",
-        "dht rounds/lookup": dht_stats.mean_rounds,
+        "placement": "on" if placement else "off",
+        "dht rounds/lookup": mean_rounds,
         "bytes/term fetch": sum(per_fetch) / len(per_fetch),
         "max fetch (bytes)": max(per_fetch),
-        "KiB fetched/query": index_stats.bytes_fetched / 1024.0 / QUERY_COUNT,
+        "KiB fetched/query": bytes_fetched / 1024.0 / QUERY_COUNT,
+        "head shards": head_shards,
+        "max shards/provider": head_max_load,
+        "aa bound": math.ceil(head_shards / replication) if shard_size else "-",
         "index size (KiB)": local.index_size_bytes(compressed=compress) / 1024.0,
         "build docs/s (sim)": doc_count / (build_time / 1000.0) if build_time else 0.0,
     }
+    return row, top_k
 
 
-def run_experiment() -> List[Dict[str, object]]:
-    rows = [_row(docs, peers, compress=True) for docs, peers in SWEEP]
-    # Sharded rows at every sweep point: the heaviest single fetch must stay
-    # capped near the shard payload instead of growing with the corpus.
-    rows.extend(
-        _row(docs, peers, compress=True, shard_size=SHARD_SIZE) for docs, peers in SWEEP
-    )
-    # Compression ablation at the middle point.
-    rows.append(_row(SWEEP[1][0], SWEEP[1][1], compress=False))
+def run_experiment() -> Dict[str, object]:
+    rows: List[Dict[str, object]] = []
+    placement_pairs = []  # (unplaced row, placed row) per sweep point
+    if not SMOKE:
+        rows.extend(
+            _row(docs, peers, compress=True)[0] for docs, peers in SWEEP
+        )
+    # Sharded rows at every sweep point, with and without placement: the
+    # heaviest single fetch must stay capped near the shard payload instead
+    # of growing with the corpus, and placement must additionally cap how
+    # many of one term's shards any single peer provides — with identical
+    # top-k pages.
+    for docs, peers in SWEEP:
+        unplaced_row, unplaced_top = _row(
+            docs, peers, compress=True, shard_size=SHARD_SIZE, placement=False
+        )
+        placed_row, placed_top = _row(
+            docs, peers, compress=True, shard_size=SHARD_SIZE, placement=True
+        )
+        assert placed_top == unplaced_top, (
+            f"placement changed top-k pages at sweep point ({docs}, {peers})"
+        )
+        rows.extend([unplaced_row, placed_row])
+        placement_pairs.append((unplaced_row, placed_row))
+    if not SMOKE:
+        # Compression ablation at the middle point.
+        rows.append(_row(SWEEP[1][0], SWEEP[1][1], compress=False)[0])
     print_table(
         "E4: decentralized index scalability",
         rows,
         note=(
             "DHT rounds are per iterative lookup; Kademlia should keep them "
             "~logarithmic in peers.  'max fetch' is the heaviest single "
-            "content fetch — sharding caps the load any one peer serves."
+            "content fetch — sharding caps the load any one peer serves; "
+            "'max shards/provider' is the heaviest term's provider "
+            "concentration — placement caps it at the anti-affinity bound "
+            "ceil(shards/replication)."
         ),
     )
-    write_bench_json(
-        "BENCH_E4.json",
-        {
-            "experiment": "E4",
-            "config": {
-                "sweep": [list(point) for point in SWEEP],
-                "queries": QUERY_COUNT,
-                "shard_size": SHARD_SIZE,
-            },
-            "rows": rows,
-        },
+
+    derived = {}
+    for unplaced_row, placed_row in placement_pairs:
+        docs = placed_row["documents"]
+        derived[f"max_shards_per_provider_unplaced_{docs}"] = unplaced_row["max shards/provider"]
+        derived[f"max_shards_per_provider_placed_{docs}"] = placed_row["max shards/provider"]
+    biggest_unplaced, biggest_placed = placement_pairs[-1]
+    derived["placement_load_reduction"] = (
+        biggest_unplaced["max shards/provider"] / biggest_placed["max shards/provider"]
+        if biggest_placed["max shards/provider"]
+        else float("inf")
     )
-    return rows
+
+    payload = {
+        "experiment": "E4",
+        "config": {
+            "smoke": SMOKE,
+            "sweep": [list(point) for point in SWEEP],
+            "queries": QUERY_COUNT,
+            "shard_size": SHARD_SIZE,
+        },
+        "rows": rows,
+        "derived": derived,
+    }
+    # Smoke runs write to a separate (gitignored) file: overwriting the
+    # committed full-run baseline with tiny-config rows would quietly
+    # defang the bench-compare regression gate.
+    write_bench_json("BENCH_E4.smoke.json" if SMOKE else "BENCH_E4.json", payload)
+
+    # The placement acceptance gates, enforced in the CI smoke job as well
+    # as the full run: the heaviest term's provider concentration must fall
+    # to the anti-affinity bound (the unsteered baseline concentrates the
+    # whole shard set on the publishing peer).
+    for unplaced_row, placed_row in placement_pairs:
+        assert placed_row["head shards"] > 1, "head term did not shard; raise the corpus size"
+        assert placed_row["max shards/provider"] <= placed_row["aa bound"], (
+            "placement violated the anti-affinity bound"
+        )
+        assert placed_row["max shards/provider"] < unplaced_row["max shards/provider"], (
+            "placement did not reduce the heaviest term's provider concentration"
+        )
+    return payload
 
 
 def test_e4_index_scalability(benchmark):
-    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
-    unsharded = [r for r in rows if r["codec"] == "delta+varint" and r["shard size"] == "-"]
-    sharded = [r for r in rows if r["shard size"] != "-"]
+    payload = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = payload["rows"]
+    unsharded = [
+        r for r in rows if r["codec"] == "delta+varint" and r["shard size"] == "-"
+    ]
+    sharded = [r for r in rows if r["shard size"] != "-" and r["placement"] == "off"]
+    placed = [r for r in rows if r["shard size"] != "-" and r["placement"] == "on"]
     # Lookup cost grows far slower than the overlay: ~log(n) rounds.
-    assert all(r["dht rounds/lookup"] < 8 for r in unsharded + sharded)
+    assert all(r["dht rounds/lookup"] < 8 for r in unsharded + sharded + placed)
     # Index size grows with the corpus.
     sizes = [r["index size (KiB)"] for r in unsharded]
     assert sizes == sorted(sizes)
@@ -133,8 +239,14 @@ def test_e4_index_scalability(benchmark):
     unsharded_big = next(r for r in unsharded if r["documents"] == biggest)
     sharded_big = next(r for r in sharded if r["documents"] == biggest)
     assert sharded_big["max fetch (bytes)"] < unsharded_big["max fetch (bytes)"]
-    sharded_caps = [r["max fetch (bytes)"] for r in sorted(sharded, key=lambda r: r["documents"])]
+    sharded_caps = [
+        r["max fetch (bytes)"] for r in sorted(sharded, key=lambda r: r["documents"])
+    ]
     assert sharded_caps[-1] < sharded_caps[0] * 3
+    # Placement bounds provider concentration at every sweep point.
+    for row in placed:
+        assert row["max shards/provider"] <= row["aa bound"]
+    assert payload["derived"]["placement_load_reduction"] > 1.0
 
 
 if __name__ == "__main__":

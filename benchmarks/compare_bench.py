@@ -1,0 +1,188 @@
+"""Benchmark regression gate: diff fresh BENCH_E*.json against a baseline.
+
+CI runs the benchmarks (which rewrite the ``BENCH_E*.json`` files at the
+repository root), then calls this script with ``--baseline`` pointing at a
+copy of the *committed* files.  Tracked metrics are compared row by row;
+any metric that worsens by more than the threshold (default 25%) fails the
+job, so a PR cannot silently regress the perf trajectory the committed
+JSONs record.
+
+Rows are matched by an identity key (the config-ish columns), so adding new
+rows or whole new experiments never fails the gate — only a tracked metric
+moving the wrong way on a row both sides have does.  Usage::
+
+    python benchmarks/compare_bench.py --baseline baseline/ --current . \
+        [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Tuple
+
+# Per experiment file: how to identify a row, and which metrics are gated.
+# Every tracked metric is lower-is-better; ``min_abs`` suppresses noise on
+# tiny absolute values (a 0.01 -> 0.02 "regression" is not a signal).
+TRACKED: Dict[str, Dict[str, object]] = {
+    "BENCH_E4.json": {
+        "rows_key": "rows",
+        "identity": ("documents", "peers", "codec", "shard size", "placement"),
+        "metrics": {
+            "bytes/term fetch": 64.0,
+            "max fetch (bytes)": 64.0,
+            "KiB fetched/query": 0.25,
+            "max shards/provider": 1.0,
+            "dht rounds/lookup": 1.0,
+        },
+    },
+    "BENCH_E10.json": {
+        "rows_key": "rows",
+        "identity": ("execution",),
+        "metrics": {
+            "docs scored": 20.0,
+            "postings scanned": 50.0,
+            "network fetches": 10.0,
+            "KiB fetched": 1.0,
+        },
+    },
+    "BENCH_E3.json": {
+        "rows_key": "repair_rows",
+        "identity": ("repair",),
+        # Recall/answered are higher-is-better; gate their complements.
+        "metrics": {},
+        "higher_metrics": {
+            "answered (%)": 5.0,
+            "recall vs healthy (%)": 5.0,
+        },
+    },
+}
+
+
+def _load(path: str) -> Optional[Dict[str, object]]:
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _identity(row: Dict[str, object], keys: Iterable[str]) -> Tuple[str, ...]:
+    return tuple(str(row.get(key)) for key in keys)
+
+
+def _index_rows(
+    payload: Dict[str, object], rows_key: str, keys: Iterable[str]
+) -> Dict[Tuple[str, ...], Dict[str, object]]:
+    rows = payload.get(rows_key) or []
+    return {_identity(row, keys): row for row in rows}
+
+
+def compare_file(
+    name: str,
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float,
+) -> List[str]:
+    """Regression messages for one experiment file (empty = clean)."""
+    spec = TRACKED[name]
+    identity = spec["identity"]
+    baseline_rows = _index_rows(baseline, spec["rows_key"], identity)
+    current_rows = _index_rows(current, spec["rows_key"], identity)
+    failures: List[str] = []
+    for key, base_row in baseline_rows.items():
+        row = current_rows.get(key)
+        if row is None:
+            # A dropped row usually means a bench redesign; report it so the
+            # reviewer sees it, but only metrics gate the build.
+            print(f"  [note] {name}: baseline row {key} has no current match")
+            continue
+        for metric, min_abs in dict(spec.get("metrics") or {}).items():
+            failures.extend(
+                _check(name, key, metric, base_row, row, threshold, min_abs, lower_is_better=True)
+            )
+        for metric, min_abs in dict(spec.get("higher_metrics") or {}).items():
+            failures.extend(
+                _check(name, key, metric, base_row, row, threshold, min_abs, lower_is_better=False)
+            )
+    return failures
+
+
+def _check(
+    name: str,
+    key: Tuple[str, ...],
+    metric: str,
+    base_row: Dict[str, object],
+    row: Dict[str, object],
+    threshold: float,
+    min_abs: float,
+    lower_is_better: bool,
+) -> List[str]:
+    base = base_row.get(metric)
+    value = row.get(metric)
+    if not isinstance(base, (int, float)) or not isinstance(value, (int, float)):
+        return []
+    if lower_is_better:
+        worsened = value - base
+    else:
+        worsened = base - value
+    if worsened <= 0 or abs(worsened) < min_abs:
+        status = "ok"
+        failed = False
+    else:
+        ratio = worsened / abs(base) if base else float("inf")
+        failed = ratio > threshold
+        status = f"{'FAIL' if failed else 'ok'} ({100.0 * ratio:+.1f}%)"
+    direction = "<=" if lower_is_better else ">="
+    print(f"  {name} {key} {metric}: {base} {direction} {value}  [{status}]")
+    if failed:
+        return [
+            f"{name} {key}: {metric} regressed from {base} to {value} "
+            f"(allowed {100.0 * threshold:.0f}%)"
+        ]
+    return []
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="directory with the committed BENCH_E*.json")
+    parser.add_argument("--current", default=".", help="directory with the freshly generated files")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative regression per tracked metric (default 0.25)")
+    parser.add_argument("files", nargs="*", default=None,
+                        help="restrict to specific BENCH files (default: all tracked)")
+    args = parser.parse_args(argv)
+
+    names = args.files or sorted(TRACKED)
+    failures: List[str] = []
+    compared = 0
+    for name in names:
+        if name not in TRACKED:
+            print(f"[compare] no tracked metrics for {name}; skipping")
+            continue
+        baseline = _load(os.path.join(args.baseline, name))
+        current = _load(os.path.join(args.current, name))
+        if baseline is None:
+            print(f"[compare] {name}: no baseline (new experiment) — skipping")
+            continue
+        if current is None:
+            failures.append(f"{name}: baseline exists but no current file was generated")
+            continue
+        print(f"[compare] {name} (threshold {100.0 * args.threshold:.0f}%)")
+        failures.extend(compare_file(name, baseline, current, args.threshold))
+        compared += 1
+
+    if not compared and not failures:
+        print("[compare] nothing to compare")
+    if failures:
+        print("\nBenchmark regressions detected:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\n[compare] no tracked-metric regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,19 @@ class QueenBeeConfig:
     # pruning.  0 publishes every term as a single shard (the pre-sharding
     # layout).
     index_shard_size: int = 128
+    # Provider-record-aware shard placement: publish each term's range
+    # shards onto spread-maximizing replica sets (anti-affinity: no peer
+    # provides more than ceil(shards/replication) shards of one term),
+    # record the replica set as manifest routing hints, and repair shards
+    # that churn drops below the replication floor.  False restores the
+    # unsteered publisher-pins-everything path (the E4 placement ablation).
+    index_placement: bool = True
+    # Distinct providers per placed shard; 0 inherits storage_replication
+    # so placed and unsteered content survive the same churn.
+    placement_replication_factor: int = 0
+    # Live providers below which churn-triggered repair re-replicates a
+    # shard; 0 inherits the replication factor (repair on any departure).
+    placement_repair_floor: int = 0
 
     # Ranking
     rank_redundancy: int = 3
@@ -99,6 +112,10 @@ class QueenBeeConfig:
             raise ValueError("posting_cache_capacity must be non-negative")
         if self.index_shard_size < 0:
             raise ValueError("index_shard_size must be non-negative")
+        if self.placement_replication_factor < 0:
+            raise ValueError("placement_replication_factor must be non-negative")
+        if self.placement_repair_floor < 0:
+            raise ValueError("placement_repair_floor must be non-negative")
         if self.result_cache_capacity < 0:
             raise ValueError("result_cache_capacity must be non-negative")
         if self.peer_count < 2:

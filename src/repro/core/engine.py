@@ -26,10 +26,12 @@ from repro.index.analysis import Analyzer
 from repro.index.cache import PostingCache
 from repro.index.directory import TermDirectory
 from repro.index.distributed import DistributedIndex
+from repro.index.placement import PlacementPolicy
 from repro.index.document import Document, DocumentStore
 from repro.index.inverted_index import LocalInvertedIndex
 from repro.index.statistics import CollectionStatistics
 from repro.metrics.collector import MetricsCollector
+from repro.net.churn import ChurnModel
 from repro.net.latency import LogNormalLatency
 from repro.net.network import SimulatedNetwork
 from repro.ranking.distributed import DecentralizedPageRank
@@ -95,6 +97,15 @@ class QueenBeeEngine:
         self.posting_cache = (
             PostingCache(cfg.posting_cache_capacity) if cfg.posting_cache_capacity > 0 else None
         )
+        self.placement = (
+            PlacementPolicy(
+                self.storage,
+                replication_factor=cfg.placement_replication_factor or cfg.storage_replication,
+                repair_floor=cfg.placement_repair_floor or None,
+            )
+            if cfg.index_placement
+            else None
+        )
         self.index = DistributedIndex(
             self.dht, self.storage, compress=cfg.compress_index, cache=self.posting_cache,
             validate_generations=cfg.cache_validation, shard_size=cfg.index_shard_size,
@@ -103,6 +114,7 @@ class QueenBeeEngine:
             # shared statistics are the length source of truth.  Lazy lambda:
             # self.statistics is constructed a few lines below.
             length_lookup=lambda doc_id: self.statistics.length_of(doc_id),
+            placement=self.placement,
         )
         self.directory = DocumentDirectory(self.dht)
         self.term_directory = TermDirectory(self.dht, self.storage)
@@ -411,6 +423,24 @@ class QueenBeeEngine:
             )
 
     # -- fault injection (used by the resilience experiment) ----------------------------
+
+    def create_churn_model(self) -> ChurnModel:
+        """A churn driver wired into the shard-placement repair loop.
+
+        Callers schedule departures/arrivals of the engine's peer endpoints
+        (storage addresses for shard-serving churn); every departure of a
+        shard provider triggers the placement policy's repair — shards whose
+        live providers drop below the replication floor are re-replicated
+        onto fresh peers and the term manifests' provider hints refreshed —
+        and every arrival retries repairs that previously found no live
+        source.  With placement disabled the model drives bare connectivity
+        churn, exactly as constructing :class:`ChurnModel` directly would.
+        """
+        churn = ChurnModel(self.simulator, self.network)
+        if self.placement is not None:
+            churn.add_leave_listener(self.placement.on_peer_down)
+            churn.add_join_listener(self.placement.on_peer_up)
+        return churn
 
     def fail_peers(self, fraction: float) -> List[str]:
         """Take a random fraction of peers (their DHT + storage endpoints) offline."""

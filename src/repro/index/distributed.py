@@ -43,17 +43,38 @@ this simulator every participant shares one ``DistributedIndex`` per engine,
 which makes the shared registry exactly consistent; a frontend running its
 own index instance would need the real feed (or CID-pointer revalidation)
 to get the same guarantee.
+
+Shard placement & replication
+-----------------------------
+With a :class:`~repro.index.placement.PlacementPolicy` attached, shard
+*content* is no longer pinned wherever the publisher happens to sit:
+``publish_term`` asks the policy for a spread-maximizing replica set per
+changed shard (anti-affinity: no peer provides more than
+``ceil(shards/replication_factor)`` shards of one term), pushes the payload
+onto exactly those peers, and records the chosen providers in the shard's
+manifest entry (``prov``).  The query path uses those hints as a routing
+table: each shard fetch is steered to the **least-loaded live** hinted
+provider (ranked by blocks actually served), falling back to the remaining
+hinted peers and then to the DHT provider record on failure — so a head
+term's serving load stays spread even under a skewed query stream.
+Carried-forward shards keep their placement along with their CID and
+generation.  When churn drops a shard below the replication floor, the
+policy re-replicates it and calls back into
+:meth:`DistributedIndex.refresh_shard_providers` to update the manifest's
+hints *in place* (same generations — content is untouched, caches stay
+valid).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import KeyNotFoundError, TermNotFoundError
 from repro.dht.dht import DHTNetwork
 from repro.index.cache import PostingCache
+from repro.index.placement import PlacementPolicy
 from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.storage.cid import compute_cid
@@ -133,13 +154,21 @@ class ShardInfo:
     # length-free fallback).  Evaluating BM25's length normalization at this
     # floor upper-bounds every contribution the shard can make.
     min_len: int = 0
+    # Provider hints: the replica set the placement policy pushed this
+    # shard's content onto (empty = unsteered publish, route via the DHT
+    # provider record only).  Hints are routing advice, never authority —
+    # a fetch falls back to the provider record when every hint fails.
+    providers: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        body: Dict[str, object] = {
             "i": self.index, "lo": self.lo, "hi": self.hi, "n": self.count,
             "qtf": self.max_tf, "ml": self.min_len, "gen": self.generation,
             "cid": self.cid, "fp": self.fingerprint,
         }
+        if self.providers:
+            body["prov"] = list(self.providers)
+        return body
 
     @classmethod
     def from_dict(cls, body: Dict[str, object]) -> "ShardInfo":
@@ -148,6 +177,7 @@ class ShardInfo:
             count=int(body["n"]), max_tf=int(body["qtf"]),
             generation=int(body["gen"]), cid=str(body["cid"]),
             fingerprint=str(body["fp"]), min_len=int(body.get("ml", 0)),
+            providers=tuple(str(p) for p in body.get("prov", ())),
         )
 
 
@@ -322,6 +352,14 @@ class DistributedIndex:
         carries the quantized-down minimum length of its documents, which
         tightens the per-shard impact bound; absent, bounds fall back to
         BM25's length-free form.
+    placement:
+        Optional :class:`~repro.index.placement.PlacementPolicy`.  When
+        present, changed shards are pushed onto policy-chosen replica sets
+        (pinned placement, provider hints in the manifest) and shard fetches
+        are routed to the least-loaded live hinted provider; the index binds
+        itself as the policy's manifest updater so churn repairs refresh the
+        published hints.  Absent, publishes and fetches use the unsteered
+        random-replica path (the E4 placement ablation).
     """
 
     def __init__(
@@ -333,6 +371,7 @@ class DistributedIndex:
         validate_generations: bool = True,
         shard_size: int = DEFAULT_SHARD_SIZE,
         length_lookup: Optional[Callable[[int], int]] = None,
+        placement: Optional[PlacementPolicy] = None,
     ) -> None:
         if shard_size < 0:
             raise ValueError(f"shard_size must be non-negative, got {shard_size!r}")
@@ -343,6 +382,9 @@ class DistributedIndex:
         self.validate_generations = validate_generations
         self.shard_size = shard_size
         self.length_lookup = length_lookup
+        self.placement = placement
+        if placement is not None:
+            placement.manifest_updater = self.refresh_shard_providers
         self.stats = DistributedIndexStats()
         # The epoch registry: term -> latest published generation, seeded
         # from fetched manifests for terms this instance did not publish
@@ -407,7 +449,12 @@ class DistributedIndex:
         previous = self._previous_manifest(term) if generation > 1 else None
         chunks = self._split_for_republish(postings, previous)
 
-        infos: List[ShardInfo] = []
+        # First pass: fingerprint every chunk so carried-forward shards (and
+        # their placements) are known before any replica set is chosen — the
+        # anti-affinity cap must count the providers of untouched shards.
+        prepared: List[Tuple[PostingList, Dict[str, object], str, int]] = []
+        carried: Dict[int, ShardInfo] = {}
+        changed: List[int] = []
         for index, chunk in enumerate(chunks):
             min_len = self._chunk_min_length(chunk)
             body = self._encode_shard_body(term, chunk, index, min_len)
@@ -419,28 +466,58 @@ class DistributedIndex:
             )
             if prior is not None and prior.fingerprint == fingerprint:
                 # Byte-identical shard: carry the whole manifest entry —
-                # generation, CID, bounds — forward untouched.  (The
-                # fingerprint covers min_len, so a document-length change
-                # always republishes — the stored bound never goes stale.)
+                # generation, CID, bounds, placement — forward untouched.
+                # (The fingerprint covers min_len, so a document-length
+                # change always republishes — the stored bound never goes
+                # stale.)
+                carried[index] = prior
+            else:
+                changed.append(index)
+            prepared.append((chunk, body, fingerprint, min_len))
+
+        placements: Dict[int, Tuple[str, ...]] = {}
+        if self.placement is not None and changed:
+            placements = self.placement.assign(
+                term,
+                len(chunks),
+                {index: info.providers for index, info in carried.items()},
+                changed,
+            )
+
+        infos: List[ShardInfo] = []
+        for index, (chunk, body, fingerprint, min_len) in enumerate(prepared):
+            prior = carried.get(index)
+            if prior is not None:
                 infos.append(prior)
                 self.stats.shards_unchanged += 1
+                if self.placement is not None:
+                    self.placement.record(term, index, prior.cid, prior.providers)
                 continue
             body["gen"] = generation
             payload = json.dumps(body, sort_keys=True)
-            cid = self.storage.add_text(payload, publisher=publisher)
+            requested = placements.get(index, ())
+            cid, holders = self.storage.add_text_placed(
+                payload, publisher=publisher, providers=requested or None
+            )
+            # Hints and the repair registry record the providers the push
+            # actually reached (a chosen peer lost at push time is dropped;
+            # the publisher fallback is announced) — a hint naming a peer
+            # without the content would defeat the repair floor check.
+            achieved = tuple(holders) if requested else ()
             self.dht.put(shard_key(term, index), cid)
             self.stats.shards_published += 1
             self.stats.bytes_published += len(payload)
             lo = chunk.min_doc_id if len(chunk) else 0
             hi = chunk.max_doc_id if len(chunk) else -1
-            infos.append(
-                ShardInfo(
-                    index=index, lo=lo, hi=hi, count=len(chunk),
-                    max_tf=quantize_max_tf(chunk.max_term_frequency),
-                    generation=generation, cid=cid, fingerprint=fingerprint,
-                    min_len=min_len,
-                )
+            info = ShardInfo(
+                index=index, lo=lo, hi=hi, count=len(chunk),
+                max_tf=quantize_max_tf(chunk.max_term_frequency),
+                generation=generation, cid=cid, fingerprint=fingerprint,
+                min_len=min_len, providers=achieved,
             )
+            if self.placement is not None:
+                self.placement.record(term, index, cid, info.providers)
+            infos.append(info)
 
         manifest = TermManifest(term=term, generation=generation, shards=tuple(infos))
         self._authoritative[term] = manifest
@@ -448,11 +525,15 @@ class DistributedIndex:
         self.dht.put(term_key(term), manifest_json)
         self.stats.terms_published += 1
         self.stats.bytes_published += len(manifest_json)
-        if self.cache is not None and previous is not None:
+        if previous is not None:
             # Shard keys beyond the new shard count can never validate again;
-            # drop them eagerly instead of waiting for LRU pressure.
+            # drop them eagerly instead of waiting for LRU pressure, and
+            # release their placement slots.
             for stale in previous.shards[len(infos):]:
-                self.cache.invalidate(shard_key(term, stale.index))
+                if self.cache is not None:
+                    self.cache.invalidate(shard_key(term, stale.index))
+                if self.placement is not None:
+                    self.placement.forget(term, stale.index)
         return infos[0].cid
 
     def merge_term(
@@ -629,7 +710,9 @@ class DistributedIndex:
                             self.cache.stats.stale_hits += 1
                 return cached
         try:
-            payload = self.storage.get_text(info.cid, requester=requester)
+            payload = self.storage.get_text(
+                info.cid, requester=requester, preferred=self._route_providers(info)
+            )
         except Exception as exc:
             self.stats.fetch_misses += 1
             raise TermNotFoundError(
@@ -642,6 +725,57 @@ class DistributedIndex:
         if self.cache is not None and use_cache:
             self.cache.put(key, postings, generation=generation)
         return postings
+
+    def _route_providers(self, info: ShardInfo) -> Optional[List[str]]:
+        """Live manifest hints for one shard, least-loaded first, or ``None``.
+
+        Load is each provider's *actual* serving count
+        (:attr:`~repro.storage.peer.StoragePeer.blocks_served` — blocks it
+        really shipped, to anyone), with address order breaking ties
+        deterministically.  Requests served from the requester's own block
+        store or by a fallback provider charge exactly the peer that served
+        them, so a skewed query stream round-robins across a term's replica
+        set instead of hammering the first provider the DHT happens to list.
+        """
+        if not info.providers:
+            return None
+        network = self.storage.network
+        peers = self.storage.peers
+        live = [p for p in info.providers if network.is_online(p)]
+        if not live:
+            return None
+
+        def serving_load(address: str) -> int:
+            peer = peers.get(address)
+            return peer.blocks_served if peer is not None else 0
+
+        live.sort(key=lambda p: (serving_load(p), p))
+        return live
+
+    def refresh_shard_providers(
+        self, term: str, providers_by_shard: Dict[int, Tuple[str, ...]]
+    ) -> None:
+        """Rewrite the manifest's provider hints after a placement repair.
+
+        Generations (term and per-shard) are untouched: the shard *content*
+        did not change, only where it lives, so posting/manifest caches stay
+        valid and the result cache's keys do not shift.
+        """
+        manifest = self._authoritative.get(term)
+        if manifest is None:
+            try:
+                manifest = self._decode_manifest(term, self.dht.get(term_key(term)))
+            except (KeyNotFoundError, TermNotFoundError):
+                return
+        shards = tuple(
+            replace(info, providers=tuple(providers_by_shard.get(info.index, info.providers)))
+            for info in manifest.shards
+        )
+        refreshed = TermManifest(term=term, generation=manifest.generation, shards=shards)
+        self._authoritative[term] = refreshed
+        self.dht.put(term_key(term), refreshed.to_json())
+        if term in self._manifests:
+            self._manifests[term] = refreshed
 
     def fetch_statistics(self, requester: Optional[str] = None) -> CollectionStatistics:
         """Fetch the published collection statistics (empty stats if absent)."""

@@ -25,6 +25,10 @@ class ChurnModel:
     on_leave / on_join:
         Optional callbacks invoked with the address after the network state
         changes, so higher layers (e.g. the DHT) can update routing state.
+        Additional subscribers register through :meth:`add_leave_listener` /
+        :meth:`add_join_listener` — the shard-placement repair loop hooks in
+        this way (``QueenBeeEngine.create_churn_model``), so one churn driver
+        can feed several subsystems.
     """
 
     def __init__(
@@ -38,9 +42,19 @@ class ChurnModel:
         self.network = network
         self.on_leave = on_leave
         self.on_join = on_join
+        self._leave_listeners: List[Callable[[str], None]] = []
+        self._join_listeners: List[Callable[[str], None]] = []
         self._rng = simulator.fork_rng("churn")
         self.departures: List[str] = []
         self.arrivals: List[str] = []
+
+    def add_leave_listener(self, listener: Callable[[str], None]) -> None:
+        """Invoke ``listener(address)`` after every departure (repair hooks)."""
+        self._leave_listeners.append(listener)
+
+    def add_join_listener(self, listener: Callable[[str], None]) -> None:
+        """Invoke ``listener(address)`` after every arrival."""
+        self._join_listeners.append(listener)
 
     def fail_fraction(self, addresses: Sequence[str], fraction: float) -> List[str]:
         """Immediately take a random ``fraction`` of ``addresses`` offline.
@@ -98,6 +112,8 @@ class ChurnModel:
             self.departures.append(address)
             if self.on_leave is not None:
                 self.on_leave(address)
+            for listener in self._leave_listeners:
+                listener(address)
 
     def _join(self, address: str) -> None:
         if not self.network.is_online(address):
@@ -105,3 +121,5 @@ class ChurnModel:
             self.arrivals.append(address)
             if self.on_join is not None:
                 self.on_join(address)
+            for listener in self._join_listeners:
+                listener(address)

@@ -33,6 +33,15 @@ available, all strictly bound-based and therefore result-preserving:
   whole-list bound, demoting lists to non-essential as their high-impact
   shards are consumed, and per-candidate bounds use the shard-local bound at
   the candidate's position rather than the whole-list max.
+
+Lazy loads that do reach the network are placement-routed: the index behind
+the fetcher steers each shard fetch to the least-loaded live provider from
+the term manifest's replica hints (see :mod:`repro.index.placement`), so
+cursors over the same head term stop contending on one serving peer — the
+property the frontend's parallel per-query batch execution relies on.
+``segments_loaded`` in the outcome counts the per-query segment
+materializations (cache hits included; the index's own stats count the
+network fetches).
 """
 
 from __future__ import annotations
@@ -84,6 +93,12 @@ class ExecutionOutcome:
     docs_scored: int = 0
     docs_pruned: int = 0
     shards_skipped: int = 0
+    # Lazy segment materializations the cursors performed (maxscore mode).
+    # Each is a shard *request* against the fetcher — served by the
+    # frontend's memoized readers or the posting cache when warm, and only
+    # otherwise by a placement-routed network fetch (the index's
+    # terms_fetched counter tracks those).
+    segments_loaded: int = 0
     early_exit: bool = False
     mode: str = MODE_TAAT
 
@@ -139,7 +154,7 @@ class _Cursor:
     __slots__ = (
         "term", "segments", "bounds", "suffix_bounds", "upper_bound",
         "scale", "tf_constant", "seg", "offset", "_arrays", "_loader",
-        "total", "_segment_los",
+        "total", "_segment_los", "_on_load",
     )
 
     def __init__(
@@ -149,10 +164,12 @@ class _Cursor:
         scale: float,
         tf_constant: float,
         tf_denominator: Optional[Callable[[int], float]] = None,
+        on_load: Optional[Callable[[], None]] = None,
     ) -> None:
         self.term = term
         self.scale = scale
         self.tf_constant = tf_constant
+        self._on_load = on_load
         self.seg = 0
         self.offset = 0
         if isinstance(postings, PostingList):
@@ -258,6 +275,8 @@ class _Cursor:
                 raise _ShardUnreachable(self.term) from exc
             arrays = postings.arrays()
             self._arrays[self.seg] = arrays
+            if self._on_load is not None:
+                self._on_load()
         return arrays[0]
 
     @property
@@ -525,6 +544,9 @@ class QueryExecutor:
             cursor = _Cursor(
                 term, postings, scale, tf_constant,
                 tf_denominator=self.bm25.tf_denominator,
+                on_load=lambda: setattr(
+                    outcome, "segments_loaded", outcome.segments_loaded + 1
+                ),
             )
             if conjunctive:
                 if cursor.min_doc_id is None:

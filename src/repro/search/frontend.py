@@ -18,7 +18,12 @@ conjunctive queries the manifests alone determine the feasible doc-id
 window, and shards outside it are never fetched.  ``search_batch`` extends
 the same overlap across the union of a whole batch's distinct terms — batch
 prefetch latency drops by roughly the unique-term fan-out versus the
-sequential prefetch (``overlapped_prefetch=False``, the E10 ablation).
+sequential prefetch (``overlapped_prefetch=False``, the E10 ablation) — and
+then executes the per-query work in a parallel region too, so batch wall
+time is the shared prefetch plus the slowest query.  Shard fetches are
+placement-routed by the index (least-loaded live provider from the
+manifest's replica hints), which is what keeps the parallel queries from
+contending on a single peer for a head term's shards.
 
 Caching layers
 --------------
@@ -78,6 +83,7 @@ class FrontendStats:
     batch_term_occurrences: int = 0
     batch_unique_terms: int = 0
     prefetch_regions: int = 0
+    parallel_query_regions: int = 0
     shards_prefetched: int = 0
     shards_window_skipped: int = 0
     result_cache_hits: int = 0
@@ -441,9 +447,23 @@ class SearchFrontend:
         was present at parse time, that query's terms resolve through the
         per-term fallback — a latency cost only, never a correctness one.
 
-        Each page's ``latency`` includes an equal share of the shared
-        prefetch time, so batched and sequential latencies feed the same
-        histograms comparably (their sum equals the batch wall time).
+        After the shared prefetch the per-query executions themselves run in
+        a parallel region (when ``overlapped_prefetch`` is on), so batch wall
+        time is the prefetch plus the *slowest* query rather than the sum.
+        This is safe because each query builds its own executor and cursors;
+        the only state shared between branches is read-mostly — the
+        prefetched readers (whose lazy shard memoization is an idempotent
+        content fill) and the caches, which branches observe in the same
+        deterministic order as the sequential path, so pages are
+        bit-identical either way.  Shard loads that do happen mid-execution
+        are placement-routed to the least-loaded live provider, so parallel
+        queries over the same head term fan out across its replica set
+        instead of contending on one peer.
+
+        Each page's ``latency`` is its own execution time plus an equal
+        share of the shared prefetch time; with parallel execution the batch
+        wall time is bounded by the slowest page, not the latency sum (the
+        sequential ablation keeps the old additive behaviour).
         """
         started = self.simulator.now
         parsed: List[Optional[ParsedQuery]] = []
@@ -478,19 +498,32 @@ class SearchFrontend:
             (self.simulator.now - started) / parsed_count if parsed_count else 0.0
         )
 
-        pages: List[ResultPage] = []
-        for raw_query, query, key in zip(raw_queries, parsed, keys):
+        pages: List[Optional[ResultPage]] = [None] * len(raw_queries)
+        thunks: List[Callable[[], ResultPage]] = []
+        slots: List[int] = []
+        for slot, (raw_query, query, key) in enumerate(zip(raw_queries, parsed, keys)):
             if query is None:
-                pages.append(ResultPage(query=raw_query, latency=0.0))
+                pages[slot] = ResultPage(query=raw_query, latency=0.0)
                 continue
-            query_started = self.simulator.now
-            pages.append(
-                self._run_query(
-                    raw_query, query, query_started,
+
+            def run(raw_query: str = raw_query, query: ParsedQuery = query, key=key) -> ResultPage:
+                # simulator.now is read inside the thunk: in a parallel
+                # region every branch starts at the region's start time.
+                return self._run_query(
+                    raw_query, query, self.simulator.now,
                     readers=readers, known_missing=missing,
                     extra_latency=prefetch_share, cache_key=key,
                 )
-            )
+
+            thunks.append(run)
+            slots.append(slot)
+        if self.overlapped_prefetch and len(thunks) > 1:
+            self.stats.parallel_query_regions += 1
+            executed = self.simulator.parallel_region(thunks)
+        else:
+            executed = [thunk() for thunk in thunks]
+        for slot, page in zip(slots, executed):
+            pages[slot] = page
         batch_latency = self.simulator.now - started
         for page in pages:
             page.diagnostics["batch_latency"] = batch_latency
@@ -605,6 +638,7 @@ class SearchFrontend:
                 "docs_scored": outcome.docs_scored,
                 "docs_pruned": outcome.docs_pruned,
                 "shards_skipped": outcome.shards_skipped,
+                "segments_loaded": outcome.segments_loaded,
                 "early_exit": outcome.early_exit,
             },
         )

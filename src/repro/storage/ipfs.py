@@ -8,7 +8,7 @@ QueenBee stores page contents, index shards, and page-rank vectors here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import BlockNotFoundError
 from repro.dht.dht import DHTNetwork
@@ -34,6 +34,8 @@ class StorageStats:
     failed_gets: int = 0
     blocks_transferred: int = 0
     bytes_added: int = 0
+    placed_adds: int = 0
+    replications: int = 0
     per_get_providers: List[int] = field(default_factory=list)
 
     def reset(self) -> None:
@@ -42,6 +44,8 @@ class StorageStats:
         self.failed_gets = 0
         self.blocks_transferred = 0
         self.bytes_added = 0
+        self.placed_adds = 0
+        self.replications = 0
         self.per_get_providers.clear()
 
 
@@ -104,29 +108,102 @@ class DecentralizedStorage:
     # -- add / get ------------------------------------------------------------
 
     def add_bytes(self, data: bytes, publisher: Optional[str] = None) -> str:
-        """Publish ``data``: build its DAG, pin it on the publisher, replicate,
-        and announce provider records in the DHT.  Returns the root CID."""
+        """Publish ``data`` on the default replication path (root CID only).
+
+        Pinned placement goes through :meth:`add_bytes_placed`, whose
+        returned holder list the caller must record; there is deliberately
+        no ``providers`` passthrough here that would discard it.
+        """
+        return self.add_bytes_placed(data, publisher=publisher)[0]
+
+    def add_bytes_placed(
+        self,
+        data: bytes,
+        publisher: Optional[str] = None,
+        providers: Optional[Sequence[str]] = None,
+    ) -> Tuple[str, List[str]]:
+        """Publish ``data``; returns ``(root CID, announced providers)``.
+
+        Without ``providers`` (the default path), the publisher pins every
+        block and replicates to ``replication - 1`` random online peers; the
+        publisher plus the replicas become the provider set.
+
+        With ``providers`` (pinned replica placement — the index placement
+        layer uses this), the content is pushed and pinned onto *exactly*
+        those peers and only they are announced: the publisher does not
+        become an implicit provider, which is what lets a placement policy
+        bound any single peer's serving load.  Chosen peers that cannot be
+        reached at push time are dropped from the announcement; if every one
+        fails, the publisher pins and announces itself so the content is
+        never lost.  The returned holder list is what actually got announced
+        — callers recording placements must use it, not the request.
+        """
         origin = self.peers[publisher] if publisher is not None else self.random_peer()
         result = self.dag.build(data)
-        for block in result.blocks:
-            origin.store.put(block, pin=True)
-        replicas = self._choose_replicas(origin.address, self.replication - 1)
-        for replica_address in replicas:
+        if providers:
+            holders: List[str] = []
+            for target in providers:
+                if target == origin.address:
+                    for block in result.blocks:
+                        origin.store.put(block, pin=True)
+                    holders.append(target)
+                    continue
+                delivered = 0
+                for block in result.blocks:
+                    if not origin.push_block_to(target, block, pin=True):
+                        break
+                    delivered += 1
+                self.stats.blocks_transferred += delivered
+                if delivered == len(result.blocks):
+                    holders.append(target)
+            if not holders:
+                for block in result.blocks:
+                    origin.store.put(block, pin=True)
+                holders = [origin.address]
+            self.stats.placed_adds += 1
+        else:
             for block in result.blocks:
-                if origin.push_block_to(replica_address, block, pin=True):
-                    self.stats.blocks_transferred += 1
-        for holder in [origin.address] + replicas:
+                origin.store.put(block, pin=True)
+            replicas = self._choose_replicas(origin.address, self.replication - 1)
+            for replica_address in replicas:
+                for block in result.blocks:
+                    if origin.push_block_to(replica_address, block, pin=True):
+                        self.stats.blocks_transferred += 1
+            holders = [origin.address] + replicas
+        for holder in holders:
             self.dht.add_to_set(provider_key(result.root_cid), holder)
         self.stats.adds += 1
         self.stats.bytes_added += len(data)
-        return result.root_cid
+        return result.root_cid, holders
 
     def add_text(self, text: str, publisher: Optional[str] = None) -> str:
         """Convenience wrapper for publishing UTF-8 text (web pages)."""
         return self.add_bytes(text.encode("utf-8"), publisher=publisher)
 
-    def get_bytes(self, cid: str, requester: Optional[str] = None) -> bytes:
+    def add_text_placed(
+        self,
+        text: str,
+        publisher: Optional[str] = None,
+        providers: Optional[Sequence[str]] = None,
+    ) -> Tuple[str, List[str]]:
+        """Text wrapper for :meth:`add_bytes_placed` (CID plus real holders)."""
+        return self.add_bytes_placed(
+            text.encode("utf-8"), publisher=publisher, providers=providers
+        )
+
+    def get_bytes(
+        self,
+        cid: str,
+        requester: Optional[str] = None,
+        preferred: Optional[Sequence[str]] = None,
+    ) -> bytes:
         """Fetch and reassemble the content behind ``cid``.
+
+        ``preferred`` is an ordered provider routing hint (the index passes
+        the manifest's provider set ranked least-loaded-first): live
+        preferred peers are tried before the DHT provider record's order, and
+        a preferred peer that fails simply falls through to the rest — the
+        hint can redirect load but never lose reachable content.
 
         Raises :class:`BlockNotFoundError` when no reachable provider holds
         the content (the failure mode counted by the resilience experiment).
@@ -136,6 +213,12 @@ class DecentralizedStorage:
         providers = [p for p in self.dht.get_set(provider_key(cid)) if isinstance(p, str)]
         self.stats.per_get_providers.append(len(providers))
         reachable = [p for p in providers if self.network.is_online(p) and p != peer.address]
+        if preferred:
+            ranked = [
+                p for p in preferred if self.network.is_online(p) and p != peer.address
+            ]
+            ranked_set = set(ranked)
+            reachable = ranked + [p for p in reachable if p not in ranked_set]
         if peer.store.has(cid):
             root = peer.store.get(cid)
         else:
@@ -155,13 +238,67 @@ class DecentralizedStorage:
             blocks_by_cid[link] = block
         return self.dag.assemble(root, blocks_by_cid)
 
-    def get_text(self, cid: str, requester: Optional[str] = None) -> str:
+    def get_text(
+        self,
+        cid: str,
+        requester: Optional[str] = None,
+        preferred: Optional[Sequence[str]] = None,
+    ) -> str:
         """Fetch content and decode it as UTF-8 text."""
-        return self.get_bytes(cid, requester=requester).decode("utf-8")
+        return self.get_bytes(cid, requester=requester, preferred=preferred).decode("utf-8")
 
     def providers_of(self, cid: str) -> List[str]:
         """The peers currently announced as providers of ``cid``."""
         return sorted(p for p in self.dht.get_set(provider_key(cid)) if isinstance(p, str))
+
+    def replicate_to(self, cid: str, targets: Sequence[str]) -> List[str]:
+        """Re-replicate already-published content onto ``targets`` (repair).
+
+        A live announced provider that still holds the full DAG pushes every
+        block (pinned) to each target; successfully supplied targets are
+        announced as new providers.  Returns the targets that now hold the
+        content — empty when no reachable source held the complete DAG (the
+        caller records the deficit and retries after the next join).
+        """
+        providers = [p for p in self.dht.get_set(provider_key(cid)) if isinstance(p, str)]
+        sources = [
+            p
+            for p in providers
+            if self.network.is_online(p) and p in self.peers and self.peers[p].store.has(cid)
+        ]
+        supplied: List[str] = []
+        remaining = list(dict.fromkeys(targets))
+        # Every complete source gets a chance at the targets still missing
+        # the content, so one lossy push does not sink the whole repair.
+        for source_address in sources:
+            if not remaining:
+                break
+            source = self.peers[source_address]
+            root = source.store.get(cid)
+            if not all(source.store.has(link) for link in root.links):
+                continue
+            blocks = [root] + [source.store.get(link) for link in root.links]
+            for target in list(remaining):
+                if target == source_address:
+                    # Already a live holder: nothing to transfer, just make
+                    # sure it is announced and report it as supplied.
+                    supplied.append(target)
+                    remaining.remove(target)
+                    self.dht.add_to_set(provider_key(cid), target)
+                    continue
+                delivered = 0
+                for block in blocks:
+                    if not source.push_block_to(target, block, pin=True):
+                        break
+                    delivered += 1
+                self.stats.blocks_transferred += delivered
+                if delivered == len(blocks):
+                    supplied.append(target)
+                    remaining.remove(target)
+                    self.dht.add_to_set(provider_key(cid), target)
+        if supplied:
+            self.stats.replications += 1
+        return supplied
 
     # -- internals ------------------------------------------------------------
 
