@@ -18,15 +18,27 @@ that naive path on a Zipfian repeated-query stream:
                         manifest/shard prefetch;
 * ``…+batch-overlap`` — the overlap ablation: identical configuration but
                         sequential prefetch, isolating what concurrency buys
-                        in batch latency.
+                        in batch latency;
+* ``…+batch (gossip)``— the metadata-plane ablation: the same full fast
+                        path served by a *remote* frontend on the gossiped
+                        metadata plane (own index instance, epoch feed and
+                        load hints from its peer's gossip store, rank
+                        vector fetched from the DWeb).  Gossip staleness
+                        and the frontend's own cold caches cost extra
+                        fetches; pages must stay bit-identical — the smoke
+                        job's gossip-vs-shared assertion.
 
 All rows must return *identical* top-k pages.  A second table replays a
 disjunctive head-term workload (pairwise ORs of the heaviest terms), where
-per-shard bounds prune documents that whole-list bounds cannot.  Results are
-also written to ``BENCH_E10.json`` so the perf trajectory is tracked
-PR-over-PR.  Set the ``E10_SMOKE`` environment variable to run a tiny
-configuration (the CI smoke job does this to catch perf-path regressions,
-including sharded-vs-unsharded divergence, quickly).
+per-shard bounds prune documents that whole-list bounds cannot; its
+``+rri`` / ``+ceilings`` rows ablate the two rank-pruning sources — the
+frontend-built RankRangeIndex versus the quantized rank ceilings published
+into term manifests at rank time (the path that needs no materialised rank
+vector; it must prune at least as many shards).  Results are also written
+to ``BENCH_E10.json`` so the perf trajectory is tracked PR-over-PR.  Set
+the ``E10_SMOKE`` environment variable to run a tiny configuration (the CI
+smoke job does this to catch perf-path regressions, including
+sharded-vs-unsharded and gossip-vs-shared divergence, quickly).
 """
 
 from __future__ import annotations
@@ -63,6 +75,8 @@ def _run_system(
     result_cache_capacity: int = 0,
     batched: bool = False,
     overlapped: bool = True,
+    metadata_plane: str = "shared",
+    frontend_overrides: Dict[str, object] = None,
     label: str = "",
 ) -> Tuple[Dict[str, object], List[List[Tuple[int, float]]]]:
     engine = build_engine(
@@ -73,12 +87,19 @@ def _run_system(
         posting_cache_capacity=cache_capacity,
         result_cache_capacity=result_cache_capacity,
         overlapped_prefetch=overlapped,
+        metadata_plane=metadata_plane,
         seed=77,
     )
     engine.bootstrap_corpus(corpus.documents)
     engine.compute_page_ranks()
+    # On the gossip plane, wait for anti-entropy to deliver the publish/rank
+    # metadata before the measured stream (a deployment's steady state);
+    # scheduled rounds keep running during the stream.
+    engine.converge_metadata()
     frontend = engine.create_frontend(requester="peer-001:store")
-    engine.index.stats.reset()
+    for attribute, value in (frontend_overrides or {}).items():
+        setattr(frontend, attribute, value)
+    frontend.index.stats.reset()
 
     start = engine.simulator.now
     batch_latencies: List[float] = []
@@ -95,7 +116,9 @@ def _run_system(
     elapsed = engine.simulator.now - start
 
     top_k = [[(result.doc_id, result.score) for result in page.results] for page in pages]
-    cache_stats = engine.posting_cache.stats if engine.posting_cache else None
+    # The frontend's own index/cache objects: the engine's shared instances
+    # on the shared plane, the remote frontend's private ones on gossip.
+    cache_stats = frontend.index.cache.stats if frontend.index.cache else None
     result_cache = frontend.result_cache
     row = {
         "execution": label,
@@ -103,8 +126,8 @@ def _run_system(
         "docs pruned": engine.metrics.counter("query.docs_pruned"),
         "postings scanned": engine.metrics.counter("query.postings_scanned"),
         "shards skipped": engine.metrics.counter("query.shards_skipped"),
-        "network fetches": engine.index.stats.terms_fetched,
-        "KiB fetched": engine.index.stats.bytes_fetched / 1024.0,
+        "network fetches": frontend.index.stats.terms_fetched,
+        "KiB fetched": frontend.index.stats.bytes_fetched / 1024.0,
         "posting cache hit": cache_stats.hit_rate if cache_stats else 0.0,
         "result cache hit": result_cache.stats.hit_rate if result_cache else 0.0,
         "mean batch latency": (
@@ -146,12 +169,34 @@ def run_head_term_experiment(corpus) -> List[Dict[str, object]]:
         corpus, queries, "maxscore", shard_size=SHARD_SIZE,
         label="maxscore+shards (head OR)",
     )
+    # Rank-pruning source ablation: the frontend-built RankRangeIndex (the
+    # fallback that materialises the rank vector per rank round) versus the
+    # quantized per-shard rank ceilings published into term manifests at
+    # rank time (usable by any remote frontend with no vector at all).
+    rri_row, rri_top = _run_system(
+        corpus, queries, "maxscore", shard_size=SHARD_SIZE,
+        frontend_overrides={"use_rank_ceilings": False},
+        label="maxscore+shards+rri (head OR)",
+    )
+    ceilings_row, ceilings_top = _run_system(
+        corpus, queries, "maxscore", shard_size=SHARD_SIZE,
+        frontend_overrides={"use_rank_range_index": False},
+        label="maxscore+shards+ceilings (head OR)",
+    )
     naive_row, naive_top = _run_system(
         corpus, queries, "taat", shard_size=0, label="taat (head OR)"
     )
     assert sharded_top == naive_top, "sharding changed head-term top-k results"
     assert unsharded_top == naive_top, "MaxScore changed head-term top-k results"
-    rows = [naive_row, unsharded_row, sharded_row]
+    assert rri_top == naive_top, "RankRangeIndex pruning changed head-term top-k"
+    assert ceilings_top == naive_top, "manifest rank ceilings changed head-term top-k"
+    # The acceptance bar of the manifest path: at least as much shard
+    # pruning as the RankRangeIndex it replaces, with no rank vector
+    # materialised at the frontend.
+    assert ceilings_row["shards skipped"] >= rri_row["shards skipped"], (
+        "manifest rank ceilings prune fewer shards than the RankRangeIndex"
+    )
+    rows = [naive_row, unsharded_row, sharded_row, rri_row, ceilings_row]
     print_table(
         "E10b: head-term OR workload — per-shard bounds vs whole-list bounds",
         rows,
@@ -180,13 +225,24 @@ def run_experiment() -> Dict[str, object]:
         cache_capacity=CACHE_CAPACITY, result_cache_capacity=RESULT_CACHE_CAPACITY,
         batched=True, overlapped=False, label="maxscore+shards+cache+batch-overlap",
     )
+    gossip_row, gossip_top = _run_system(
+        corpus, queries, "maxscore", shard_size=SHARD_SIZE,
+        cache_capacity=CACHE_CAPACITY, result_cache_capacity=RESULT_CACHE_CAPACITY,
+        batched=True, overlapped=True, metadata_plane="gossip",
+        label="maxscore+shards+cache+batch (gossip)",
+    )
 
     assert pruned_top == naive_top, "MaxScore changed the top-k results"
     assert sharded_top == naive_top, "sharding changed the top-k results"
     assert cached_top == naive_top, "caching/batching/overlap changed the top-k results"
     assert sequential_top == naive_top, "sequential prefetch changed the top-k results"
+    # The metadata-plane acceptance gate (also the CI smoke assertion): a
+    # frontend that learns everything through the network — gossiped epoch
+    # feed, manifest rank ceilings, DWeb-fetched rank vector and statistics
+    # — serves pages bit-identical to the shared-plane frontend.
+    assert gossip_top == cached_top, "gossip-plane top-k diverged from shared-plane"
 
-    rows = [naive_row, pruned_row, sharded_row, cached_row, sequential_row]
+    rows = [naive_row, pruned_row, sharded_row, cached_row, sequential_row, gossip_row]
     print_table(
         "E10: query execution engine (identical top-k, decreasing work)",
         rows,
@@ -198,8 +254,16 @@ def run_experiment() -> Dict[str, object]:
     )
     head_rows = run_head_term_experiment(corpus)
 
-    head_naive, head_unsharded, head_sharded = head_rows
+    head_naive, head_unsharded, head_sharded, head_rri, head_ceilings = head_rows
     derived = {
+        # Gossip staleness + the remote frontend's own cold caches cost
+        # extra network fetches; pages are asserted identical above.
+        "gossip_extra_network_fetches": (
+            gossip_row["network fetches"] - cached_row["network fetches"]
+        ),
+        "head_shards_skipped_ceilings_vs_rri": (
+            head_ceilings["shards skipped"] - head_rri["shards skipped"]
+        ),
         "head_docs_scored_ratio_naive_vs_sharded": (
             head_naive["docs scored"] / head_sharded["docs scored"]
             if head_sharded["docs scored"]
@@ -280,6 +344,10 @@ def test_e10_query_throughput(benchmark):
     assert cached["network fetches"] < naive["network fetches"]
     # Overlap must beat sequential prefetch on batch latency.
     assert payload["derived"]["batch_prefetch_overlap_speedup"] > 1.0
+    # The gossip-plane row exists and priced its staleness in fetches, not
+    # correctness (identity is asserted inside run_experiment).
+    assert "maxscore+shards+cache+batch (gossip)" in by_execution
+    assert payload["derived"]["head_shards_skipped_ceilings_vs_rri"] >= 0
 
 
 if __name__ == "__main__":

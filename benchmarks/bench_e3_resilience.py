@@ -16,7 +16,14 @@ the replication floor.  With repair off, shards whose whole replica set
 happens to be offline at query time are unreachable (recall loss); with the
 churn model wired through ``QueenBeeEngine.create_churn_model`` the repair
 loop keeps shards above the floor and recall near the healthy baseline.
-Results are written to ``BENCH_E3.json`` for PR-over-PR tracking.
+
+The **gossip-under-churn** section measures the metadata plane's
+convergence behaviour under the same session churn: scheduled anti-entropy
+rounds keep running while peers flap, offline peers accumulate divergence,
+and the tracked metric is how many synchronous rounds the plane needs to
+re-converge once the churn horizon ends — plus a query-identity check from
+a remote (gossip-plane) frontend.  Results are written to ``BENCH_E3.json``
+for PR-over-PR tracking.
 """
 
 from __future__ import annotations
@@ -160,6 +167,55 @@ def _repair_rows(corpus, queries) -> List[Dict[str, object]]:
     return rows
 
 
+def _gossip_rows(corpus, queries) -> List[Dict[str, object]]:
+    """Gossip-plane convergence under session churn (the metadata plane's E3)."""
+    engine = build_engine(peer_count=32, worker_count=8, seed=800,
+                          storage_replication=3, dht_replicate=4,
+                          posting_cache_capacity=0, index_shard_size=32,
+                          metadata_plane="gossip")
+    engine.bootstrap_corpus(corpus.documents)
+    engine.compute_page_ranks()
+    pre_rounds = engine.converge_metadata(max_rounds=128)
+    # The healthy reference comes from a shared-plane frontend on the same
+    # engine: the identity check below is gossip-vs-shared, not merely
+    # gossip-vs-gossip.
+    shared = engine.create_shared_frontend(requester="peer-001:store")
+    baseline_results = {q: engine.search(q, frontend=shared).doc_ids for q in queries}
+
+    churn = engine.create_churn_model()
+    stores = [f"{peer_id}:store" for peer_id in engine.peer_ids]
+    transitions = churn.schedule_session_churn(
+        stores, CHURN_MEAN_SESSION, CHURN_MEAN_DOWNTIME, CHURN_HORIZON
+    )
+    rounds_before = engine.gossip.stats.rounds
+    engine.simulator.advance(CHURN_HORIZON)
+    scheduled_rounds = engine.gossip.stats.rounds - rounds_before
+    offline = sum(1 for address in stores if not engine.network.is_online(address))
+
+    # The tracked metric: synchronous rounds until every *online* peer's
+    # view agrees again after the churn window (offline peers reconcile on
+    # rejoin).  Then a remote frontend on a churn-survivor peer must answer
+    # the healthy queries with full recall (placement repair keeps shards
+    # reachable; the plane keeps its metadata fresh).
+    post_rounds = engine.converge_metadata(max_rounds=128)
+    survivor = next(a for a in stores if engine.network.is_online(a))
+    remote = engine.create_gossip_frontend(requester=survivor)
+    measured = _measure(
+        "QueenBee (gossip)", offline / len(stores), queries, baseline_results,
+        lambda q: engine.search(q, frontend=remote),
+    )
+    return [{
+        "plane": "gossip",
+        "churn transitions": transitions,
+        "offline at horizon (%)": 100.0 * offline / len(stores),
+        "scheduled rounds in horizon": scheduled_rounds,
+        "pre-churn convergence rounds": pre_rounds,
+        "post-churn convergence rounds": post_rounds,
+        "answered (%)": measured["answered (%)"],
+        "recall vs healthy (%)": measured["recall vs healthy (%)"],
+    }]
+
+
 def run_experiment() -> Dict[str, object]:
     corpus = build_corpus(DOC_COUNT, seed=88)
     queries = build_queries(corpus, QUERY_COUNT, seed=88)
@@ -179,6 +235,15 @@ def run_experiment() -> Dict[str, object]:
             "re-replicates shards that drop below the replication floor"
         ),
     )
+    gossip_rows = _gossip_rows(corpus, queries)
+    print_table(
+        "E3c: gossip under churn — metadata-plane convergence",
+        gossip_rows,
+        note=(
+            "anti-entropy rounds keep firing through the churn window; the "
+            "tracked metric is rounds to re-converge once churn ends"
+        ),
+    )
     payload = {
         "experiment": "E3",
         "config": {
@@ -193,6 +258,7 @@ def run_experiment() -> Dict[str, object]:
         },
         "rows": rows,
         "repair_rows": repair_rows,
+        "gossip_rows": gossip_rows,
     }
     write_bench_json("BENCH_E3.json", payload)
 
@@ -203,6 +269,12 @@ def run_experiment() -> Dict[str, object]:
     repaired = next(r for r in repair_rows if r["repair"] == "on")
     assert repaired["shards repaired"] > 0, "churn never exercised the repair loop"
     assert repaired["recall vs healthy (%)"] >= unrepaired["recall vs healthy (%)"]
+    # Gates for the metadata plane: it must actually re-converge after the
+    # churn window, and a remote frontend must keep full recall against the
+    # healthy shared-plane baseline.
+    gossip = gossip_rows[0]
+    assert gossip["post-churn convergence rounds"] >= 0, "gossip never re-converged"
+    assert gossip["recall vs healthy (%)"] >= repaired["recall vs healthy (%)"]
     return payload
 
 
@@ -226,6 +298,12 @@ def test_e3_resilience(benchmark):
     unrepaired = next(r for r in repair_rows if r["repair"] == "off")
     assert repaired["shards repaired"] > 0
     assert repaired["recall vs healthy (%)"] >= unrepaired["recall vs healthy (%)"]
+    # The metadata plane re-converges after churn and the remote frontend
+    # answers with full recall against the shared-plane baseline.
+    gossip = payload["gossip_rows"][0]
+    assert gossip["post-churn convergence rounds"] >= 0
+    assert gossip["scheduled rounds in horizon"] > 0
+    assert gossip["recall vs healthy (%)"] >= repaired["recall vs healthy (%)"]
 
 
 if __name__ == "__main__":

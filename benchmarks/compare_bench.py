@@ -24,9 +24,11 @@ import sys
 from typing import Dict, Iterable, List, Optional, Tuple
 
 # Per experiment file: how to identify a row, and which metrics are gated.
-# Every tracked metric is lower-is-better; ``min_abs`` suppresses noise on
-# tiny absolute values (a 0.01 -> 0.02 "regression" is not a signal).
-TRACKED: Dict[str, Dict[str, object]] = {
+# A file maps to one spec or a list of specs (one per tracked row section).
+# Every tracked metric is lower-is-better unless listed in
+# ``higher_metrics``; ``min_abs`` suppresses noise on tiny absolute values
+# (a 0.01 -> 0.02 "regression" is not a signal).
+TRACKED: Dict[str, object] = {
     "BENCH_E4.json": {
         "rows_key": "rows",
         "identity": ("documents", "peers", "codec", "shard size", "placement"),
@@ -48,16 +50,31 @@ TRACKED: Dict[str, Dict[str, object]] = {
             "KiB fetched": 1.0,
         },
     },
-    "BENCH_E3.json": {
-        "rows_key": "repair_rows",
-        "identity": ("repair",),
-        # Recall/answered are higher-is-better; gate their complements.
-        "metrics": {},
-        "higher_metrics": {
-            "answered (%)": 5.0,
-            "recall vs healthy (%)": 5.0,
+    "BENCH_E3.json": [
+        {
+            "rows_key": "repair_rows",
+            "identity": ("repair",),
+            # Recall/answered are higher-is-better; gate their complements.
+            "metrics": {},
+            "higher_metrics": {
+                "answered (%)": 5.0,
+                "recall vs healthy (%)": 5.0,
+            },
         },
-    },
+        {
+            # The metadata plane's churn behaviour: re-convergence after
+            # the churn window must not slow down, and the remote
+            # frontend's recall must not drop.
+            "rows_key": "gossip_rows",
+            "identity": ("plane",),
+            "metrics": {
+                "post-churn convergence rounds": 2.0,
+            },
+            "higher_metrics": {
+                "recall vs healthy (%)": 5.0,
+            },
+        },
+    ],
 }
 
 
@@ -86,7 +103,22 @@ def compare_file(
     threshold: float,
 ) -> List[str]:
     """Regression messages for one experiment file (empty = clean)."""
-    spec = TRACKED[name]
+    tracked = TRACKED[name]
+    specs = tracked if isinstance(tracked, list) else [tracked]
+    failures: List[str] = []
+    for spec in specs:
+        failures.extend(_compare_spec(name, spec, baseline, current, threshold))
+    return failures
+
+
+def _compare_spec(
+    name: str,
+    spec: Dict[str, object],
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float,
+) -> List[str]:
+    """Regression messages for one row section of one experiment file."""
     identity = spec["identity"]
     baseline_rows = _index_rows(baseline, spec["rows_key"], identity)
     current_rows = _index_rows(current, spec["rows_key"], identity)

@@ -62,6 +62,35 @@ class QueenBeeConfig:
     # Live providers below which churn-triggered repair re-replicates a
     # shard; 0 inherits the replication factor (repair on any departure).
     placement_repair_floor: int = 0
+    # Grace period (ticks) before a departed provider's shards are repaired:
+    # a peer that rejoins inside the window triggers zero repairs (flap
+    # debounce).  0 repairs immediately on departure.
+    placement_repair_grace: float = 0.0
+    # Maximum repair attempts (shards found below the replication floor)
+    # per churn event; overflow is recorded as a deficit and retried on the
+    # next join/audit.  0 = unbounded.
+    placement_repair_budget: int = 0
+
+    # Metadata plane
+    # How frontends learn soft metadata (index epochs, the rank head,
+    # serving-load hints).  "shared" reads the engine's in-process objects —
+    # exactly consistent, the idealized ablation; "gossip" makes frontends
+    # real remote nodes: each peer holds a gossip store reconciled by
+    # periodic anti-entropy rounds (scheduled as simulator events), and
+    # engine.create_frontend() returns a frontend holding no reference to
+    # the engine's epoch registry, rank vector, or peer counters.  Stale
+    # gossip costs extra fetches or looser pruning, never a wrong page.
+    metadata_plane: str = "shared"
+    # Push/pull exchanges each peer initiates per gossip round.
+    gossip_fanout: int = 3
+    # Ticks between scheduled gossip rounds.
+    gossip_interval: float = 500.0
+    # Publish quantized per-shard rank ceilings into every term manifest at
+    # rank-publish time, letting any frontend prune shards by rank without
+    # materialising the rank vector (the frontend-built RankRangeIndex
+    # becomes the fallback/ablation).  Costs one manifest rewrite per term
+    # per rank round.
+    publish_rank_ceilings: bool = True
 
     # Ranking
     rank_redundancy: int = 3
@@ -103,6 +132,14 @@ class QueenBeeConfig:
     # experiments that measure degraded service (E3) must not have repeated
     # queries silently answered from pre-failure pages.  E10 opts in.
     result_cache_capacity: int = 0
+    # Loosen result-cache keys to BM25-relevant *buckets* of the collection
+    # statistics (per-term df and average document length on a geometric
+    # grid) instead of the exact statistics version, so update-heavy
+    # streams keep their reuse.  Opt-in: a hit whose exact statistics
+    # moved within the bucket replays a page whose scores may differ in
+    # low-order digits from a fresh execution (the documented exactness
+    # trade; loose hits are counter-tracked per frontend).
+    result_cache_loose_keys: bool = False
 
     def validate(self) -> None:
         """Raise ``ValueError`` on impossible combinations."""
@@ -116,6 +153,16 @@ class QueenBeeConfig:
             raise ValueError("placement_replication_factor must be non-negative")
         if self.placement_repair_floor < 0:
             raise ValueError("placement_repair_floor must be non-negative")
+        if self.placement_repair_grace < 0:
+            raise ValueError("placement_repair_grace must be non-negative")
+        if self.placement_repair_budget < 0:
+            raise ValueError("placement_repair_budget must be non-negative")
+        if self.metadata_plane not in ("shared", "gossip"):
+            raise ValueError(f"unknown metadata_plane {self.metadata_plane!r}")
+        if self.gossip_fanout < 1:
+            raise ValueError("gossip_fanout must be at least 1")
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
         if self.result_cache_capacity < 0:
             raise ValueError("result_cache_capacity must be non-negative")
         if self.peer_count < 2:

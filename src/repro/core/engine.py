@@ -32,9 +32,18 @@ from repro.index.inverted_index import LocalInvertedIndex
 from repro.index.statistics import CollectionStatistics
 from repro.metrics.collector import MetricsCollector
 from repro.net.churn import ChurnModel
+from repro.net.gossip import (
+    GossipPlane,
+    GossipView,
+    LOAD_PREFIX,
+    PlaneEpochFeed,
+    RANK_HEAD_KEY,
+    STATS_HEAD_KEY,
+    quantize_load,
+)
 from repro.net.latency import LogNormalLatency
 from repro.net.network import SimulatedNetwork
-from repro.ranking.distributed import DecentralizedPageRank
+from repro.ranking.distributed import DecentralizedPageRank, RankCeilingPublisher
 from repro.ranking.graph import LinkGraph
 from repro.ranking.pagerank import PageRankResult
 from repro.search.frontend import SearchFrontend
@@ -43,6 +52,54 @@ from repro.sim.simulator import Simulator
 from repro.storage.ipfs import DecentralizedStorage
 
 RANK_VECTOR_KEY = "rank:vector"
+
+
+class GossipRankClient:
+    """Rank-vector access for a remote frontend: gossiped head, DWeb body.
+
+    The gossip plane carries only the tiny ``rank:head`` entry (version +
+    CID); when the head this peer has heard of moves past the vector the
+    client serves, the full vector is fetched once from decentralized
+    storage.  ``version()`` always reports the version of the vector
+    actually *served* — if a fetch fails the client keeps serving the
+    previous consistent (version, vector) pair, so memo keys and result-
+    cache keys never get ahead of the data they describe.
+    """
+
+    def __init__(self, view: GossipView, storage, requester: str) -> None:
+        self.view = view
+        self.storage = storage
+        self.requester = requester
+        self._version = 0
+        self._ranks: Mapping[int, float] = MappingProxyType({})
+
+    def _refresh(self) -> None:
+        head_version, cid = self.view.rank_head()
+        if head_version <= self._version or cid is None:
+            return
+        try:
+            payload = self.storage.get_text(cid, requester=self.requester)
+        except Exception:
+            # Unreachable vector: keep the previous consistent pair; the
+            # next query retries.
+            return
+        body = json.loads(payload)
+        data = body["ranks"] if isinstance(body, dict) and "ranks" in body else body
+        version = (
+            int(body.get("version", head_version)) if isinstance(body, dict) else head_version
+        )
+        self._ranks = MappingProxyType(
+            {int(doc_id): float(rank) for doc_id, rank in data.items()}
+        )
+        self._version = version
+
+    def version(self) -> int:
+        self._refresh()
+        return self._version
+
+    def ranks(self) -> Mapping[int, float]:
+        self._refresh()
+        return self._ranks
 
 
 @dataclass
@@ -97,11 +154,29 @@ class QueenBeeEngine:
         self.posting_cache = (
             PostingCache(cfg.posting_cache_capacity) if cfg.posting_cache_capacity > 0 else None
         )
+        # The gossiped metadata plane: one store per peer, reconciled by
+        # anti-entropy rounds scheduled as simulator events.  On the
+        # "shared" plane (the idealized ablation) there is no plane object
+        # and frontends read the engine's in-process state directly.
+        if cfg.metadata_plane == "gossip":
+            self.gossip: Optional[GossipPlane] = GossipPlane(
+                self.simulator, self.network,
+                fanout=cfg.gossip_fanout, interval=cfg.gossip_interval,
+            )
+            # Epoch bumps enter the plane at the publishing peer's node;
+            # the first peer's store is the deterministic fallback origin.
+            epoch_feed = PlaneEpochFeed(self.gossip, "peer-000:store")
+        else:
+            self.gossip = None
+            epoch_feed = None
         self.placement = (
             PlacementPolicy(
                 self.storage,
                 replication_factor=cfg.placement_replication_factor or cfg.storage_replication,
                 repair_floor=cfg.placement_repair_floor or None,
+                repair_grace=cfg.placement_repair_grace,
+                repair_budget=cfg.placement_repair_budget or None,
+                simulator=self.simulator,
             )
             if cfg.index_placement
             else None
@@ -115,6 +190,7 @@ class QueenBeeEngine:
             # self.statistics is constructed a few lines below.
             length_lookup=lambda doc_id: self.statistics.length_of(doc_id),
             placement=self.placement,
+            epoch_feed=epoch_feed,
         )
         self.directory = DocumentDirectory(self.dht)
         self.term_directory = TermDirectory(self.dht, self.storage)
@@ -143,6 +219,18 @@ class QueenBeeEngine:
         for peer_id in self.peer_ids:
             self.dht.add_node(address=f"{peer_id}:dht")
             self.storage.add_peer(address=f"{peer_id}:store")
+            if self.gossip is not None:
+                self.gossip.node(f"{peer_id}:store")
+
+        if self.gossip is not None:
+            # Serving-load hints piggyback on gossip: at the start of each
+            # round every peer re-publishes its own quantized served-block
+            # counter into its own store (a local read — no RPC), and the
+            # round spreads whatever buckets moved.  Remote frontends rank
+            # a shard's replica hints by these instead of reading the
+            # counters off shared peer objects.
+            self.gossip.add_refresh_hook(self._publish_load_hints)
+            self.gossip.start()
 
         # Recruit worker bees from the first `worker_count` peers.
         self.workers: List[WorkerBee] = []
@@ -268,8 +356,26 @@ class QueenBeeEngine:
 
     def publish_statistics(self) -> None:
         """Publish the shared collection statistics to the DWeb."""
-        self.index.publish_statistics(self.statistics)
+        cid = self.index.publish_statistics(self.statistics)
         self._publishes_since_stats = 0
+        if self.gossip is not None:
+            # Announce the new statistics head so remote frontends know to
+            # re-fetch (the DHT record stays authoritative).
+            self.gossip.publish(
+                "peer-000:store", STATS_HEAD_KEY, cid, self.statistics.version
+            )
+
+    def _publish_load_hints(self) -> None:
+        """Refresh every peer's own coarse serving-load entry (gossip hook).
+
+        A zero bucket is never published: it carries no information (an
+        absent hint already reads as load 0) and a version-0 entry could
+        not propagate anyway — merges only accept strictly newer versions.
+        """
+        for address, peer in self.storage.peers.items():
+            bucket = quantize_load(peer.blocks_served)
+            if bucket > 0:
+                self.gossip.publish(address, LOAD_PREFIX + address, bucket, bucket)
 
     # -- ranking ---------------------------------------------------------------------
 
@@ -290,6 +396,18 @@ class QueenBeeEngine:
         self._page_ranks_view = MappingProxyType(self._page_ranks)
         self._rank_version += 1
         self._publish_rank_vector(result.ranks)
+        if cfg.publish_rank_ceilings:
+            # Stamp quantized per-shard rank ceilings into every term
+            # manifest (generations untouched, caches stay valid): any
+            # frontend can then prune shards by rank straight from the
+            # manifest, without materialising the rank vector.
+            RankCeilingPublisher(self.index).publish(result.ranks, self._rank_version)
+        if self.gossip is not None:
+            # Announce the new rank head; remote frontends fetch the vector
+            # from decentralized storage when the head moves.
+            self.gossip.publish(
+                "peer-000:store", RANK_HEAD_KEY, self._rank_cid, self._rank_version
+            )
 
         # Reward every worker that participated, slash the ones whose answers
         # lost a majority vote (the collusion defense's enforcement arm).
@@ -347,7 +465,22 @@ class QueenBeeEngine:
     # -- searching --------------------------------------------------------------------
 
     def create_frontend(self, requester: Optional[str] = None, top_k: Optional[int] = None) -> SearchFrontend:
-        """A search frontend running on one of the peers."""
+        """A search frontend running on one of the peers.
+
+        Dispatches on the configured metadata plane: on ``"shared"`` the
+        frontend reads the engine's in-process state (the idealized
+        ablation); on ``"gossip"`` it is a real remote node — its own
+        index instance, posting cache, and gossip view, with no reference
+        to the engine's epoch registry, rank vector, or peer counters.
+        """
+        if self.config.metadata_plane == "gossip":
+            return self.create_gossip_frontend(requester=requester, top_k=top_k)
+        return self.create_shared_frontend(requester=requester, top_k=top_k)
+
+    def create_shared_frontend(
+        self, requester: Optional[str] = None, top_k: Optional[int] = None
+    ) -> SearchFrontend:
+        """A frontend sharing the engine's index/rank state (shared plane)."""
         requester = requester or self._rng.choice(self.storage.peer_addresses())
         return SearchFrontend(
             simulator=self.simulator,
@@ -365,8 +498,83 @@ class QueenBeeEngine:
             requester=requester,
             overlapped_prefetch=self.config.overlapped_prefetch,
             result_cache_capacity=self.config.result_cache_capacity,
+            result_cache_loose_keys=self.config.result_cache_loose_keys,
             shard_size_hint=self.config.index_shard_size,
         )
+
+    def create_gossip_frontend(
+        self, requester: Optional[str] = None, top_k: Optional[int] = None
+    ) -> SearchFrontend:
+        """A frontend that is a genuine remote node on the gossip plane.
+
+        Everything it consumes is either network-resolved (DHT lookups,
+        storage fetches, the published rank vector and statistics) or read
+        from its *own peer's* gossip store (index epochs, the rank and
+        statistics heads, serving-load routing hints).  It shares no
+        in-process soft state with the engine: its ``DistributedIndex``,
+        posting cache, and manifest cache are its own, validated against
+        its gossip view — which is what lets many mutually-ignorant
+        frontends run against one overlay.  Freshness is bounded by gossip
+        convergence (drive rounds via the scheduled events or
+        :meth:`converge_metadata`); staleness costs extra fetches or looser
+        pruning, never a wrong page.
+        """
+        if self.gossip is None:
+            raise ValueError(
+                'gossip frontends need metadata_plane="gossip" in the config'
+            )
+        cfg = self.config
+        requester = requester or self._rng.choice(self.storage.peer_addresses())
+        view = self.gossip.view(requester)
+        cache = (
+            PostingCache(cfg.posting_cache_capacity)
+            if cfg.posting_cache_capacity > 0
+            else None
+        )
+        index = DistributedIndex(
+            self.dht, self.storage, compress=cfg.compress_index, cache=cache,
+            validate_generations=cfg.cache_validation, shard_size=cfg.index_shard_size,
+            epoch_feed=view,
+            load_lookup=view.load_hint,
+        )
+        rank_client = GossipRankClient(view, self.storage, requester)
+        return SearchFrontend(
+            simulator=self.simulator,
+            index=index,
+            rank_provider=rank_client.ranks,
+            rank_version_provider=rank_client.version,
+            metadata_resolver=self.directory.resolve,
+            ad_provider=self.contracts.ads_for,
+            analyzer=Analyzer(),
+            statistics=None,
+            top_k=top_k or cfg.top_k,
+            max_ads=cfg.max_ads,
+            planning_strategy=cfg.planning_strategy,
+            execution_mode=cfg.execution_mode,
+            requester=requester,
+            overlapped_prefetch=cfg.overlapped_prefetch,
+            result_cache_capacity=cfg.result_cache_capacity,
+            result_cache_loose_keys=cfg.result_cache_loose_keys,
+            shard_size_hint=cfg.index_shard_size,
+            metadata_view=view,
+            use_rank_ceilings=True,
+            # The RankRangeIndex needs the materialised rank vector per
+            # rank round; remote frontends prune from manifest ceilings.
+            use_rank_range_index=False,
+        )
+
+    def converge_metadata(self, max_rounds: int = 64) -> int:
+        """Gossip synchronously until every online peer's view agrees.
+
+        Returns the rounds needed (0 when already converged or on the
+        shared plane; -1 when ``max_rounds`` was not enough).  Benchmarks
+        and tests call this between a publish/rank phase and a measured
+        query phase, standing in for the wall-clock a deployment would
+        wait for anti-entropy to settle.
+        """
+        if self.gossip is None:
+            return 0
+        return self.gossip.rounds_to_converge(max_rounds)
 
     def search(self, query: str, frontend: Optional[SearchFrontend] = None) -> ResultPage:
         """Answer one query (convenience wrapper around a default frontend)."""

@@ -27,7 +27,7 @@ one-lookup-one-fetch shape (E1/E4).
 Index epochs
 ------------
 Every publish bumps the term's *generation*, carried in the manifest and
-tracked in the index's epoch registry.  Shards, however, keep **per-shard
+announced on the **epoch feed**.  Shards, however, keep **per-shard
 generations**: a republish that leaves a shard's content byte-identical
 (fingerprint match against the previous manifest) carries the old shard
 generation forward and skips re-storing and re-pointing it — so posting
@@ -36,13 +36,36 @@ shard an update actually touched is refetched.  Cache entries are stamped
 with the shard generation they were filled at and validate by *equality*
 against the current manifest's entry.
 
-The registry itself is in-process state: it stands in for the lightweight
-epoch feed a deployed system would gossip or piggyback on DHT traffic so
-that *remote* caches learn of supersession without refetching shards.  In
-this simulator every participant shares one ``DistributedIndex`` per engine,
-which makes the shared registry exactly consistent; a frontend running its
-own index instance would need the real feed (or CID-pointer revalidation)
-to get the same guarantee.
+The epoch feed has two implementations, selected by the engine's
+``metadata_plane`` config.  On the ``"shared"`` plane it is this instance's
+in-process registry — exactly consistent because publisher and readers
+share one ``DistributedIndex``, the idealized ablation.  On the
+``"gossip"`` plane it is the real thing: each publish enters the new
+generation into the publishing peer's gossip store, anti-entropy rounds
+spread it (:mod:`repro.net.gossip`), and a *remote* frontend running its
+own ``DistributedIndex`` validates its cached manifests against its own
+peer's view of the feed.  The DHT record under ``idx:<term>`` stays
+authoritative either way, which is what keeps staleness benign: a cached
+manifest is reused only when its generation *equals* the feed's, so a
+lagging feed forces an authoritative re-fetch (extra lookup, fresh answer)
+and a leading feed invalidates eagerly — the freshness guarantee degrades
+to "bounded by gossip convergence", never to serving a generation the feed
+has already superseded.  Fetched manifests are observed back into the
+local feed, so authoritative knowledge piggybacks on gossip.
+
+Rank ceilings
+-------------
+At rank-publish time the engine stamps every manifest entry with a
+**quantized per-shard rank ceiling** — the largest PageRank of any document
+in the shard's doc-id range, rounded *up* on a geometric grid — plus the
+rank version the ceilings were computed at (see
+:class:`~repro.ranking.distributed.RankCeilingPublisher`).  The executor
+uses matching-version ceilings to skip shards whose best possible rank
+cannot reach the top-k threshold, which lets any frontend (local or
+remote) prune by rank **without materialising the rank vector**; the
+frontend-built :class:`~repro.ranking.scoring.RankRangeIndex` remains as
+the fallback/ablation.  A stale or missing ceiling only loosens pruning —
+bounds are conservative by construction, so pages stay bit-identical.
 
 Shard placement & replication
 -----------------------------
@@ -74,7 +97,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import KeyNotFoundError, TermNotFoundError
 from repro.dht.dht import DHTNetwork
 from repro.index.cache import PostingCache
-from repro.index.placement import PlacementPolicy
+from repro.index.placement import PlacementPolicy, rank_replicas
 from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.storage.cid import compute_cid
@@ -159,6 +182,10 @@ class ShardInfo:
     # provider record only).  Hints are routing advice, never authority —
     # a fetch falls back to the provider record when every hint fails.
     providers: Tuple[str, ...] = ()
+    # Quantized-up maximum PageRank of any document in [lo, hi], stamped at
+    # rank-publish time and valid only at the manifest's rank_version
+    # (-1 = unknown; the executor falls back to its other rank bounds).
+    rank_ceiling: float = -1.0
 
     def to_dict(self) -> Dict[str, object]:
         body: Dict[str, object] = {
@@ -168,6 +195,8 @@ class ShardInfo:
         }
         if self.providers:
             body["prov"] = list(self.providers)
+        if self.rank_ceiling >= 0.0:
+            body["rc"] = self.rank_ceiling
         return body
 
     @classmethod
@@ -178,6 +207,7 @@ class ShardInfo:
             generation=int(body["gen"]), cid=str(body["cid"]),
             fingerprint=str(body["fp"]), min_len=int(body.get("ml", 0)),
             providers=tuple(str(p) for p in body.get("prov", ())),
+            rank_ceiling=float(body.get("rc", -1.0)),
         )
 
 
@@ -188,6 +218,11 @@ class TermManifest:
     term: str
     generation: int
     shards: Tuple[ShardInfo, ...]
+    # The rank-vector version the shards' rank ceilings were computed at
+    # (-1 = never stamped).  Consumers use ceilings only when this matches
+    # their current rank version; anything else falls back to looser
+    # bounds, never to a wrong page.
+    rank_version: int = -1
 
     @property
     def posting_count(self) -> int:
@@ -210,15 +245,15 @@ class TermManifest:
         return None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "kind": "qb-manifest",
-                "term": self.term,
-                "gen": self.generation,
-                "shards": [shard.to_dict() for shard in self.shards],
-            },
-            sort_keys=True,
-        )
+        body: Dict[str, object] = {
+            "kind": "qb-manifest",
+            "term": self.term,
+            "gen": self.generation,
+            "shards": [shard.to_dict() for shard in self.shards],
+        }
+        if self.rank_version >= 0:
+            body["rv"] = self.rank_version
+        return json.dumps(body, sort_keys=True)
 
     @classmethod
     def from_json(cls, payload: str) -> "TermManifest":
@@ -227,6 +262,7 @@ class TermManifest:
             term=str(body["term"]),
             generation=int(body["gen"]),
             shards=tuple(ShardInfo.from_dict(entry) for entry in body["shards"]),
+            rank_version=int(body.get("rv", -1)),
         )
 
 
@@ -259,6 +295,11 @@ class ShardedPostings:
     @property
     def shard_infos(self) -> Tuple[ShardInfo, ...]:
         return self.manifest.shards
+
+    @property
+    def rank_version(self) -> int:
+        """Rank version the manifest's shard rank ceilings are valid at."""
+        return self.manifest.rank_version
 
     @property
     def min_doc_id(self) -> Optional[int]:
@@ -310,6 +351,7 @@ class DistributedIndexStats:
     manifest_fetches: int = 0
     shards_published: int = 0
     shards_unchanged: int = 0
+    rank_ceiling_refreshes: int = 0
     per_fetch_bytes: List[int] = field(default_factory=list)
 
     def reset(self) -> None:
@@ -321,6 +363,7 @@ class DistributedIndexStats:
         self.manifest_fetches = 0
         self.shards_published = 0
         self.shards_unchanged = 0
+        self.rank_ceiling_refreshes = 0
         self.per_fetch_bytes.clear()
 
 
@@ -360,6 +403,21 @@ class DistributedIndex:
         itself as the policy's manifest updater so churn repairs refresh the
         published hints.  Absent, publishes and fetches use the unsteered
         random-replica path (the E4 placement ablation).
+    epoch_feed:
+        Optional gossiped epoch feed (``generation(term)`` / ``publish`` /
+        ``observe`` — a :class:`~repro.net.gossip.GossipView` on a remote
+        frontend, a :class:`~repro.net.gossip.PlaneEpochFeed` on the
+        publisher).  Generations published here are announced on the feed,
+        generations learned from fetched manifests are observed into it,
+        and :meth:`generation` takes the max of the local registry and the
+        feed — so cached manifests are validated against whatever the feed
+        has delivered.  Absent, the local registry is the whole feed (the
+        shared metadata plane).
+    load_lookup:
+        Optional ``address -> serving load`` used to rank a shard's hinted
+        providers at fetch time.  Remote frontends pass the gossiped coarse
+        load hints; absent, the true served-block counters are read off the
+        shared peer objects (the shared-plane behaviour).
     """
 
     def __init__(
@@ -372,6 +430,8 @@ class DistributedIndex:
         shard_size: int = DEFAULT_SHARD_SIZE,
         length_lookup: Optional[Callable[[int], int]] = None,
         placement: Optional[PlacementPolicy] = None,
+        epoch_feed: Optional[object] = None,
+        load_lookup: Optional[Callable[[str], int]] = None,
     ) -> None:
         if shard_size < 0:
             raise ValueError(f"shard_size must be non-negative, got {shard_size!r}")
@@ -383,14 +443,16 @@ class DistributedIndex:
         self.shard_size = shard_size
         self.length_lookup = length_lookup
         self.placement = placement
+        self.epoch_feed = epoch_feed
+        self.load_lookup = load_lookup
         if placement is not None:
             placement.manifest_updater = self.refresh_shard_providers
         self.stats = DistributedIndexStats()
-        # The epoch registry: term -> latest published generation, seeded
-        # from fetched manifests for terms this instance did not publish
-        # itself.  Stands in for the epoch feed of a real deployment (see
-        # the module docstring); consistent here because all participants
-        # share the engine's single index instance.
+        # The local half of the epoch registry: term -> latest generation
+        # this instance published or observed itself.  With an epoch_feed
+        # attached, :meth:`generation` merges in whatever gossip delivered;
+        # without one this registry *is* the feed (exactly consistent when
+        # all participants share the engine's single index instance).
         self._generations: Dict[str, int] = {}
         # Manifest cache, filled on fetch only (never on publish, so the
         # validation-off ablation really does model a cache that does not
@@ -406,17 +468,32 @@ class DistributedIndex:
     # -- epochs ---------------------------------------------------------------------
 
     def generation(self, term: str) -> int:
-        """The latest known generation of ``term`` (0 when never published)."""
-        return self._generations.get(term, 0)
+        """The latest known generation of ``term`` (0 when never published).
+
+        "Known" is the union of what this instance published or observed
+        itself and what the epoch feed has delivered — a remote frontend's
+        knowledge therefore advances with gossip, without any in-process
+        link to the publisher.
+        """
+        local = self._generations.get(term, 0)
+        if self.epoch_feed is not None:
+            return max(local, self.epoch_feed.generation(term))
+        return local
 
     def _bump_generation(self, term: str) -> int:
-        generation = self._generations.get(term, 0) + 1
+        # generation() already merges the local registry with the feed, so
+        # a publisher that learned a newer epoch via gossip bumps past it.
+        generation = self.generation(term) + 1
         self._generations[term] = generation
         return generation
 
     def _observe_generation(self, term: str, generation: int) -> None:
         if generation > self._generations.get(term, 0):
             self._generations[term] = generation
+        if self.epoch_feed is not None:
+            # Authoritative knowledge piggybacks on gossip: this peer now
+            # spreads the epoch it just fetched.
+            self.epoch_feed.observe(term, generation)
 
     # -- publishing (worker-bee side) ----------------------------------------------
 
@@ -519,10 +596,20 @@ class DistributedIndex:
                 self.placement.record(term, index, cid, info.providers)
             infos.append(info)
 
-        manifest = TermManifest(term=term, generation=generation, shards=tuple(infos))
+        # Carried shards keep the rank ceilings stamped at the previous
+        # rank-publish; changed shards enter with no ceiling (-1), so the
+        # executor falls back to looser bounds for exactly those until the
+        # next rank round restamps the manifest.
+        manifest = TermManifest(
+            term=term, generation=generation, shards=tuple(infos),
+            rank_version=previous.rank_version if previous is not None else -1,
+        )
         self._authoritative[term] = manifest
         manifest_json = manifest.to_json()
         self.dht.put(term_key(term), manifest_json)
+        if self.epoch_feed is not None:
+            # Announce the epoch on the feed at the peer that published it.
+            self.epoch_feed.publish(term, generation, origin=publisher)
         self.stats.terms_published += 1
         self.stats.bytes_published += len(manifest_json)
         if previous is not None:
@@ -729,28 +816,69 @@ class DistributedIndex:
     def _route_providers(self, info: ShardInfo) -> Optional[List[str]]:
         """Live manifest hints for one shard, least-loaded first, or ``None``.
 
-        Load is each provider's *actual* serving count
-        (:attr:`~repro.storage.peer.StoragePeer.blocks_served` — blocks it
-        really shipped, to anyone), with address order breaking ties
-        deterministically.  Requests served from the requester's own block
-        store or by a fallback provider charge exactly the peer that served
-        them, so a skewed query stream round-robins across a term's replica
-        set instead of hammering the first provider the DHT happens to list.
+        The ranking itself lives in :func:`repro.index.placement.rank_replicas`;
+        what varies is the load signal.  Without a ``load_lookup`` it is each
+        provider's *actual* serving count
+        (:attr:`~repro.storage.peer.StoragePeer.blocks_served` — readable
+        here only because the simulator shares the peer objects, the
+        shared-plane idealization); with one (remote frontends) it is the
+        gossiped coarse serving-load hint, so independent frontends get the
+        same spread-the-replicas signal without touching any peer object.
+        Either way a skewed query stream round-robins across a term's
+        replica set instead of hammering the first provider the DHT happens
+        to list.
         """
         if not info.providers:
             return None
-        network = self.storage.network
-        peers = self.storage.peers
-        live = [p for p in info.providers if network.is_online(p)]
-        if not live:
-            return None
+        load_of = self.load_lookup
+        if load_of is None:
+            peers = self.storage.peers
 
-        def serving_load(address: str) -> int:
-            peer = peers.get(address)
-            return peer.blocks_served if peer is not None else 0
+            def load_of(address: str) -> int:
+                peer = peers.get(address)
+                return peer.blocks_served if peer is not None else 0
 
-        live.sort(key=lambda p: (serving_load(p), p))
-        return live
+        return rank_replicas(info.providers, self.storage.network.is_online, load_of)
+
+    def authoritative_manifests(self) -> Dict[str, TermManifest]:
+        """The latest manifest this instance published, per term (a copy).
+
+        Publisher-side only (empty on a purely-fetching frontend); the rank
+        ceiling publisher iterates it at rank-publish time.
+        """
+        return dict(self._authoritative)
+
+    def refresh_rank_ceilings(
+        self, term: str, ceilings_by_shard: Dict[int, float], rank_version: int
+    ) -> None:
+        """Restamp one manifest's per-shard rank ceilings at ``rank_version``.
+
+        Generations (term and per-shard) are untouched — shard *content*
+        did not change, so posting/manifest caches stay valid and result
+        caches keep their keys; only the pruning metadata moves.
+        """
+        manifest = self._authoritative.get(term)
+        if manifest is None:
+            try:
+                manifest = self._decode_manifest(term, self.dht.get(term_key(term)))
+            except (KeyNotFoundError, TermNotFoundError):
+                return
+        shards = tuple(
+            replace(
+                info,
+                rank_ceiling=float(ceilings_by_shard.get(info.index, info.rank_ceiling)),
+            )
+            for info in manifest.shards
+        )
+        refreshed = TermManifest(
+            term=term, generation=manifest.generation, shards=shards,
+            rank_version=rank_version,
+        )
+        self._authoritative[term] = refreshed
+        self.dht.put(term_key(term), refreshed.to_json())
+        self.stats.rank_ceiling_refreshes += 1
+        if term in self._manifests:
+            self._manifests[term] = refreshed
 
     def refresh_shard_providers(
         self, term: str, providers_by_shard: Dict[int, Tuple[str, ...]]
@@ -771,7 +899,10 @@ class DistributedIndex:
             replace(info, providers=tuple(providers_by_shard.get(info.index, info.providers)))
             for info in manifest.shards
         )
-        refreshed = TermManifest(term=term, generation=manifest.generation, shards=shards)
+        refreshed = TermManifest(
+            term=term, generation=manifest.generation, shards=shards,
+            rank_version=manifest.rank_version,
+        )
         self._authoritative[term] = refreshed
         self.dht.put(term_key(term), refreshed.to_json())
         if term in self._manifests:

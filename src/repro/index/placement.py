@@ -37,6 +37,27 @@ records are extended, and the term manifests' provider hints are refreshed in
 place (same generation — content is untouched, so caches stay valid).  A
 repair that finds no live source is recorded as a deficit and retried when a
 peer rejoins.
+
+Two deployment knobs debounce the repair loop.  A **grace period**
+(``repair_grace``) delays the reaction to a departure: the repair scan is
+scheduled ``grace`` ticks out, and a peer that rejoins inside the window
+triggers zero repairs — short connectivity flaps, the common case in session
+churn, cost nothing.  A **repair budget** (``repair_budget``) caps the
+shards re-replicated per churn event; overflow is recorded as a deficit and
+drained by later joins or an :meth:`~PlacementPolicy.audit`, bounding the
+repair bandwidth any single departure can consume.
+
+Replica routing
+---------------
+:func:`rank_replicas` is the read-side half of placement: given a shard's
+manifest provider hints it returns the live hinted providers least-loaded
+first.  The load signal is pluggable — the shared metadata plane reads each
+peer's true served-block counter straight off the peer object, while the
+gossiped plane substitutes the coarse serving-load hints peers piggyback on
+anti-entropy rounds (see :mod:`repro.net.gossip`), which is what lets a
+frontend with no reference to the peer objects spread a head term's load
+the same way.  Hints are routing advice, never authority: a stale load
+ranking can only mis-order the fallback chain, not lose content.
 """
 
 from __future__ import annotations
@@ -51,6 +72,26 @@ from repro.storage.ipfs import DecentralizedStorage
 # A manifest-refresh hook: (term, {shard index -> new provider tuple}).
 # Wired by DistributedIndex so repairs keep the published hints accurate.
 ManifestUpdater = Callable[[str, Dict[int, Tuple[str, ...]]], None]
+
+
+def rank_replicas(
+    providers: Sequence[str],
+    is_online: Callable[[str], bool],
+    load_of: Callable[[str], int],
+) -> Optional[List[str]]:
+    """Live hinted providers for one shard, least-loaded first, or ``None``.
+
+    ``load_of`` supplies each provider's serving load — exact counters on
+    the shared metadata plane, gossiped coarse hints on the gossip plane —
+    with address order breaking ties deterministically.  Returns ``None``
+    when no hinted provider is live (the caller falls back to the DHT
+    provider record).
+    """
+    live = [address for address in providers if is_online(address)]
+    if not live:
+        return None
+    live.sort(key=lambda address: (load_of(address), address))
+    return live
 
 
 def anti_affinity_bound(shard_count: int, replication_factor: int) -> int:
@@ -87,6 +128,11 @@ class PlacementStats:
     shards_repaired: int = 0
     repairs_failed: int = 0
     manifest_refreshes: int = 0
+    # Departures whose grace window expired with the peer back online —
+    # flaps the debounce absorbed at zero repair cost.
+    repairs_debounced: int = 0
+    # Shards a churn event's repair budget pushed to the deficit queue.
+    budget_deferrals: int = 0
 
     def reset(self) -> None:
         self.terms_placed = 0
@@ -96,6 +142,8 @@ class PlacementStats:
         self.shards_repaired = 0
         self.repairs_failed = 0
         self.manifest_refreshes = 0
+        self.repairs_debounced = 0
+        self.budget_deferrals = 0
 
 
 class PlacementPolicy:
@@ -113,6 +161,18 @@ class PlacementPolicy:
     repair_floor:
         Live providers below which a shard is re-replicated; defaults to the
         replication factor (any departure triggers an immediate top-up).
+    repair_grace:
+        Ticks to wait after a departure before repairing the peer's shards;
+        a rejoin inside the window cancels the repair entirely (flap
+        debounce).  Needs ``simulator``; 0 (default) repairs immediately.
+    repair_budget:
+        Maximum repair attempts (shards found below the floor) per churn
+        event — attempts spend budget even when their pushes fail, so the
+        cap really bounds replication traffic; overflow is recorded as a
+        deficit and drained by later joins or an :meth:`audit`.  ``None``
+        (default) is unbounded.
+    simulator:
+        Event scheduler for the grace window (the engine wires its own).
     """
 
     def __init__(
@@ -120,6 +180,9 @@ class PlacementPolicy:
         storage: DecentralizedStorage,
         replication_factor: int = 3,
         repair_floor: Optional[int] = None,
+        repair_grace: float = 0.0,
+        repair_budget: Optional[int] = None,
+        simulator=None,
     ) -> None:
         if replication_factor < 1:
             raise ValueError(
@@ -127,9 +190,18 @@ class PlacementPolicy:
             )
         if repair_floor is not None and repair_floor < 1:
             raise ValueError(f"repair_floor must be at least 1, got {repair_floor!r}")
+        if repair_grace < 0:
+            raise ValueError(f"repair_grace must be non-negative, got {repair_grace!r}")
+        if repair_budget is not None and repair_budget < 1:
+            raise ValueError(f"repair_budget must be at least 1, got {repair_budget!r}")
+        if repair_grace > 0 and simulator is None:
+            raise ValueError("repair_grace needs a simulator to schedule the window")
         self.storage = storage
         self.replication_factor = replication_factor
         self.repair_floor = repair_floor if repair_floor is not None else replication_factor
+        self.repair_grace = repair_grace
+        self.repair_budget = repair_budget
+        self.simulator = simulator
         self.stats = PlacementStats()
         # The DistributedIndex binds this so repairs refresh manifest hints.
         self.manifest_updater: Optional[ManifestUpdater] = None
@@ -256,47 +328,87 @@ class PlacementPolicy:
     def on_peer_down(self, address: str) -> int:
         """Churn leave hook: repair every shard ``address`` was providing.
 
-        Returns the number of shards successfully re-replicated.
+        With a grace window configured the repair scan is *scheduled*
+        ``repair_grace`` ticks out instead of running inline, and a rejoin
+        inside the window cancels it — the hook then returns 0 (nothing
+        repaired yet).  Returns the number of shards re-replicated.
         """
-        by_term: Dict[str, List[int]] = {}
-        for term, index in sorted(self._by_provider.get(address, ())):
-            by_term.setdefault(term, []).append(index)
-        repaired = 0
-        for term, indexes in by_term.items():
-            repaired += self._repair_indexes(term, indexes)
-        return repaired
+        if self.repair_grace > 0:
+            self.simulator.schedule(
+                self.repair_grace,
+                lambda: self._graced_repair(address),
+                label=f"placement-grace:{address}",
+            )
+            return 0
+        return self._repair_provider(address)
+
+    def _graced_repair(self, address: str) -> int:
+        """The deferred half of a debounced departure."""
+        if self._is_online(address):
+            # The flap healed itself inside the grace window: zero repairs.
+            self.stats.repairs_debounced += 1
+            return 0
+        return self._repair_provider(address)
+
+    def _repair_provider(self, address: str) -> int:
+        """Repair every shard ``address`` was providing (one churn event)."""
+        return self._repair_pairs(
+            sorted(self._by_provider.get(address, ())), budget=self.repair_budget
+        )
 
     def on_peer_up(self, address: str) -> int:
         """Churn join hook: retry repairs that previously found no live source."""
         del address  # any join can unblock a deficit; the address itself is moot
         if not self._deficits:
             return 0
-        by_term: Dict[str, List[int]] = {}
-        for term, index in sorted(self._deficits):
-            by_term.setdefault(term, []).append(index)
-        repaired = 0
-        for term, indexes in by_term.items():
-            repaired += self._repair_indexes(term, indexes)
-        return repaired
+        return self._repair_pairs(sorted(self._deficits), budget=self.repair_budget)
 
     def audit(self) -> int:
-        """Scan every placement and repair shards under the replication floor."""
-        repaired = 0
-        for term in sorted(self._placements):
-            repaired += self._repair_indexes(term, sorted(self._placements[term]))
-        return repaired
+        """Scan every placement and repair shards under the replication floor.
 
-    def _repair_indexes(self, term: str, indexes: Sequence[int]) -> int:
-        """Repair the given shards of ``term``; refresh the manifest once."""
-        updates: Dict[int, Tuple[str, ...]] = {}
-        for index in indexes:
+        Audits are unbudgeted: they are the explicit drain for deficits the
+        per-event budget deferred.
+        """
+        pairs = [
+            (term, index)
+            for term in sorted(self._placements)
+            for index in sorted(self._placements[term])
+        ]
+        return self._repair_pairs(pairs, budget=None)
+
+    def _repair_pairs(
+        self, pairs: Sequence[Tuple[str, int]], budget: Optional[int]
+    ) -> int:
+        """Repair the given shards, refreshing each touched manifest once.
+
+        ``budget`` caps repair *attempts* for this event — every shard
+        found below the floor spends budget whether or not its pushes
+        succeed, so a lossy network cannot turn one departure into
+        unbounded replication traffic.  Shards past the cap are queued as
+        deficits (drained by joins/audits); healthy shards cost nothing.
+        """
+        attempted = 0
+        repaired = 0
+        updates_by_term: Dict[str, Dict[int, Tuple[str, ...]]] = {}
+        for position, (term, index) in enumerate(pairs):
+            if budget is not None and attempted >= budget:
+                remainder = pairs[position:]
+                fresh = sum(1 for pair in remainder if pair not in self._deficits)
+                self._deficits.update(remainder)
+                self.stats.budget_deferrals += fresh
+                break
+            triggered_before = self.stats.repairs_triggered
             refreshed = self._repair_shard(term, index)
+            if self.stats.repairs_triggered > triggered_before:
+                attempted += 1
             if refreshed is not None:
-                updates[index] = refreshed
-        if updates and self.manifest_updater is not None:
-            self.manifest_updater(term, updates)
-            self.stats.manifest_refreshes += 1
-        return len(updates)
+                updates_by_term.setdefault(term, {})[index] = refreshed
+                repaired += 1
+        for term, updates in updates_by_term.items():
+            if self.manifest_updater is not None:
+                self.manifest_updater(term, updates)
+                self.stats.manifest_refreshes += 1
+        return repaired
 
     def _repair_shard(self, term: str, index: int) -> Optional[Tuple[str, ...]]:
         """Re-replicate one shard if its live providers dropped below the floor.

@@ -14,12 +14,21 @@ honest computation and the defense knob:
 
 With ``redundancy = 1`` there is no defense — whatever a worker returns is
 accepted — which is the vulnerable configuration E6 demonstrates.
+
+The module also owns the *publication* side of a rank round's metadata:
+:class:`RankCeilingPublisher` stamps every term manifest with quantized
+per-shard **rank ceilings** at rank-publish time, so any frontend can prune
+doc-id-range shards by rank without materialising the rank vector (the
+frontend-built :class:`~repro.ranking.scoring.RankRangeIndex` becomes the
+fallback/ablation).
 """
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import json
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -282,3 +291,82 @@ class DecentralizedPageRank:
             if contribution.fingerprint() == fingerprint:
                 return index
         return len(answers)
+
+
+# -- rank-ceiling publication ---------------------------------------------------------
+
+# Geometric grid for the per-shard rank ceiling carried in the manifest.
+# Rounding is always *upward*, so a ceiling can only over-estimate the best
+# rank in a shard's range — pruning against it stays admissible and the
+# top-k stays bit-identical — while quantization keeps manifests compact
+# and stable across rank rounds whose ranks only jitter.
+RANK_CEILING_RATIO = 1.05
+
+
+def quantize_rank_ceiling(value: float, ratio: float = RANK_CEILING_RATIO) -> float:
+    """Round a rank value up to the geometric ceiling grid (conservative)."""
+    if value <= 0.0:
+        return 0.0
+    exponent = math.ceil(math.log(value) / math.log(ratio))
+    quantized = ratio ** exponent
+    # Guard the float round-trip: the grid point must never undercut the
+    # true value, or pruning against it would stop being admissible.
+    while quantized < value:
+        quantized *= ratio
+    return quantized
+
+
+class _DocRangeMax:
+    """Exact max-rank-over-doc-id-range queries for the publisher side.
+
+    The publisher holds the full rank vector anyway (it just computed it),
+    so ceilings are computed from sorted (doc_id, rank) arrays — exact, one
+    O(n log n) build per rank round, O(log n + span) per shard query.
+    """
+
+    def __init__(self, ranks: Dict[int, float]) -> None:
+        pairs = sorted(ranks.items())
+        self._doc_ids = [doc_id for doc_id, _ in pairs]
+        self._ranks = [rank for _, rank in pairs]
+
+    def range_max(self, lo: int, hi: int) -> float:
+        left = bisect.bisect_left(self._doc_ids, lo)
+        right = bisect.bisect_right(self._doc_ids, hi)
+        if left >= right:
+            return 0.0
+        return max(self._ranks[left:right])
+
+
+class RankCeilingPublisher:
+    """Stamps quantized per-shard rank ceilings into every term manifest.
+
+    Runs at rank-publish time (``QueenBeeEngine.compute_page_ranks``):
+    for each manifest the index published, the ceiling of each non-empty
+    shard is the exact maximum rank over its doc-id range, quantized up on
+    the :data:`RANK_CEILING_RATIO` grid, and the manifest's ``rank_version``
+    moves to the new round — generations are untouched, so every cache
+    stays valid.  Remote frontends whose rank version matches then prune
+    shards by rank straight from the manifest, with no rank-vector
+    materialisation and no in-process link to the engine.
+    """
+
+    def __init__(self, index) -> None:
+        # Duck-typed: needs authoritative_manifests() + refresh_rank_ceilings().
+        self.index = index
+
+    def publish(self, ranks: Dict[int, float], rank_version: int) -> int:
+        """Restamp every published manifest; returns the manifests touched."""
+        range_max = _DocRangeMax(dict(ranks))
+        refreshed = 0
+        for term, manifest in sorted(self.index.authoritative_manifests().items()):
+            ceilings = {
+                info.index: (
+                    quantize_rank_ceiling(range_max.range_max(info.lo, info.hi))
+                    if info.count
+                    else 0.0
+                )
+                for info in manifest.shards
+            }
+            self.index.refresh_rank_ceilings(term, ceilings, rank_version)
+            refreshed += 1
+        return refreshed

@@ -121,10 +121,17 @@ class _ShardUnreachable(Exception):
 class _Segment:
     """One doc-id range of a term's postings: a shard, or the whole list."""
 
-    __slots__ = ("index", "lo", "hi", "count", "max_tf", "min_len")
+    __slots__ = ("index", "lo", "hi", "count", "max_tf", "min_len", "rank_ceiling")
 
     def __init__(
-        self, index: int, lo: int, hi: int, count: int, max_tf: int, min_len: int = 0
+        self,
+        index: int,
+        lo: int,
+        hi: int,
+        count: int,
+        max_tf: int,
+        min_len: int = 0,
+        rank_ceiling: float = -1.0,
     ) -> None:
         self.index = index
         self.lo = lo
@@ -132,6 +139,10 @@ class _Segment:
         self.count = count
         self.max_tf = max_tf
         self.min_len = min_len
+        # Manifest-published max rank over the shard's documents, valid at
+        # the executor's rank version (-1 = unknown: fall back to the
+        # rank-range provider or the global bound).
+        self.rank_ceiling = rank_ceiling
 
 
 class _Cursor:
@@ -152,9 +163,9 @@ class _Cursor:
     """
 
     __slots__ = (
-        "term", "segments", "bounds", "suffix_bounds", "upper_bound",
-        "scale", "tf_constant", "seg", "offset", "_arrays", "_loader",
-        "total", "_segment_los", "_on_load",
+        "term", "segments", "bounds", "suffix_bounds", "suffix_ceilings",
+        "upper_bound", "scale", "tf_constant", "seg", "offset", "_arrays",
+        "_loader", "total", "_segment_los", "_on_load",
     )
 
     def __init__(
@@ -165,6 +176,7 @@ class _Cursor:
         tf_constant: float,
         tf_denominator: Optional[Callable[[int], float]] = None,
         on_load: Optional[Callable[[], None]] = None,
+        ceilings_valid: bool = False,
     ) -> None:
         self.term = term
         self.scale = scale
@@ -194,8 +206,16 @@ class _Cursor:
             infos = postings.shard_infos
             # Segments keep the manifest's shard index: empty shards are
             # filtered here, so positions and shard numbers can diverge.
+            # Manifest rank ceilings are attached only when the caller
+            # verified they were stamped at the current rank version.
             self.segments = [
-                _Segment(info.index, info.lo, info.hi, info.count, info.max_tf, info.min_len)
+                _Segment(
+                    info.index, info.lo, info.hi, info.count, info.max_tf,
+                    info.min_len,
+                    rank_ceiling=(
+                        getattr(info, "rank_ceiling", -1.0) if ceilings_valid else -1.0
+                    ),
+                )
                 for info in infos
                 if info.count
             ]
@@ -217,6 +237,19 @@ class _Cursor:
         for i in range(len(self.suffix_bounds) - 2, -1, -1):
             self.suffix_bounds[i] = max(self.suffix_bounds[i], self.suffix_bounds[i + 1])
         self.upper_bound = self.suffix_bounds[0] if self.suffix_bounds else 0.0
+        # suffix_ceilings[i] = max manifest rank ceiling over segments[i:],
+        # or -1 when any segment in the suffix lacks a valid ceiling (the
+        # whole suffix bound is then unusable — a single unknown segment
+        # could hold an arbitrarily-ranked document).
+        self.suffix_ceilings = [s.rank_ceiling for s in self.segments]
+        running, valid = 0.0, True
+        for i in range(len(self.suffix_ceilings) - 1, -1, -1):
+            ceiling = self.suffix_ceilings[i]
+            if ceiling < 0.0:
+                valid = False
+            else:
+                running = max(running, ceiling)
+            self.suffix_ceilings[i] = running if valid else -1.0
 
     def _segment_impact(
         self, segment: _Segment, tf_denominator: Optional[Callable[[int], float]]
@@ -319,6 +352,14 @@ class _Cursor:
         """Max impact over the postings the cursor has not consumed yet."""
         return self.suffix_bounds[self.seg] if not self.exhausted else 0.0
 
+    def remaining_rank_ceiling(self) -> float:
+        """Max manifest rank ceiling over the unconsumed segments.
+
+        -1 when any unconsumed segment lacks a valid ceiling; 0 when the
+        cursor is exhausted (no document can surface from it anymore).
+        """
+        return self.suffix_ceilings[self.seg] if not self.exhausted else 0.0
+
     def range_bound(self, lo: int, hi: int) -> float:
         """Max impact over segments overlapping ``[lo, hi]`` (no loading).
 
@@ -403,6 +444,8 @@ class QueryExecutor:
         mode: str = MODE_TAAT,
         rank_bound_provider: Optional[Callable[[], float]] = None,
         rank_range_provider: Optional[Callable[[int, Optional[int]], float]] = None,
+        rank_version: Optional[int] = None,
+        use_manifest_ceilings: bool = True,
     ) -> None:
         if top_k < 1:
             raise ValueError(f"top_k must be at least 1, got {top_k!r}")
@@ -430,6 +473,14 @@ class QueryExecutor:
         # frontend supplies a RankRangeIndex-backed provider memoized per
         # rank version.  Falls back to the global bound when absent.
         self.rank_range_provider = rank_range_provider
+        # The caller's current rank-vector version.  Sharded readers whose
+        # manifest was rank-ceiling-stamped at exactly this version
+        # contribute per-shard rank ceilings to the bounds below — the
+        # "prune by rank without materialising the rank vector" path any
+        # remote frontend can use.  A mismatched (stale) stamp is simply
+        # ignored: looser pruning, identical pages.
+        self.rank_version = rank_version
+        self.use_manifest_ceilings = use_manifest_ceilings
 
     def execute(self, plan: QueryPlan, mode: Optional[str] = None) -> ExecutionOutcome:
         """Run the plan in the executor's (or an overriding) mode."""
@@ -541,12 +592,19 @@ class QueryExecutor:
             # contribution scaled by the combiner's text weight.
             scale, tf_constant = self.bm25.impact_parameters(term)
             scale *= self.combiner.bm25_weight
+            ceilings_valid = (
+                self.use_manifest_ceilings
+                and self.rank_version is not None
+                and self.rank_version >= 0
+                and getattr(postings, "rank_version", -1) == self.rank_version
+            )
             cursor = _Cursor(
                 term, postings, scale, tf_constant,
                 tf_denominator=self.bm25.tf_denominator,
                 on_load=lambda: setattr(
                     outcome, "segments_loaded", outcome.segments_loaded + 1
                 ),
+                ceilings_valid=ceilings_valid,
             )
             if conjunctive:
                 if cursor.min_doc_id is None:
@@ -599,15 +657,36 @@ class QueryExecutor:
                 self.rank_range_provider(lo, hi), document_count
             )
 
+        def segment_rank_bound(segment: _Segment) -> float:
+            """Rank bound for the documents *inside* one shard.
+
+            Every document in a shard's doc-id range that carries its term
+            lives in that shard, so the manifest's rank ceiling bounds the
+            rank of any document the shard can contribute.  Both the range
+            bound and the ceiling are valid upper bounds; take the tighter
+            — on a frontend with no rank vector materialised, the ceiling
+            is the only range-level signal available.
+            """
+            bound = rank_bound(segment.lo, segment.hi)
+            if segment.rank_ceiling >= 0.0:
+                bound = min(
+                    bound,
+                    self.combiner.rank_component(segment.rank_ceiling, document_count),
+                )
+            return bound
+
         # Min-heap of (score, -doc_id): the root is the weakest member of the
         # current top-k under the same (-score, doc_id) order the reference
         # path sorts by, so strict bound comparisons preserve exact ties.
         heap: List[Tuple[float, int]] = []
 
         if conjunctive:
-            self._daat_and(plan, cursors, heap, rank_bound, window_low, window_high, outcome)
+            self._daat_and(
+                plan, cursors, heap, rank_bound, segment_rank_bound,
+                window_low, window_high, outcome,
+            )
         else:
-            self._daat_or(plan, cursors, heap, rank_bound, outcome)
+            self._daat_or(plan, cursors, heap, rank_bound, segment_rank_bound, outcome)
 
         ordered = sorted(heap, key=lambda item: (-item[0], -item[1]))
         outcome.scores = {-neg_doc_id: score for score, neg_doc_id in ordered}
@@ -638,6 +717,7 @@ class QueryExecutor:
         cursors: List[_Cursor],
         heap: List[Tuple[float, int]],
         rank_bound: Callable[..., float],
+        segment_rank_bound: Callable[[_Segment], float],
         window_low: int,
         window_high: Optional[int],
         outcome: ExecutionOutcome,
@@ -653,6 +733,24 @@ class QueryExecutor:
         driver, others = cursors[0], cursors[1:]
         total_ub = sum(cursor.upper_bound for cursor in cursors)
         full = self.top_k
+
+        def remaining_rank() -> float:
+            # A conjunctive candidate appears in *every* list, so its rank
+            # is bounded by each cursor's remaining manifest ceiling — take
+            # the min, and tighten the (suffix) rank bound with it.  Usable
+            # only while every cursor's remaining ceilings are valid; an
+            # exhausted cursor bounds at 0 (the intersection is over).
+            bound = rank_bound(driver.current if not driver.exhausted else None)
+            ceilings = [cursor.remaining_rank_ceiling() for cursor in cursors]
+            if all(ceiling >= 0.0 for ceiling in ceilings):
+                bound = min(
+                    bound,
+                    self.combiner.rank_component(
+                        min(ceilings), self.statistics.document_count
+                    ),
+                )
+            return bound
+
         if window_low > 0:
             outcome.postings_scanned += driver.seek(window_low)
         while not driver.exhausted:
@@ -668,7 +766,7 @@ class QueryExecutor:
                 # tightens monotonically as the driver advances.  (The
                 # windowed range form would be tighter still but scans
                 # buckets linearly — too hot for this loop.)
-                if total_ub * _BOUND_SLACK + rank_bound(doc_id) < threshold:
+                if total_ub * _BOUND_SLACK + remaining_rank() < threshold:
                     # Even a document matching every term at max impact with
                     # the best rank remaining in the window cannot displace
                     # the current top-k.
@@ -688,7 +786,7 @@ class QueryExecutor:
                         other.range_bound(segment.lo, segment.hi) for other in others
                     )
                     if (
-                        segment_bound * _BOUND_SLACK + rank_bound(segment.lo, segment.hi)
+                        segment_bound * _BOUND_SLACK + segment_rank_bound(segment)
                         < threshold
                     ):
                         outcome.docs_pruned += driver.skip_segment()
@@ -733,6 +831,7 @@ class QueryExecutor:
         cursors: List[_Cursor],
         heap: List[Tuple[float, int]],
         rank_bound: Callable[..., float],
+        segment_rank_bound: Callable[[_Segment], float],
         outcome: ExecutionOutcome,
     ) -> None:
         """Classic MaxScore: essential lists drive, non-essential only confirm.
@@ -768,6 +867,19 @@ class QueryExecutor:
             first_essential = 0
             if threshold is not None:
                 remaining_rank = rank_bound(last_candidate + 1)
+                # Every future candidate surfaces from some active list, so
+                # its rank is bounded by the *max* over the active cursors'
+                # remaining manifest ceilings — usable only while every
+                # active cursor's remaining ceilings are valid (one unknown
+                # list could surface an arbitrarily-ranked document).
+                ceilings = [cursor.remaining_rank_ceiling() for cursor in active]
+                if all(ceiling >= 0.0 for ceiling in ceilings):
+                    remaining_rank = min(
+                        remaining_rank,
+                        self.combiner.rank_component(
+                            max(ceilings), self.statistics.document_count
+                        ),
+                    )
                 if prefix[-1] * _BOUND_SLACK + remaining_rank < threshold:
                     # Even a document in every remaining shard at max impact
                     # with the best remaining rank cannot displace the top-k.
@@ -802,7 +914,7 @@ class QueryExecutor:
                         )
                         if (
                             shard_bound * _BOUND_SLACK
-                            + rank_bound(segment.lo, segment.hi)
+                            + segment_rank_bound(segment)
                             < threshold
                         ):
                             # Counted in shards_skipped only: a document can

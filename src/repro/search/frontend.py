@@ -42,6 +42,7 @@ snapshot: queries in the batch see the index as of the prefetch instant.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -71,6 +72,17 @@ RankVersionProvider = Callable[[], int]
 # Returns active ads for a keyword (list of dicts like AdMarket.ads_for).
 AdProvider = Callable[[str], List[Dict[str, Any]]]
 
+# Geometric grid for the loose result-cache key's statistics buckets: df and
+# avgdl within one bucket are treated as "the same" for reuse purposes.
+_LOOSE_BUCKET_RATIO = 1.25
+
+
+def _loose_bucket(value: float) -> int:
+    """Geometric bucket index of a BM25 statistic (0 for non-positive)."""
+    if value <= 0:
+        return 0
+    return 1 + math.floor(math.log(value) / math.log(_LOOSE_BUCKET_RATIO))
+
 
 @dataclass
 class FrontendStats:
@@ -88,6 +100,10 @@ class FrontendStats:
     shards_window_skipped: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    # Hits served under a loose key whose *exact* statistics version had
+    # moved inside the bucket — the pages the exactness trade-off actually
+    # touched (scores may differ in low-order digits from a fresh run).
+    result_cache_loose_hits: int = 0
     latencies: List[float] = field(default_factory=list)
 
     def record(self, latency: float, result_count: int) -> None:
@@ -135,9 +151,23 @@ class SearchFrontend:
         requires a ``rank_version_provider`` and an index exposing
         ``generation`` to build freshness-safe keys; without them it stays
         inert.
+    result_cache_loose_keys:
+        Key the result cache on BM25 statistic *buckets* (per-term df,
+        avgdl) instead of the exact statistics version — more reuse under
+        update-heavy streams, at the documented exactness trade (see
+        ``_result_cache_key``).
     shard_size_hint:
         The deployment's shard size, used only for the planner's shard
         fan-out estimate in diagnostics (0 = unknown/unsharded).
+    metadata_view:
+        The frontend's gossiped metadata view (gossip plane only): pinned
+        per batch for torn-read-free prefetches, consulted for statistics
+        freshness.  ``None`` on the shared plane.
+    use_rank_ceilings / use_rank_range_index:
+        Which rank-pruning sources the executor gets: manifest-published
+        per-shard rank ceilings (no rank-vector materialisation; the
+        primary path) and/or the frontend-built RankRangeIndex (the
+        fallback/ablation, off for remote frontends).
     """
 
     def __init__(
@@ -159,7 +189,11 @@ class SearchFrontend:
         combiner: Optional[CombinedScorer] = None,
         overlapped_prefetch: bool = True,
         result_cache_capacity: int = 0,
+        result_cache_loose_keys: bool = False,
         shard_size_hint: int = 0,
+        metadata_view: Optional[Any] = None,
+        use_rank_ceilings: bool = True,
+        use_rank_range_index: bool = True,
     ) -> None:
         self.simulator = simulator
         self.index = index
@@ -181,6 +215,20 @@ class SearchFrontend:
         self.result_cache = (
             ResultCache(result_cache_capacity) if result_cache_capacity > 0 else None
         )
+        self.result_cache_loose_keys = result_cache_loose_keys
+        # The gossiped metadata view this frontend reads (None on the shared
+        # plane).  Used for two things here: search_batch pins it so every
+        # query in the batch sees one consistent metadata version, and the
+        # statistics property refreshes when the gossiped stats head moves.
+        self.metadata_view = metadata_view
+        # Rank-pruning sources.  use_rank_ceilings consumes the quantized
+        # per-shard rank ceilings stamped into term manifests at
+        # rank-publish time (works with no rank vector materialised);
+        # use_rank_range_index additionally builds the frontend-side
+        # RankRangeIndex from the full vector — the fallback/ablation, off
+        # for remote (gossip-plane) frontends.
+        self.use_rank_ceilings = use_rank_ceilings
+        self.use_rank_range_index = use_rank_range_index
         self.stats = FrontendStats()
         # Memo for the MaxScore rank upper bound, keyed by (rank version,
         # corpus size) — both inputs of the bound that can change between
@@ -203,6 +251,14 @@ class SearchFrontend:
     def statistics(self) -> CollectionStatistics:
         if self._statistics is None:
             self.refresh_statistics()
+        elif self.metadata_view is not None:
+            # Gossip-plane freshness: when the gossiped statistics head is
+            # newer than the snapshot we fetched, re-fetch from the DWeb
+            # (the DHT record is authoritative, so the fetched version is
+            # always >= the gossiped one — no refresh loop).
+            gossiped_version, _ = self.metadata_view.stats_head()
+            if gossiped_version > self._statistics.version:
+                self.refresh_statistics()
         return self._statistics
 
     # -- rank bound memoization ---------------------------------------------------
@@ -374,6 +430,16 @@ class SearchFrontend:
         behind a higher one), the rank version, and the collection-
         statistics version (plus count/length so a *replaced* statistics
         object also shifts the key).
+
+        With ``result_cache_loose_keys`` the statistics part is replaced by
+        the BM25-relevant *buckets* — each term's df and the average
+        document length (plus the document count) on a geometric grid — so
+        an update-heavy stream whose statistics only drift inside a bucket
+        keeps its reuse.  The trade is exactness: a loose hit may replay a
+        page whose scores a fresh execution would perturb in low-order
+        digits; such hits are counted in ``stats.result_cache_loose_hits``.
+        Index generations and the rank version stay exact either way, so a
+        republished term or a new rank round always misses.
         """
         if self.result_cache is None or self.rank_version_provider is None:
             return None
@@ -382,15 +448,26 @@ class SearchFrontend:
             return None
         statistics = self.statistics
         terms = tuple(sorted(query.terms))
+        if self.result_cache_loose_keys:
+            statistics_part: Tuple[Hashable, ...] = (
+                "loose",
+                tuple(_loose_bucket(statistics.df(term)) for term in terms),
+                _loose_bucket(statistics.document_count),
+                _loose_bucket(statistics.average_length),
+            )
+        else:
+            statistics_part = (
+                statistics.version,
+                statistics.document_count,
+                statistics.total_length,
+            )
         return (
             terms,
             tuple(generation_of(term) for term in terms),
             query.mode,
             self.top_k,
             self.rank_version_provider(),
-            statistics.version,
-            statistics.document_count,
-            statistics.total_length,
+            statistics_part,
         )
 
     def _page_from_cache(
@@ -405,6 +482,14 @@ class SearchFrontend:
         latency = self.simulator.now - started + extra_latency
         diagnostics = dict(template.diagnostics)
         diagnostics["result_cache"] = "hit"
+        if self.result_cache_loose_keys:
+            # Internal bookkeeping only — not part of the page's surface.
+            stored_version = diagnostics.pop("stats_version", None)
+            if stored_version is not None and stored_version != self.statistics.version:
+                # The loose key absorbed a statistics drift: the replayed
+                # page is the documented approximation, count it.
+                self.stats.result_cache_loose_hits += 1
+                diagnostics["result_cache_loose"] = True
         page = replace(
             template,
             query=raw_query,
@@ -419,14 +504,29 @@ class SearchFrontend:
     # -- the main entry point --------------------------------------------------------
 
     def search(self, raw_query: str) -> ResultPage:
-        """Answer one keyword query, returning a composed result page."""
+        """Answer one keyword query, returning a composed result page.
+
+        Like ``search_batch``, the gossip view is pinned for the query's
+        duration: a network RPC mid-query can fire a scheduled gossip
+        round, and without the pin the result-cache key (computed at parse
+        time) and the prefetch could validate against different feed
+        versions.
+        """
         started = self.simulator.now
         try:
             query = parse_query(raw_query, self.analyzer)
         except QueryParseError:
             self.stats.failed_queries += 1
             return ResultPage(query=raw_query, latency=0.0)
-        return self._run_query(raw_query, query, started)
+        view = self.metadata_view
+        pin = getattr(view, "pin", None) if view is not None and not getattr(view, "pinned", False) else None
+        if pin is not None:
+            pin()
+        try:
+            return self._run_query(raw_query, query, started)
+        finally:
+            if pin is not None:
+                view.unpin()
 
     def search_batch(self, raw_queries: Sequence[str]) -> List[ResultPage]:
         """Answer a stream of queries, amortizing DHT lookups across them.
@@ -464,7 +564,27 @@ class SearchFrontend:
         share of the shared prefetch time; with parallel execution the batch
         wall time is bounded by the slowest page, not the latency sum (the
         sequential ablation keeps the old additive behaviour).
+
+        On the gossip metadata plane the batch additionally **pins** the
+        frontend's gossip view for its whole duration: network RPCs inside
+        the batch advance the simulated clock and can fire a scheduled
+        gossip round mid-batch, and without the pin two queries for the
+        same term could validate their cached manifest against *different*
+        feed versions (a torn read across the shared prefetch).  Pinned,
+        every query sees the metadata as of the batch's start; the round's
+        new knowledge applies from the next batch.
         """
+        view = self.metadata_view
+        pin = getattr(view, "pin", None)
+        if pin is not None:
+            pin()
+        try:
+            return self._search_batch_pinned(raw_queries)
+        finally:
+            if pin is not None:
+                view.unpin()
+
+    def _search_batch_pinned(self, raw_queries: Sequence[str]) -> List[ResultPage]:
         started = self.simulator.now
         parsed: List[Optional[ParsedQuery]] = []
         keys: List[Optional[Hashable]] = []
@@ -595,7 +715,20 @@ class SearchFrontend:
             rank_bound_provider=self._rank_bound_provider(
                 page_ranks, statistics.document_count
             ),
-            rank_range_provider=self._rank_range_provider(page_ranks),
+            # The manifest rank-ceiling path needs only the current rank
+            # version; the RankRangeIndex provider is the fallback/ablation
+            # that materialises the full vector per rank round.
+            rank_range_provider=(
+                self._rank_range_provider(page_ranks)
+                if self.use_rank_range_index
+                else None
+            ),
+            rank_version=(
+                self.rank_version_provider()
+                if self.use_rank_ceilings and self.rank_version_provider is not None
+                else None
+            ),
+            use_manifest_ceilings=self.use_rank_ceilings,
         )
         outcome = executor.execute(plan)
 
@@ -647,13 +780,19 @@ class SearchFrontend:
             # page.diagnostics/results on the returned object.  Pages with
             # missing (unreachable) terms are never cached — they reflect
             # transient reachability, which no key ingredient tracks.
+            template_diagnostics = dict(page.diagnostics)
+            if self.result_cache_loose_keys:
+                # Remember the exact statistics version the page was
+                # computed at, so loose hits that replay it under drifted
+                # statistics can be counted.
+                template_diagnostics["stats_version"] = self.statistics.version
             self.result_cache.put(
                 cache_key,
                 replace(
                     page,
                     results=list(page.results),
                     ads=[],
-                    diagnostics=dict(page.diagnostics),
+                    diagnostics=template_diagnostics,
                 ),
             )
         self.stats.record(latency, page.result_count)

@@ -42,6 +42,37 @@ class Simulator:
             raise SimulationError(f"cannot schedule an event {delay!r} ticks in the past")
         return self.events.push(self.clock.now + delay, callback, label=label)
 
+    def schedule_every(
+        self, interval: float, callback: Callable[[], Any], label: str = ""
+    ) -> Callable[[], None]:
+        """Schedule ``callback`` every ``interval`` ticks until cancelled.
+
+        The first firing is one interval from now; each firing reschedules
+        the next one interval after the callback *completes*, so a
+        callback that advances the clock — a gossip round charging its
+        slowest exchange, or unrelated work overrunning the event's
+        scheduled time — pushes later firings out rather than compressing
+        them to catch up.  Returns a zero-argument cancel function;
+        cancelling is final.
+        """
+        if interval <= 0:
+            raise SimulationError(f"recurring interval must be positive, got {interval!r}")
+        cancelled = False
+
+        def fire() -> None:
+            if cancelled:
+                return
+            callback()
+            if not cancelled:
+                self.schedule(interval, fire, label=label)
+
+        def cancel() -> None:
+            nonlocal cancelled
+            cancelled = True
+
+        self.schedule(interval, fire, label=label)
+        return cancel
+
     def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> Event:
         """Schedule ``callback`` to run at absolute time ``timestamp``."""
         if timestamp < self.clock.now:

@@ -1,0 +1,278 @@
+"""The gossiped metadata plane: propagation, convergence, and frontends.
+
+Covers the properties the plane exists for:
+
+* determinism — seeded runs gossip identically (peer selection comes from
+  the simulator's forked RNG stream);
+* convergence — an entry published at one node reaches every online node
+  within a small, bounded number of rounds under the default fanout;
+* monotonicity — entries never regress to older versions, no matter the
+  merge order;
+* independence — a ``SearchFrontend`` holding no reference to the engine's
+  in-process epoch registry, rank vector, or peer counters serves top-k
+  pages bit-identical to the shared-plane frontend;
+* snapshot isolation — ``search_batch`` pins the gossip view so every
+  query in a batch sees one consistent metadata version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QueenBeeConfig
+from repro.core.engine import QueenBeeEngine
+from repro.net.gossip import EPOCH_PREFIX, GossipPlane, GossipView, quantize_load
+from repro.sim.simulator import Simulator
+from repro.workloads.corpus import CorpusGenerator
+from repro.workloads.queries import QueryWorkloadGenerator
+
+
+def small_corpus(num_documents: int = 60, seed: int = 7):
+    generator = CorpusGenerator(
+        vocabulary_size=250,
+        mean_document_length=40,
+        length_spread=10,
+        owner_count=8,
+        seed=seed,
+    )
+    return generator.generate(num_documents)
+
+
+def build_engine(**overrides) -> QueenBeeEngine:
+    config = QueenBeeConfig(
+        peer_count=12,
+        worker_count=4,
+        index_shard_size=8,
+        posting_cache_capacity=64,
+        seed=42,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    config.validate()
+    return QueenBeeEngine(config)
+
+
+def bare_plane(node_count: int, seed: int = 0, fanout: int = 3) -> GossipPlane:
+    plane = GossipPlane(Simulator(seed=seed), fanout=fanout)
+    for i in range(node_count):
+        plane.node(f"peer-{i:03d}:store")
+    return plane
+
+
+class TestGossipNode:
+    def test_entries_never_regress(self):
+        plane = bare_plane(2)
+        node = plane.node("peer-000:store")
+        assert node.put("epoch:web", 5, 5)
+        assert not node.put("epoch:web", 3, 3), "older version must be rejected"
+        assert not node.put("epoch:web", 5, 5), "equal version must be rejected"
+        assert node.get("epoch:web") == 5
+        assert node.put("epoch:web", 6, 6)
+        assert node.version_of("epoch:web") == 6
+
+    def test_regression_impossible_under_any_exchange_order(self):
+        # A stale node exchanging with a fresh one must never pull the
+        # fresh node's entry backwards, whichever side initiates.
+        for seed in range(4):
+            plane = bare_plane(2, seed=seed, fanout=1)
+            plane.publish("peer-000:store", "epoch:t", 9, 9)
+            plane.publish("peer-001:store", "epoch:t", 4, 4)
+            plane.run_rounds(3)
+            for address in plane.addresses():
+                assert plane.node(address).version_of("epoch:t") == 9
+
+    def test_quantize_load_is_monotonic_and_coarse(self):
+        buckets = [quantize_load(count) for count in range(64)]
+        assert buckets == sorted(buckets)
+        assert len(set(buckets)) < 64, "quantization must actually coarsen"
+        assert quantize_load(0) == 0
+
+
+class TestPropagation:
+    def test_seeded_propagation_is_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            plane = bare_plane(16, seed=99)
+            plane.publish("peer-003:store", "epoch:alpha", 2, 2)
+            plane.publish("peer-011:store", "epoch:beta", 7, 7)
+            rounds = plane.rounds_to_converge()
+            outcomes.append(
+                (rounds, plane.stats.exchanges, plane.stats.entries_sent,
+                 [plane.node(a).digest() for a in plane.addresses()])
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_convergence_bound_under_default_fanout(self):
+        # Push/pull with fanout 3 spreads an entry super-exponentially; 32
+        # peers must agree within a handful of rounds, and certainly within
+        # the O(log n) envelope the plane is sized for.
+        plane = bare_plane(32, seed=5)
+        plane.publish("peer-000:store", "epoch:head", 1, 1)
+        rounds = plane.rounds_to_converge(max_rounds=16)
+        assert 0 < rounds <= 6
+        assert plane.stats.last_convergence_rounds == rounds
+        for address in plane.addresses():
+            assert plane.node(address).version_of("epoch:head") == 1
+
+    def test_offline_peers_miss_rounds_and_reconcile_on_rejoin(self):
+        engine = build_engine(metadata_plane="gossip", peer_count=8)
+        plane = engine.gossip
+        engine.network.set_offline("peer-007:store")
+        plane.publish("peer-000:store", EPOCH_PREFIX + "web", 3, 3)
+        assert plane.rounds_to_converge() >= 0
+        assert plane.node("peer-007:store").version_of(EPOCH_PREFIX + "web") == 0
+        engine.network.set_online("peer-007:store")
+        assert plane.rounds_to_converge() >= 0
+        assert plane.node("peer-007:store").version_of(EPOCH_PREFIX + "web") == 3
+
+    def test_scheduled_rounds_fire_as_simulator_events(self):
+        engine = build_engine(metadata_plane="gossip", gossip_interval=100.0)
+        plane = engine.gossip
+        plane.publish("peer-000:store", EPOCH_PREFIX + "web", 1, 1)
+        before = plane.stats.rounds
+        engine.simulator.advance(1_000.0)
+        assert plane.stats.rounds > before
+        assert plane.converged()
+
+
+class TestGossipViewPinning:
+    def test_pin_freezes_reads_until_unpin(self):
+        plane = bare_plane(1)
+        node = plane.node("peer-000:store")
+        view = GossipView(node)
+        node.put(EPOCH_PREFIX + "web", 1, 1)
+        view.pin()
+        node.put(EPOCH_PREFIX + "web", 2, 2)
+        assert view.generation("web") == 1, "pinned reads must not see new entries"
+        view.unpin()
+        assert view.generation("web") == 2
+
+    def test_writes_inside_pin_go_to_the_live_node(self):
+        view = GossipView(bare_plane(1).node("peer-000:store"))
+        view.pin()
+        view.observe("web", 4)
+        assert view.generation("web") == 0, "pinned read stays on the snapshot"
+        view.unpin()
+        assert view.generation("web") == 4, "the observation must not be lost"
+
+    def test_search_batch_pins_the_view(self):
+        engine = build_engine(metadata_plane="gossip")
+        corpus = small_corpus(30)
+        engine.bootstrap_corpus(corpus.documents)
+        engine.compute_page_ranks()
+        engine.converge_metadata()
+        frontend = engine.create_frontend(requester="peer-001:store")
+
+        events = []
+        original_pin = frontend.metadata_view.pin
+        original_unpin = frontend.metadata_view.unpin
+        frontend.metadata_view.pin = lambda: (events.append("pin"), original_pin())
+        frontend.metadata_view.unpin = lambda: (events.append("unpin"), original_unpin())
+        frontend.search_batch(["decentralized web", "honey"])
+        assert events == ["pin", "unpin"]
+        assert not frontend.metadata_view.pinned
+
+
+class TestGossipFrontend:
+    def test_frontend_holds_no_engine_soft_state(self):
+        engine = build_engine(metadata_plane="gossip")
+        engine.bootstrap_corpus(small_corpus(30).documents)
+        engine.compute_page_ranks()
+        engine.converge_metadata()
+        frontend = engine.create_frontend(requester="peer-002:store")
+        # Its index, posting cache, and epoch knowledge are its own...
+        assert frontend.index is not engine.index
+        assert frontend.index.cache is not engine.posting_cache
+        assert frontend.index.epoch_feed is not engine.index.epoch_feed
+        # ...and its rank vector comes from the published artifact, not the
+        # engine's in-process dict.
+        assert frontend.rank_provider() is not engine.page_ranks()
+        assert frontend.rank_provider() == dict(engine.page_ranks())
+        # Routing reads gossiped hints, not shared peer counters.
+        assert frontend.index.load_lookup is not None
+
+    def test_gossip_topk_bit_identical_to_shared(self):
+        corpus = small_corpus(60)
+        queries = list(
+            QueryWorkloadGenerator(corpus.documents, seed=17).generate_stream(30, 12)
+        )
+        pages = {}
+        for plane in ("shared", "gossip"):
+            engine = build_engine(metadata_plane=plane, result_cache_capacity=32)
+            engine.bootstrap_corpus(corpus.documents)
+            engine.compute_page_ranks()
+            assert engine.converge_metadata() >= 0
+            frontend = engine.create_frontend(requester="peer-001:store")
+            batch = engine.search_batch(queries, frontend=frontend)
+            pages[plane] = [[(r.doc_id, r.score) for r in page.results] for page in batch]
+        assert pages["gossip"] == pages["shared"]
+
+    def test_update_visible_after_convergence(self):
+        # The freshness guarantee of the real feed: a republish becomes
+        # visible to a remote frontend once gossip has delivered the epoch,
+        # and the served page then matches the shared plane's exactly.
+        from repro.index.document import Document
+
+        engine = build_engine(metadata_plane="gossip")
+        corpus = small_corpus(30)
+        engine.bootstrap_corpus(corpus.documents)
+        engine.compute_page_ranks()
+        engine.converge_metadata()
+        frontend = engine.create_frontend(requester="peer-003:store")
+        shared = engine.create_shared_frontend(requester="peer-003:store")
+        term = "zymurgy"
+        assert frontend.search(term).result_count == 0
+
+        doc = Document(
+            doc_id=10_001, url="https://example.test/zymurgy",
+            title="zymurgy", text="zymurgy " * 12, owner="owner-z",
+        )
+        engine.publish_document(doc)
+        engine.converge_metadata()
+        fresh = frontend.search(term)
+        reference = shared.search(term)
+        assert [r.doc_id for r in fresh.results] == [r.doc_id for r in reference.results] == [10_001]
+
+    def test_stale_gossip_costs_fetches_not_correctness(self):
+        # A frontend whose gossip lags still answers authoritatively for
+        # terms it has no cached manifest for: the DHT record is the source
+        # of truth, the feed only gates cache reuse.  (No rank round here,
+        # so both planes serve rank version 0 and pages must match exactly;
+        # a lagging *rank head* would instead serve the previous consistent
+        # rank version — bounded staleness, never a torn page.)
+        engine = build_engine(metadata_plane="gossip")
+        corpus = small_corpus(30)
+        engine.bootstrap_corpus(corpus.documents)
+        # No convergence at all: the frontend's node knows nothing.
+        frontend = engine.create_frontend(requester="peer-004:store")
+        shared = engine.create_shared_frontend(requester="peer-004:store")
+        query = "decentralized web"
+        cold = frontend.search(query)
+        reference = shared.search(query)
+        assert cold.result_count > 0
+        assert [(r.doc_id, r.score) for r in cold.results] == [
+            (r.doc_id, r.score) for r in reference.results
+        ]
+
+    def test_gossip_frontend_requires_gossip_plane(self):
+        engine = build_engine(metadata_plane="shared")
+        with pytest.raises(ValueError):
+            engine.create_gossip_frontend()
+
+
+class TestScheduleEvery:
+    def test_recurring_until_cancelled(self):
+        simulator = Simulator(seed=1)
+        fired = []
+        cancel = simulator.schedule_every(10.0, lambda: fired.append(simulator.now))
+        simulator.advance(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+        cancel()
+        simulator.advance(50.0)
+        assert len(fired) == 3
+
+    def test_rejects_non_positive_interval(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Simulator(seed=1).schedule_every(0.0, lambda: None)

@@ -362,3 +362,111 @@ class TestPolicyUnits:
                 assert anti_affinity_bound(shards, replication) == max(
                     1, math.ceil(shards / replication)
                 )
+
+
+class TestRepairDebounce:
+    """The placement_repair_grace / placement_repair_budget deployment knobs."""
+
+    def test_leave_then_rejoin_inside_grace_triggers_zero_repairs(self):
+        # The ROADMAP regression: a flapping peer must not cost a
+        # re-replication scan when it returns within the grace window.
+        corpus = small_corpus(num_documents=40)
+        engine = build_engine(placement_repair_grace=100.0)
+        engine.bootstrap_corpus(corpus.documents)
+        term = heaviest_term(corpus)
+        victim = engine.placement.placements_for(term)[0].providers[0]
+
+        churn = engine.create_churn_model()
+        churn.schedule_leave(victim, 5.0)
+        churn.schedule_join(victim, 30.0)  # back well inside the window
+        engine.simulator.advance(500.0)
+
+        stats = engine.placement.stats
+        assert stats.repairs_triggered == 0
+        assert stats.shards_repaired == 0
+        assert stats.manifest_refreshes == 0
+        assert stats.repairs_debounced >= 1
+
+    def test_departure_outlasting_grace_still_repairs(self):
+        corpus = small_corpus(num_documents=40)
+        engine = build_engine(placement_repair_grace=100.0)
+        engine.bootstrap_corpus(corpus.documents)
+        term = heaviest_term(corpus)
+        victim = engine.placement.placements_for(term)[0].providers[0]
+
+        churn = engine.create_churn_model()
+        churn.schedule_leave(victim, 5.0)
+        engine.simulator.advance(500.0)
+
+        assert engine.placement.stats.shards_repaired > 0
+        refreshed = engine.placement.placements_for(term)
+        assert victim not in refreshed[0].providers
+
+    def test_repair_budget_caps_one_event_and_audit_drains(self):
+        corpus = small_corpus()
+        engine = build_engine(placement_repair_budget=1)
+        engine.bootstrap_corpus(corpus.documents)
+        policy = engine.placement
+        # Pick a peer providing several shards so one departure wants more
+        # repairs than the budget allows.
+        victim, entries = max(
+            policy._by_provider.items(), key=lambda item: len(item[1])
+        )
+        assert len(entries) > 1
+        engine.network.set_offline(victim)
+        repaired = policy.on_peer_down(victim)
+        assert repaired == 1, "the event budget must cap re-replication"
+        assert policy.stats.budget_deferrals > 0
+        assert policy._deficits, "overflow must be queued, not dropped"
+        # The explicit audit is unbudgeted and drains the backlog.
+        policy.audit()
+        assert not policy._deficits
+
+    def test_grace_requires_a_simulator(self):
+        storage = _FakeStorage(["a", "b"])
+        with pytest.raises(ValueError):
+            PlacementPolicy(storage, repair_grace=10.0)
+        with pytest.raises(ValueError):
+            PlacementPolicy(storage, repair_budget=0)
+
+
+class TestRankReplicas:
+    def test_orders_live_providers_by_load_then_address(self):
+        from repro.index.placement import rank_replicas
+
+        online = {"a", "b", "c"}
+        loads = {"a": 9, "b": 2, "c": 2}
+        ranked = rank_replicas(
+            ["a", "b", "c", "d"], lambda p: p in online, lambda p: loads.get(p, 0)
+        )
+        assert ranked == ["b", "c", "a"]
+
+    def test_returns_none_when_no_hint_is_live(self):
+        from repro.index.placement import rank_replicas
+
+        assert rank_replicas(["a", "b"], lambda p: False, lambda p: 0) is None
+
+    def test_gossiped_hints_steer_remote_frontend_routing(self):
+        # A gossip-plane frontend must spread a head term's fetches across
+        # its replica set using only gossiped load hints — no reads of the
+        # shared peer objects.
+        corpus = small_corpus()
+        engine = build_engine(metadata_plane="gossip", posting_cache_capacity=0)
+        engine.bootstrap_corpus(corpus.documents)
+        engine.converge_metadata()
+        term = heaviest_term(corpus)
+        manifest = engine.index.fetch_term_manifest(term)
+        hinted = sorted({p for info in manifest.shards for p in info.providers})
+        for peer in engine.storage.peers.values():
+            peer.blocks_served = 0
+        for address in engine.storage.peer_addresses():
+            frontend = engine.create_frontend(requester=address)
+            frontend.search(term)
+            # Spread the next frontend's view of the load: without a gossip
+            # round between queries every hint reads 0 and ties break by
+            # address, which would pile onto the lowest-sorting provider.
+            engine.gossip.run_rounds(2)
+        serves = {p: engine.storage.peers[p].blocks_served for p in hinted}
+        total = sum(serves.values())
+        assert total > 0
+        assert max(serves.values()) <= total / 2

@@ -473,3 +473,93 @@ class TestSearchBatch:
         for page in pages:
             assert "batch_unique_terms" in page.diagnostics
             assert page.diagnostics["execution_mode"] == MODE_MAXSCORE
+
+
+class TestLooseResultCacheKeys:
+    """The result_cache_loose_keys knob: df/avgdl-bucket keys, counted trade."""
+
+    def _frontend(self, simulator, dht, storage, loose: bool) -> SearchFrontend:
+        from repro.index.document import Document
+        from repro.index.inverted_index import LocalInvertedIndex
+
+        index = DistributedIndex(dht, storage)
+        analyzer = Analyzer(stem=False)
+        statistics = CollectionStatistics()
+        corpus = {
+            1: "honey bees build combs",
+            2: "worker bees gather honey nectar",
+            3: "decentralized web pages",
+        }
+        local = LocalInvertedIndex(analyzer)
+        for doc_id, text in corpus.items():
+            document = Document(doc_id=doc_id, url=f"dweb://x/{doc_id}", title="", text=text)
+            local.add_document(document)
+            statistics.add_document(doc_id, document.length, analyzer.term_frequencies(text))
+        for term in local.terms():
+            index.publish_term(term, local.postings(term))
+        return SearchFrontend(
+            simulator=simulator,
+            index=index,
+            analyzer=analyzer,
+            statistics=statistics,
+            rank_version_provider=lambda: 1,
+            result_cache_capacity=16,
+            result_cache_loose_keys=loose,
+        )
+
+    def test_exact_keys_miss_on_any_statistics_drift(self, simulator, dht, storage):
+        frontend = self._frontend(simulator, dht, storage, loose=False)
+        frontend.search("honey bees")
+        # An in-place statistics mutation (what every add/remove does)
+        # shifts the exact key: the repeat query misses.
+        frontend.statistics.version += 1
+        frontend.search("honey bees")
+        assert frontend.result_cache.stats.hits == 0
+        assert frontend.stats.result_cache_loose_hits == 0
+
+    def test_loose_keys_survive_intra_bucket_drift_and_count_it(
+        self, simulator, dht, storage
+    ):
+        frontend = self._frontend(simulator, dht, storage, loose=True)
+        first = frontend.search("honey bees")
+        frontend.statistics.version += 1  # drift with identical df/avgdl buckets
+        second = frontend.search("honey bees")
+        assert frontend.result_cache.stats.hits == 1
+        # The exactness trade is visible, not silent: the hit is flagged
+        # and counted because the exact version moved under the bucket.
+        assert frontend.stats.result_cache_loose_hits == 1
+        assert second.diagnostics.get("result_cache_loose") is True
+        assert [r.doc_id for r in second.results] == [r.doc_id for r in first.results]
+
+    def test_loose_keys_still_miss_across_bucket_boundaries(
+        self, simulator, dht, storage
+    ):
+        frontend = self._frontend(simulator, dht, storage, loose=True)
+        frontend.search("honey bees")
+        # Quadrupling the corpus size moves the document-count and df
+        # buckets no matter the grid phase: the loose key must shift.
+        statistics = frontend.statistics
+        statistics.document_count *= 4
+        statistics.total_length *= 4
+        for term in list(statistics.document_frequency):
+            statistics.document_frequency[term] *= 4
+        statistics.version += 1
+        frontend.search("honey bees")
+        assert frontend.result_cache.stats.hits == 0
+
+    def test_loose_keys_still_miss_on_republish_and_rank_round(
+        self, simulator, dht, storage
+    ):
+        frontend = self._frontend(simulator, dht, storage, loose=True)
+        frontend.search("honey bees")
+        # Index generations stay exact in the loose key: a republish of any
+        # queried term must miss.
+        postings = frontend.index.fetch_term("honey").copy()
+        postings.add(9, 1)
+        frontend.index.publish_term("honey", postings)
+        frontend.search("honey bees")
+        assert frontend.result_cache.stats.hits == 0
+        # So does the rank version.
+        frontend.rank_version_provider = lambda: 2
+        frontend.search("honey bees")
+        assert frontend.result_cache.stats.hits == 0
