@@ -96,9 +96,11 @@ def _run_system(
     # metadata before the measured stream (a deployment's steady state);
     # scheduled rounds keep running during the stream.
     engine.converge_metadata()
-    frontend = engine.create_frontend(requester="peer-001:store")
-    for attribute, value in (frontend_overrides or {}).items():
-        setattr(frontend, attribute, value)
+    # Frontend policy goes through FrontendOptions: keyword overrides
+    # replace fields on the config-derived defaults at construction time.
+    frontend = engine.create_frontend(
+        requester="peer-001:store", **(frontend_overrides or {})
+    )
     frontend.index.stats.reset()
 
     start = engine.simulator.now

@@ -50,6 +50,21 @@ TRACKED: Dict[str, object] = {
             "KiB fetched": 1.0,
         },
     },
+    "BENCH_E11.json": {
+        # The serving front door: the admitted tail and answered share must
+        # not regress, and goodput under overload must not collapse.
+        "rows_key": "rows",
+        "identity": ("system", "workload"),
+        "metrics": {
+            "p50 latency": 25.0,
+            "p95 latency": 100.0,
+            "p99 latency": 250.0,
+        },
+        "higher_metrics": {
+            "goodput (q/ktick)": 0.5,
+            "answered (%)": 5.0,
+        },
+    },
     "BENCH_E3.json": [
         {
             "rows_key": "repair_rows",

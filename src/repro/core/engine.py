@@ -10,7 +10,7 @@ storage), the smart contracts, the worker bees, and the search frontend.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional
 
@@ -46,7 +46,7 @@ from repro.net.network import SimulatedNetwork
 from repro.ranking.distributed import DecentralizedPageRank, RankCeilingPublisher
 from repro.ranking.graph import LinkGraph
 from repro.ranking.pagerank import PageRankResult
-from repro.search.frontend import SearchFrontend
+from repro.search.frontend import FrontendOptions, SearchFrontend
 from repro.search.results import ResultPage
 from repro.sim.simulator import Simulator
 from repro.storage.ipfs import DecentralizedStorage
@@ -464,23 +464,52 @@ class QueenBeeEngine:
 
     # -- searching --------------------------------------------------------------------
 
-    def create_frontend(self, requester: Optional[str] = None, top_k: Optional[int] = None) -> SearchFrontend:
+    def _frontend_options(
+        self, options: Optional[FrontendOptions], overrides: Dict[str, object]
+    ) -> FrontendOptions:
+        """Resolve the options for one frontend construction.
+
+        ``None``-valued overrides are dropped (callers forwarding an unset
+        ``top_k=None`` mean "the config default"), then overrides replace
+        fields on either the given ``options`` or a fresh
+        :meth:`FrontendOptions.from_config`.
+        """
+        overrides = {name: value for name, value in overrides.items() if value is not None}
+        if options is None:
+            return FrontendOptions.from_config(self.config, **overrides)
+        return replace(options, **overrides) if overrides else options
+
+    def create_frontend(
+        self,
+        requester: Optional[str] = None,
+        options: Optional[FrontendOptions] = None,
+        **overrides,
+    ) -> SearchFrontend:
         """A search frontend running on one of the peers.
 
+        The frontend's *policy* is described by a
+        :class:`~repro.search.frontend.FrontendOptions` — defaulted from the
+        engine's config, with keyword ``overrides`` replacing individual
+        fields (``create_frontend(top_k=3)`` still reads naturally).
         Dispatches on the configured metadata plane: on ``"shared"`` the
         frontend reads the engine's in-process state (the idealized
         ablation); on ``"gossip"`` it is a real remote node — its own
         index instance, posting cache, and gossip view, with no reference
         to the engine's epoch registry, rank vector, or peer counters.
         """
+        options = self._frontend_options(options, overrides)
         if self.config.metadata_plane == "gossip":
-            return self.create_gossip_frontend(requester=requester, top_k=top_k)
-        return self.create_shared_frontend(requester=requester, top_k=top_k)
+            return self.create_gossip_frontend(requester=requester, options=options)
+        return self.create_shared_frontend(requester=requester, options=options)
 
     def create_shared_frontend(
-        self, requester: Optional[str] = None, top_k: Optional[int] = None
+        self,
+        requester: Optional[str] = None,
+        options: Optional[FrontendOptions] = None,
+        **overrides,
     ) -> SearchFrontend:
         """A frontend sharing the engine's index/rank state (shared plane)."""
+        options = self._frontend_options(options, overrides)
         requester = requester or self._rng.choice(self.storage.peer_addresses())
         return SearchFrontend(
             simulator=self.simulator,
@@ -491,19 +520,19 @@ class QueenBeeEngine:
             ad_provider=self.contracts.ads_for,
             analyzer=self.analyzer,
             statistics=self.statistics,
-            top_k=top_k or self.config.top_k,
             max_ads=self.config.max_ads,
             planning_strategy=self.config.planning_strategy,
             execution_mode=self.config.execution_mode,
             requester=requester,
-            overlapped_prefetch=self.config.overlapped_prefetch,
-            result_cache_capacity=self.config.result_cache_capacity,
-            result_cache_loose_keys=self.config.result_cache_loose_keys,
             shard_size_hint=self.config.index_shard_size,
+            options=options,
         )
 
     def create_gossip_frontend(
-        self, requester: Optional[str] = None, top_k: Optional[int] = None
+        self,
+        requester: Optional[str] = None,
+        options: Optional[FrontendOptions] = None,
+        **overrides,
     ) -> SearchFrontend:
         """A frontend that is a genuine remote node on the gossip plane.
 
@@ -524,6 +553,7 @@ class QueenBeeEngine:
                 'gossip frontends need metadata_plane="gossip" in the config'
             )
         cfg = self.config
+        options = self._frontend_options(options, overrides)
         requester = requester or self._rng.choice(self.storage.peer_addresses())
         view = self.gossip.view(requester)
         cache = (
@@ -547,20 +577,16 @@ class QueenBeeEngine:
             ad_provider=self.contracts.ads_for,
             analyzer=Analyzer(),
             statistics=None,
-            top_k=top_k or cfg.top_k,
             max_ads=cfg.max_ads,
             planning_strategy=cfg.planning_strategy,
             execution_mode=cfg.execution_mode,
             requester=requester,
-            overlapped_prefetch=cfg.overlapped_prefetch,
-            result_cache_capacity=cfg.result_cache_capacity,
-            result_cache_loose_keys=cfg.result_cache_loose_keys,
             shard_size_hint=cfg.index_shard_size,
             metadata_view=view,
-            use_rank_ceilings=True,
-            # The RankRangeIndex needs the materialised rank vector per
-            # rank round; remote frontends prune from manifest ceilings.
-            use_rank_range_index=False,
+            # FrontendOptions.from_config already defaults the RankRangeIndex
+            # off on the gossip plane (remote frontends prune from manifest
+            # ceilings instead of materialising the rank vector).
+            options=options,
         )
 
     def converge_metadata(self, max_rounds: int = 64) -> int:

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
-from repro.metrics.summary import DistributionSummary, summarize
+from repro.metrics.summary import DistributionSummary, percentile as _percentile, summarize
 
 
 class MetricsCollector:
@@ -58,6 +58,28 @@ class MetricsCollector:
 
     def sample(self, name: str) -> List[float]:
         return list(self._samples.get(name, []))
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-th percentile of the sample ``name``.
+
+        ``q`` accepts either a fraction in [0, 1] or a percent in (1, 100]
+        — ``percentile("serve.latency", 0.99)`` and ``percentile(
+        "serve.latency", 99)`` agree.  Empty samples report 0.0 (matching
+        :func:`~repro.metrics.summary.percentile`).
+        """
+        if q > 1.0:
+            if q > 100.0:
+                raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+            q = q / 100.0
+        return _percentile(self._samples.get(name, []), q)
+
+    def quantiles(self, name: str, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> Dict[float, float]:
+        """Several percentiles of one sample at once (the p50/p95/p99 row).
+
+        Returns ``{q: value}`` with the keys exactly as given (fractions
+        or percents, see :meth:`percentile`).
+        """
+        return {q: self.percentile(name, q) for q in qs}
 
     def summary(self, name: str) -> DistributionSummary:
         return summarize(self._samples.get(name, []))

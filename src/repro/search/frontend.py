@@ -56,7 +56,14 @@ from repro.search.executor import QueryExecutor
 from repro.search.planner import MODE_MAXSCORE, STRATEGY_RAREST_FIRST, QueryPlanner
 from repro.search.query import ParsedQuery, parse_query
 from repro.search.result_cache import ResultCache
-from repro.search.results import AdPlacement, ResultPage, SearchResult
+from repro.search.results import (
+    SERVED_DEGRADED,
+    SERVED_RESULT_CACHE,
+    AdPlacement,
+    ResultPage,
+    SearchResult,
+    ServingDiagnostics,
+)
 from repro.sim.simulator import Simulator
 
 # Resolves a doc_id to its metadata ({url, title, owner, cid, snippet}); the
@@ -82,6 +89,47 @@ def _loose_bucket(value: float) -> int:
     if value <= 0:
         return 0
     return 1 + math.floor(math.log(value) / math.log(_LOOSE_BUCKET_RATIO))
+
+
+@dataclass
+class FrontendOptions:
+    """Every behavioural knob of one :class:`SearchFrontend`, in one object.
+
+    This is the construction surface: :meth:`QueenBeeEngine.create_frontend`,
+    the serving layer, and the benchmarks all describe the frontend they
+    want with a ``FrontendOptions`` (usually :meth:`from_config` plus field
+    overrides) instead of threading individual keyword arguments through
+    every layer.  Wiring — the index, providers, simulator — stays on the
+    constructor; *policy* lives here.
+    """
+
+    top_k: int = 10
+    overlapped_prefetch: bool = True
+    # Rank-pruning sources (see SearchFrontend docstring): manifest-stamped
+    # per-shard rank ceilings, and/or the frontend-built RankRangeIndex.
+    use_rank_ceilings: bool = True
+    use_rank_range_index: bool = True
+    result_cache_capacity: int = 0
+    result_cache_loose_keys: bool = False
+
+    @classmethod
+    def from_config(cls, config, **overrides) -> "FrontendOptions":
+        """Defaults taken from a :class:`~repro.core.config.QueenBeeConfig`.
+
+        On the gossip metadata plane the RankRangeIndex default flips off:
+        remote frontends prune from manifest ceilings and should not
+        materialise the rank vector per rank round.  ``overrides`` replace
+        individual fields (unknown names raise ``TypeError``).
+        """
+        options = cls(
+            top_k=config.top_k,
+            overlapped_prefetch=config.overlapped_prefetch,
+            use_rank_ceilings=True,
+            use_rank_range_index=config.metadata_plane != "gossip",
+            result_cache_capacity=config.result_cache_capacity,
+            result_cache_loose_keys=config.result_cache_loose_keys,
+        )
+        return replace(options, **overrides) if overrides else options
 
 
 @dataclass
@@ -194,7 +242,21 @@ class SearchFrontend:
         metadata_view: Optional[Any] = None,
         use_rank_ceilings: bool = True,
         use_rank_range_index: bool = True,
+        options: Optional[FrontendOptions] = None,
     ) -> None:
+        # Policy knobs travel as one FrontendOptions; the individual keyword
+        # arguments remain for direct (test) construction and are folded
+        # into an options object when none is given.
+        if options is None:
+            options = FrontendOptions(
+                top_k=top_k,
+                overlapped_prefetch=overlapped_prefetch,
+                use_rank_ceilings=use_rank_ceilings,
+                use_rank_range_index=use_rank_range_index,
+                result_cache_capacity=result_cache_capacity,
+                result_cache_loose_keys=result_cache_loose_keys,
+            )
+        self.options = options
         self.simulator = simulator
         self.index = index
         self.rank_provider = rank_provider or (lambda: {})
@@ -203,19 +265,21 @@ class SearchFrontend:
         self.ad_provider = ad_provider
         self.analyzer = analyzer or Analyzer()
         self._statistics = statistics
-        self.top_k = top_k
+        self.top_k = options.top_k
         self.max_ads = max_ads
         self.planning_strategy = planning_strategy
         self.execution_mode = execution_mode
         self.requester = requester
         self.bm25 = bm25
         self.combiner = combiner or CombinedScorer()
-        self.overlapped_prefetch = overlapped_prefetch
+        self.overlapped_prefetch = options.overlapped_prefetch
         self.shard_size_hint = shard_size_hint
         self.result_cache = (
-            ResultCache(result_cache_capacity) if result_cache_capacity > 0 else None
+            ResultCache(options.result_cache_capacity)
+            if options.result_cache_capacity > 0
+            else None
         )
-        self.result_cache_loose_keys = result_cache_loose_keys
+        self.result_cache_loose_keys = options.result_cache_loose_keys
         # The gossiped metadata view this frontend reads (None on the shared
         # plane).  Used for two things here: search_batch pins it so every
         # query in the batch sees one consistent metadata version, and the
@@ -227,8 +291,8 @@ class SearchFrontend:
         # use_rank_range_index additionally builds the frontend-side
         # RankRangeIndex from the full vector — the fallback/ablation, off
         # for remote (gossip-plane) frontends.
-        self.use_rank_ceilings = use_rank_ceilings
-        self.use_rank_range_index = use_rank_range_index
+        self.use_rank_ceilings = options.use_rank_ceilings
+        self.use_rank_range_index = options.use_rank_range_index
         self.stats = FrontendStats()
         # Memo for the MaxScore rank upper bound, keyed by (rank version,
         # corpus size) — both inputs of the bound that can change between
@@ -421,6 +485,15 @@ class SearchFrontend:
 
     # -- result cache ------------------------------------------------------------
 
+    def _result_cache_fingerprint(self, query: ParsedQuery) -> Hashable:
+        """The freshness-free part of a query's cache identity.
+
+        Pins only the query shape (sorted terms, mode, top_k) — the key the
+        degraded path addresses the result cache by, deliberately ignoring
+        index generations, the rank version, and statistics.
+        """
+        return (tuple(sorted(query.terms)), query.mode, self.top_k)
+
     def _result_cache_key(self, query: ParsedQuery) -> Optional[Hashable]:
         """A freshness-safe key for the query's page, or None when uncacheable.
 
@@ -482,6 +555,7 @@ class SearchFrontend:
         latency = self.simulator.now - started + extra_latency
         diagnostics = dict(template.diagnostics)
         diagnostics["result_cache"] = "hit"
+        loose_hit = False
         if self.result_cache_loose_keys:
             # Internal bookkeeping only — not part of the page's surface.
             stored_version = diagnostics.pop("stats_version", None)
@@ -490,6 +564,7 @@ class SearchFrontend:
                 # page is the documented approximation, count it.
                 self.stats.result_cache_loose_hits += 1
                 diagnostics["result_cache_loose"] = True
+                loose_hit = True
         page = replace(
             template,
             query=raw_query,
@@ -497,6 +572,11 @@ class SearchFrontend:
             ads=ads,
             latency=latency,
             diagnostics=diagnostics,
+            serving=ServingDiagnostics(
+                served_from=SERVED_RESULT_CACHE,
+                latency=latency,
+                loose_hit=loose_hit,
+            ),
         )
         self.stats.record(latency, page.result_count)
         return page
@@ -527,6 +607,43 @@ class SearchFrontend:
         finally:
             if pin is not None:
                 view.unpin()
+
+    def search_degraded(self, raw_query: str) -> Optional[ResultPage]:
+        """A best-effort answer from the result cache, freshness ignored.
+
+        The serving layer's degraded mode: when admission control decides
+        the full path is over budget, the most recent page ever computed
+        for this query shape is replayed — a purely local operation (no
+        DHT lookups, no shard fetches; ads are re-selected from the local
+        provider).  The page is tagged ``served_from="degraded"`` so the
+        staleness is explicit.  Returns ``None`` when the frontend has no
+        result cache, the query does not parse, or no page for the shape
+        was ever stored — callers then shed instead.
+        """
+        if self.result_cache is None:
+            return None
+        started = self.simulator.now
+        try:
+            query = parse_query(raw_query, self.analyzer)
+        except QueryParseError:
+            return None
+        template = self.result_cache.get_stale(self._result_cache_fingerprint(query))
+        if template is None:
+            return None
+        ads = self._select_ads(tuple(tokenize(raw_query)) + template.terms)
+        latency = self.simulator.now - started
+        diagnostics = dict(template.diagnostics)
+        diagnostics.pop("stats_version", None)
+        diagnostics["result_cache"] = "degraded"
+        return replace(
+            template,
+            query=raw_query,
+            results=list(template.results),
+            ads=ads,
+            latency=latency,
+            diagnostics=diagnostics,
+            serving=ServingDiagnostics(served_from=SERVED_DEGRADED, latency=latency),
+        )
 
     def search_batch(self, raw_queries: Sequence[str]) -> List[ResultPage]:
         """Answer a stream of queries, amortizing DHT lookups across them.
@@ -753,6 +870,10 @@ class SearchFrontend:
         # the user's raw tokens rather than the stemmed index terms.
         ads = self._select_ads(tuple(tokenize(raw_query)) + query.terms)
         latency = self.simulator.now - started + extra_latency
+        serving = ServingDiagnostics(
+            latency=latency,
+            shards_fetched=outcome.segments_loaded,
+        )
         page = ResultPage(
             query=raw_query,
             terms=query.terms,
@@ -774,6 +895,7 @@ class SearchFrontend:
                 "segments_loaded": outcome.segments_loaded,
                 "early_exit": outcome.early_exit,
             },
+            serving=serving,
         )
         if cache_key is not None and not outcome.missing_terms:
             # Store a detached template: the batch loop and callers mutate
@@ -793,7 +915,11 @@ class SearchFrontend:
                     results=list(page.results),
                     ads=[],
                     diagnostics=template_diagnostics,
+                    # Detach the envelope too: _page_from_cache builds a
+                    # fresh one per hit, and the degraded path retags it.
+                    serving=ServingDiagnostics(shards_fetched=serving.shards_fetched),
                 ),
+                fingerprint=self._result_cache_fingerprint(query),
             )
         self.stats.record(latency, page.result_count)
         return page

@@ -22,13 +22,23 @@ same normalized query:
 Stale entries are therefore never *served*; they simply stop being
 addressed and age out of the LRU.  Ads are not cached: ad inventory changes
 independently of the index, so the frontend re-selects ads on every hit.
+
+One deliberate exception exists for the serving layer: entries can also be
+registered under a **fingerprint** (the freshness-free part of the key —
+normalized terms, query mode, top_k), and :meth:`ResultCache.get_stale`
+returns the most recently stored page for a fingerprint *regardless* of
+index/rank/statistics freshness.  Nothing on the query path uses it; it
+exists so :class:`repro.serve.QueryService` can serve an explicitly-tagged
+**degraded** answer when admission control decides the full path is over
+budget — the caller marks the page as degraded, so staleness is visible
+rather than silent.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Dict, Hashable, Optional
 
 from repro.search.results import ResultPage
 
@@ -40,6 +50,10 @@ class ResultCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    # Freshness-ignoring fingerprint lookups that found a page (the serving
+    # layer's degraded-mode source); not part of hits/misses because they
+    # bypass the freshness key entirely.
+    stale_serves: int = 0
 
     @property
     def lookups(self) -> int:
@@ -54,6 +68,7 @@ class ResultCacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.stale_serves = 0
 
 
 class ResultCache:
@@ -69,6 +84,10 @@ class ResultCache:
             raise ValueError(f"result cache capacity must be positive, got {capacity!r}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, ResultPage]" = OrderedDict()
+        # fingerprint -> the most recently stored full key for that query
+        # shape (see get_stale); entries may dangle after eviction and are
+        # dropped lazily on lookup.
+        self._latest_by_fingerprint: Dict[Hashable, Hashable] = {}
         self.stats = ResultCacheStats()
 
     def __len__(self) -> int:
@@ -87,14 +106,41 @@ class ResultCache:
         self.stats.hits += 1
         return page
 
-    def put(self, key: Hashable, page: ResultPage) -> None:
-        """Insert or replace the entry for ``key``, evicting the LRU tail."""
+    def put(self, key: Hashable, page: ResultPage, fingerprint: Hashable = None) -> None:
+        """Insert or replace the entry for ``key``, evicting the LRU tail.
+
+        With a ``fingerprint``, the entry is additionally registered as the
+        latest page for that query shape, making it reachable through
+        :meth:`get_stale` after its freshness key has moved on.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = page
+        if fingerprint is not None:
+            self._latest_by_fingerprint[fingerprint] = key
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def get_stale(self, fingerprint: Hashable) -> Optional[ResultPage]:
+        """The latest page stored for ``fingerprint``, freshness ignored.
+
+        Returns ``None`` when no page for that query shape was ever stored
+        (or the LRU has since evicted it).  The page may be arbitrarily
+        stale — callers must tag the response as degraded; the query path
+        itself never reads through this method.
+        """
+        key = self._latest_by_fingerprint.get(fingerprint)
+        if key is None:
+            return None
+        page = self._entries.get(key)
+        if page is None:
+            # The LRU evicted the entry after the fingerprint pointed at it.
+            del self._latest_by_fingerprint[fingerprint]
+            return None
+        self.stats.stale_serves += 1
+        return page
+
     def clear(self) -> None:
         self._entries.clear()
+        self._latest_by_fingerprint.clear()

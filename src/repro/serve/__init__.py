@@ -1,0 +1,8 @@
+"""The serving front door: admission, concurrency limits, degradation.
+
+See :mod:`repro.serve.service` and ``docs/SERVING.md``.
+"""
+
+from repro.serve.service import QueryService, ServedRequest, ServiceOptions, ServiceStats
+
+__all__ = ["QueryService", "ServiceOptions", "ServiceStats", "ServedRequest"]

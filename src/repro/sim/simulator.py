@@ -43,34 +43,60 @@ class Simulator:
         return self.events.push(self.clock.now + delay, callback, label=label)
 
     def schedule_every(
-        self, interval: float, callback: Callable[[], Any], label: str = ""
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        label: str = "",
+        fixed_rate: bool = False,
     ) -> Callable[[], None]:
         """Schedule ``callback`` every ``interval`` ticks until cancelled.
 
-        The first firing is one interval from now; each firing reschedules
-        the next one interval after the callback *completes*, so a
-        callback that advances the clock — a gossip round charging its
-        slowest exchange, or unrelated work overrunning the event's
-        scheduled time — pushes later firings out rather than compressing
-        them to catch up.  Returns a zero-argument cancel function;
-        cancelling is final.
+        The first firing is one interval from now.  By default each firing
+        reschedules the next one interval after the callback *completes*
+        (fixed **delay**), so a callback that advances the clock — or
+        unrelated work overrunning the event's scheduled time — pushes
+        later firings out.  Under load this drifts: the achieved period is
+        ``interval + callback duration + overrun``, and a heavy callback
+        can starve the schedule to a fraction of its nominal rate.
+
+        With ``fixed_rate=True`` the next firing is anchored to the
+        *scheduled* time instead: after a firing, the schedule advances to
+        the first grid point ``scheduled + n * interval`` strictly after
+        the current time.  A callback cheaper than the interval therefore
+        holds the nominal period exactly (late firings shift, they don't
+        shrink the long-run rate), and a long stall is absorbed by
+        *skipping* the missed grid points — one late firing, never a
+        compressed same-instant burst.  Anti-entropy uses this: a
+        churn-driven repair storm must not starve gossip rounds (the E3c
+        in-window round count).
+
+        Returns a zero-argument cancel function; cancelling is final.
         """
         if interval <= 0:
             raise SimulationError(f"recurring interval must be positive, got {interval!r}")
         cancelled = False
+        next_time = self.clock.now + interval
 
         def fire() -> None:
+            nonlocal next_time
             if cancelled:
                 return
             callback()
-            if not cancelled:
+            if cancelled:
+                return
+            if fixed_rate:
+                next_time += interval
+                while next_time <= self.clock.now:
+                    next_time += interval
+                self.schedule_at(next_time, fire, label=label)
+            else:
                 self.schedule(interval, fire, label=label)
 
         def cancel() -> None:
             nonlocal cancelled
             cancelled = True
 
-        self.schedule(interval, fire, label=label)
+        self.schedule_at(next_time, fire, label=label)
         return cancel
 
     def schedule_at(self, timestamp: float, callback: Callable[[], Any], label: str = "") -> Event:

@@ -8,6 +8,12 @@ deterministic given a seed.
 """
 
 from repro.workloads.zipf import ZipfSampler
+from repro.workloads.arrivals import (
+    ArrivalWorkload,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    PoissonArrivals,
+)
 from repro.workloads.corpus import CorpusGenerator, GeneratedCorpus
 from repro.workloads.linkgen import generate_link_graph
 from repro.workloads.queries import QueryWorkload, QueryWorkloadGenerator
@@ -15,6 +21,10 @@ from repro.workloads.updates import PublishEvent, PublishWorkload, PublishWorklo
 
 __all__ = [
     "ZipfSampler",
+    "ArrivalWorkload",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
     "CorpusGenerator",
     "GeneratedCorpus",
     "generate_link_graph",

@@ -276,3 +276,81 @@ class TestScheduleEvery:
 
         with pytest.raises(SimulationError):
             Simulator(seed=1).schedule_every(0.0, lambda: None)
+
+    def test_fixed_delay_drifts_under_heavy_callbacks(self):
+        # The pre-fix behaviour, kept as the documented default: a callback
+        # that costs 90 ticks stretches a 100-tick interval to ~190.
+        simulator = Simulator(seed=1)
+        fired = []
+
+        def heavy():
+            fired.append(simulator.now)
+            simulator.clock.advance(90.0)
+
+        simulator.schedule_every(100.0, heavy)
+        simulator.advance(1000.0)
+        assert fired == [100.0, 290.0, 480.0, 670.0, 860.0]
+
+    def test_fixed_rate_holds_the_period_under_heavy_callbacks(self):
+        # The regression this PR fixes: anti-entropy rounds anchored to the
+        # scheduled time keep the nominal rate no matter what rounds cost.
+        simulator = Simulator(seed=1)
+        fired = []
+
+        def heavy():
+            fired.append(simulator.now)
+            simulator.clock.advance(90.0)
+
+        simulator.schedule_every(100.0, heavy, fixed_rate=True)
+        simulator.advance(1000.0)
+        assert fired == [100.0 * n for n in range(1, 11)]
+
+    def test_fixed_rate_never_compresses_a_stall_into_a_burst(self):
+        # A long foreground stall yields at most one catch-up firing, not a
+        # back-to-back burst of every missed interval.
+        simulator = Simulator(seed=1)
+        fired = []
+        simulator.schedule_every(100.0, lambda: fired.append(simulator.now), fixed_rate=True)
+
+        def stall():
+            simulator.clock.advance(650.0)
+
+        simulator.schedule(50.0, stall)
+        simulator.advance(1000.0)
+        # The stall covers scheduled firings at 100..700: the 100-tick one
+        # runs late at 700, the covered grid points are skipped, and the
+        # schedule resumes on the original grid.
+        assert fired == [700.0, 800.0, 900.0, 1000.0]
+
+    def test_fixed_rate_cancel_is_final(self):
+        simulator = Simulator(seed=1)
+        fired = []
+        cancel = simulator.schedule_every(
+            10.0, lambda: fired.append(simulator.now), fixed_rate=True
+        )
+        simulator.advance(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+        cancel()
+        simulator.advance(50.0)
+        assert len(fired) == 3
+
+    def test_gossip_rounds_survive_a_repair_storm(self):
+        # End-to-end regression: heavy foreground work between rounds must
+        # not starve the anti-entropy schedule (E3c's in-window rounds).
+        engine = build_engine(metadata_plane="gossip")
+        interval = engine.config.gossip_interval
+        rounds_before = engine.gossip.stats.rounds
+
+        def storm():
+            # Burn 3 intervals of simulated time in one event, like a
+            # churn-triggered repair re-replicating many shards.
+            engine.simulator.clock.advance(3 * interval)
+
+        engine.simulator.schedule(interval / 2, storm)
+        engine.simulator.advance(10 * interval)
+        fired = engine.gossip.stats.rounds - rounds_before
+        # The storm covers three grid points: one fires late, two are
+        # skipped, everything after resumes on the grid — 8 of the nominal
+        # 10.  Fixed-delay scheduling re-bases after the storm *and* after
+        # every round's own cost, landing well below that.
+        assert fired >= 8

@@ -73,6 +73,50 @@ class TestMetricsCollector:
         metrics.reset()
         assert metrics.counters() == {} and metrics.sample("y") == []
 
+    def test_percentile_of_a_sample(self):
+        metrics = MetricsCollector()
+        for value in range(1, 11):
+            metrics.observe("latency", float(value))
+        assert metrics.percentile("latency", 0.0) == 1.0
+        assert metrics.percentile("latency", 1.0) == 10.0
+        assert metrics.percentile("latency", 0.5) == pytest.approx(5.5)
+        # Matches the module-level reference implementation exactly.
+        assert metrics.percentile("latency", 0.99) == percentile(
+            metrics.sample("latency"), 0.99
+        )
+
+    def test_percentile_accepts_percent_scale(self):
+        metrics = MetricsCollector()
+        for value in range(1, 11):
+            metrics.observe("latency", float(value))
+        assert metrics.percentile("latency", 95) == metrics.percentile("latency", 0.95)
+        assert metrics.percentile("latency", 50) == pytest.approx(5.5)
+        with pytest.raises(ValueError):
+            metrics.percentile("latency", 101)
+
+    def test_percentile_of_missing_sample_is_zero(self):
+        assert MetricsCollector().percentile("nope", 0.99) == 0.0
+
+    def test_quantiles_report_the_standard_row(self):
+        metrics = MetricsCollector()
+        for value in range(1, 101):
+            metrics.observe("latency", float(value))
+        row = metrics.quantiles("latency")
+        assert set(row) == {0.5, 0.95, 0.99}
+        assert row[0.5] == pytest.approx(50.5)
+        assert row[0.95] == metrics.percentile("latency", 0.95)
+        custom = metrics.quantiles("latency", (50, 99))
+        assert custom[50] == row[0.5]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_collector_percentile_matches_reference(self, values, fraction):
+        metrics = MetricsCollector()
+        for value in values:
+            metrics.observe("s", value)
+        assert metrics.percentile("s", fraction) == percentile(values, fraction)
+
 
 class TestFreshnessTracker:
     def test_lag_measured_between_publish_and_index(self):
