@@ -44,7 +44,7 @@ sharded-vs-unsharded and gossip-vs-shared divergence, quickly).
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.index.analysis import Analyzer
 from repro.index.inverted_index import LocalInvertedIndex
@@ -76,7 +76,7 @@ def _run_system(
     batched: bool = False,
     overlapped: bool = True,
     metadata_plane: str = "shared",
-    frontend_overrides: Dict[str, object] = None,
+    frontend_overrides: Optional[Dict[str, object]] = None,
     label: str = "",
 ) -> Tuple[Dict[str, object], List[List[Tuple[int, float]]]]:
     engine = build_engine(

@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.metrics.summary import percentile
 from repro.search.results import SERVED_FULL, SERVED_RESULT_CACHE
-from repro.serve import QueryService, ServiceOptions
+from repro.serve import ServiceOptions
 from repro.workloads import (
     DiurnalArrivals,
     FlashCrowdArrivals,
@@ -113,7 +113,7 @@ def _serve_workload(
             pool, rate=IDENTITY_RATE, rng=rng, repeat_exponent=REPEAT_EXPONENT,
         ).generate(IDENTITY_HORIZON)
 
-    service = QueryService(engine, service_options, requesters=None)
+    service = engine.create_service(service_options, requesters=None)
     start = engine.simulator.now
     responses = service.run_workload(workload)
     span = engine.simulator.now - start
@@ -159,8 +159,7 @@ def run_identity_check() -> Dict[str, object]:
         repeat_exponent=REPEAT_EXPONENT,
     ).generate(IDENTITY_HORIZON)
 
-    service = QueryService(
-        engine,
+    service = engine.create_service(
         ServiceOptions(replicas=1, concurrency=None, queue_capacity=None),
     )
     responses = service.run_workload(workload)

@@ -135,8 +135,19 @@ def _compare_spec(
 ) -> List[str]:
     """Regression messages for one row section of one experiment file."""
     identity = spec["identity"]
-    baseline_rows = _index_rows(baseline, spec["rows_key"], identity)
-    current_rows = _index_rows(current, spec["rows_key"], identity)
+    rows_key = spec["rows_key"]
+    baseline_rows = _index_rows(baseline, rows_key, identity)
+    current_rows = _index_rows(current, rows_key, identity)
+    if baseline_rows and not current_rows:
+        # A whole tracked section vanishing is never a plain regression — it
+        # means the bench stopped emitting it (rename, crash, partial run).
+        # Comparing zero rows would silently pass, so fail loudly instead.
+        reason = "missing from" if rows_key not in current else "empty in"
+        return [
+            f"{name}: tracked section {rows_key!r} ({len(baseline_rows)} baseline "
+            f"row(s)) is {reason} the fresh results — regenerate the baseline or "
+            "fix the bench before gating on it"
+        ]
     failures: List[str] = []
     for key, base_row in baseline_rows.items():
         row = current_rows.get(key)

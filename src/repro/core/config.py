@@ -1,8 +1,16 @@
-"""Configuration for a QueenBee deployment (one object, every knob)."""
+"""Configuration for a QueenBee deployment (one object, every knob).
+
+Every field here must be declared in :mod:`repro.config_schema` — the
+registry repro-lint rule RL005 and the runtime unknown-knob rejection are
+built on (a schema/dataclass mismatch fails ``tests/test_repro_lint.py``).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping
+
+from repro import config_schema
 
 
 @dataclass
@@ -141,8 +149,32 @@ class QueenBeeConfig:
     # trade; loose hits are counter-tracked per frontend).
     result_cache_loose_keys: bool = False
 
+    @classmethod
+    def from_dict(cls, knobs: Mapping[str, object]) -> "QueenBeeConfig":
+        """Build a config from a knob mapping, rejecting undeclared knobs.
+
+        The dataclass constructor already raises ``TypeError`` on unknown
+        keywords; this entry point goes through the schema registry
+        instead, so experiment scripts get an
+        :class:`~repro.config_schema.UnknownConfigKnobError` with a
+        did-you-mean hint rather than a bare constructor error.
+        """
+        config_schema.check_unknown_knobs(knobs)
+        return cls(**dict(knobs))
+
+    def as_dict(self) -> Dict[str, object]:
+        """The config as a plain ``knob -> value`` mapping."""
+        return asdict(self)
+
     def validate(self) -> None:
-        """Raise ``ValueError`` on impossible combinations."""
+        """Raise ``ValueError`` on impossible combinations.
+
+        Also re-checks the knob *names* against the schema registry: a
+        config object that grew an undeclared attribute (a subclass, a
+        monkeypatched experiment) is rejected the same way a typo'd
+        ``from_dict`` key is.
+        """
+        config_schema.check_unknown_knobs(self.as_dict())
         if self.execution_mode not in ("taat", "maxscore"):
             raise ValueError(f"unknown execution_mode {self.execution_mode!r}")
         if self.posting_cache_capacity < 0:

@@ -89,7 +89,7 @@ class GossipRankClient:
             int(body.get("version", head_version)) if isinstance(body, dict) else head_version
         )
         self._ranks = MappingProxyType(
-            {int(doc_id): float(rank) for doc_id, rank in data.items()}
+            {int(doc_id): float(rank) for doc_id, rank in sorted(data.items())}
         )
         self._version = version
 
@@ -372,7 +372,7 @@ class QueenBeeEngine:
         absent hint already reads as load 0) and a version-0 entry could
         not propagate anyway — merges only accept strictly newer versions.
         """
-        for address, peer in self.storage.peers.items():
+        for address, peer in sorted(self.storage.peers.items()):
             bucket = quantize_load(peer.blocks_served)
             if bucket > 0:
                 self.gossip.publish(address, LOAD_PREFIX + address, bucket, bucket)
@@ -427,7 +427,7 @@ class QueenBeeEngine:
     def owner_rank_mass(self) -> Dict[str, float]:
         """Summed page rank per content owner (input to the popularity reward)."""
         mass: Dict[str, float] = {}
-        for doc_id, rank in self._page_ranks.items():
+        for doc_id, rank in sorted(self._page_ranks.items()):
             document = self.documents.maybe_get(doc_id)
             if document is None:
                 continue
@@ -460,7 +460,7 @@ class QueenBeeEngine:
             return {}
         body = json.loads(payload)
         ranks = body["ranks"] if isinstance(body, dict) and "ranks" in body else body
-        return {int(doc_id): float(rank) for doc_id, rank in ranks.items()}
+        return {int(doc_id): float(rank) for doc_id, rank in sorted(ranks.items())}
 
     # -- searching --------------------------------------------------------------------
 
@@ -474,7 +474,9 @@ class QueenBeeEngine:
         fields on either the given ``options`` or a fresh
         :meth:`FrontendOptions.from_config`.
         """
-        overrides = {name: value for name, value in overrides.items() if value is not None}
+        overrides = {
+            name: value for name, value in sorted(overrides.items()) if value is not None
+        }
         if options is None:
             return FrontendOptions.from_config(self.config, **overrides)
         return replace(options, **overrides) if overrides else options
@@ -587,6 +589,35 @@ class QueenBeeEngine:
             # off on the gossip plane (remote frontends prune from manifest
             # ceilings instead of materialising the rank vector).
             options=options,
+        )
+
+    def create_service(
+        self,
+        options: Optional["ServiceOptions"] = None,
+        frontend_options: Optional[FrontendOptions] = None,
+        requesters: Optional[List[str]] = None,
+    ) -> "QueryService":
+        """A serving front door over this deployment's frontends.
+
+        The service itself holds no engine reference (the serving plane is
+        isolated, repro-lint rule RL003); this wires it the narrow
+        dependencies it needs — the simulator, :meth:`create_frontend` as
+        the replica factory, and the engine's metrics collector — plus a
+        callback so fully-served requests count in ``stats.queries_served``.
+        """
+        from repro.serve.service import QueryService
+
+        def count_served() -> None:
+            self.stats.queries_served += 1
+
+        return QueryService(
+            simulator=self.simulator,
+            frontend_factory=self.create_frontend,
+            options=options,
+            frontend_options=frontend_options,
+            requesters=requesters,
+            metrics=self.metrics,
+            on_served=count_served,
         )
 
     def converge_metadata(self, max_rounds: int = 64) -> int:
@@ -716,6 +747,7 @@ class QueenBeeEngine:
         payload = json.dumps(
             {
                 "version": self._rank_version,
+                # repro-lint: disable=RL004 -- sort_keys=True canonicalizes the payload
                 "ranks": {str(doc_id): rank for doc_id, rank in ranks.items()},
             },
             sort_keys=True,

@@ -130,7 +130,9 @@ class WorkerBee:
                 statistics.remove_document(document.doc_id, previous)
             statistics.add_document(document.doc_id, conservative_length, frequencies)
 
-        merges = [merge_thunk(term, frequency) for term, frequency in frequencies.items()]
+        merges = [
+            merge_thunk(term, frequency) for term, frequency in sorted(frequencies.items())
+        ]
         try:
             self._update_shards(document.doc_id, removed_terms, merges)
         except Exception:

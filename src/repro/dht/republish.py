@@ -59,9 +59,9 @@ class Republisher:
     def republish_now(self) -> int:
         """Re-store every tracked value immediately.  Returns replica writes attempted."""
         writes = 0
-        for key, value in self.tracked_values.items():
+        for key, value in sorted(self.tracked_values.items()):
             writes += self.dht.put(key, value)
-        for key, items in self.tracked_sets.items():
+        for key, items in sorted(self.tracked_sets.items()):
             for item in items:
                 writes += self.dht.add_to_set(key, item)
         self.republish_count += 1

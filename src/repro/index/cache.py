@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.index.postings import PostingList
+from repro.sim import monitor as state_monitor
 
 
 @dataclass
@@ -97,15 +98,18 @@ class PostingCache:
         entry = self._entries.get(term)
         if entry is None:
             self.stats.misses += 1
+            state_monitor.record_read("posting_cache", self, term)
             return None
         postings, entry_generation = entry
         if generation is not None and entry_generation != generation:
             del self._entries[term]
             self.stats.invalidations += 1
             self.stats.misses += 1
+            state_monitor.record_write("posting_cache", self, term, None, replaced=entry)
             return None
         self._entries.move_to_end(term)
         self.stats.hits += 1
+        state_monitor.record_read("posting_cache", self, term, entry)
         return postings
 
     def generation_of(self, term: str) -> Optional[int]:
@@ -115,6 +119,10 @@ class PostingCache:
 
     def put(self, term: str, postings: PostingList, generation: int = 0) -> None:
         """Insert or replace the entry for ``term``, evicting the LRU tail."""
+        state_monitor.record_write(
+            "posting_cache", self, term, (postings, generation),
+            replaced=self._entries.get(term, state_monitor.ABSENT),
+        )
         if term in self._entries:
             self._entries.move_to_end(term)
         self._entries[term] = (postings, generation)
@@ -126,6 +134,9 @@ class PostingCache:
         """Drop ``term`` from the cache (shard superseded remotely)."""
         if term not in self._entries:
             return False
+        state_monitor.record_write(
+            "posting_cache", self, term, None, replaced=self._entries[term]
+        )
         del self._entries[term]
         self.stats.invalidations += 1
         return True

@@ -557,7 +557,7 @@ class DistributedIndex:
             placements = self.placement.assign(
                 term,
                 len(chunks),
-                {index: info.providers for index, info in carried.items()},
+                {index: info.providers for index, info in sorted(carried.items())},
                 changed,
             )
 

@@ -238,6 +238,7 @@ class PlacementPolicy:
             return {}
         bound = anti_affinity_bound(shard_count, self.replication_factor)
         term_load: Dict[str, int] = {}
+        # repro-lint: disable=RL004 -- commutative integer counting, order-free result
         for providers in existing.values():
             for provider in providers:
                 term_load[provider] = term_load.get(provider, 0) + 1
@@ -313,6 +314,7 @@ class PlacementPolicy:
     def term_provider_counts(self, term: str) -> Dict[str, int]:
         """How many shards of ``term`` each recorded provider serves."""
         counts: Dict[str, int] = {}
+        # repro-lint: disable=RL004 -- commutative integer counting, order-free result
         for placed in self._placements.get(term, {}).values():
             for provider in placed.providers:
                 counts[provider] = counts.get(provider, 0) + 1
@@ -404,7 +406,7 @@ class PlacementPolicy:
             if refreshed is not None:
                 updates_by_term.setdefault(term, {})[index] = refreshed
                 repaired += 1
-        for term, updates in updates_by_term.items():
+        for term, updates in sorted(updates_by_term.items()):
             if self.manifest_updater is not None:
                 self.manifest_updater(term, updates)
                 self.stats.manifest_refreshes += 1

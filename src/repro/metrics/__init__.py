@@ -1,6 +1,7 @@
 """Lightweight metrics: counters, timers, and distribution summaries."""
 
+from repro.metrics import names
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import DistributionSummary, percentile, summarize
 
-__all__ = ["MetricsCollector", "DistributionSummary", "percentile", "summarize"]
+__all__ = ["MetricsCollector", "DistributionSummary", "names", "percentile", "summarize"]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.metrics.summary import DistributionSummary, percentile as _percentile, summarize
+from repro.sim import monitor as state_monitor
 
 
 class MetricsCollector:
@@ -24,10 +25,12 @@ class MetricsCollector:
 
     def increment(self, name: str, amount: float = 1.0) -> float:
         """Add ``amount`` to the counter ``name`` and return the new value."""
+        state_monitor.record_accum("metrics", self, ("counter", name))
         self._counters[name] = self._counters.get(name, 0.0) + amount
         return self._counters[name]
 
     def counter(self, name: str) -> float:
+        state_monitor.record_read("metrics", self, ("counter", name))
         return self._counters.get(name, 0.0)
 
     def counters(self) -> Dict[str, float]:
@@ -37,14 +40,23 @@ class MetricsCollector:
 
     def set_gauge(self, name: str, value: float) -> None:
         """Record the latest value of ``name`` (overwrites, never accumulates)."""
+        state_monitor.record_write(
+            "metrics", self, ("gauge", name), float(value),
+            replaced=self._gauges.get(name, state_monitor.ABSENT),
+        )
         self._gauges[name] = float(value)
 
     def set_gauges(self, values: Dict[str, float]) -> None:
         """Record a batch of gauges at once (cache hit/invalidation snapshots)."""
         for name, value in values.items():
+            state_monitor.record_write(
+                "metrics", self, ("gauge", name), float(value),
+                replaced=self._gauges.get(name, state_monitor.ABSENT),
+            )
             self._gauges[name] = float(value)
 
     def gauge(self, name: str) -> float:
+        state_monitor.record_read("metrics", self, ("gauge", name), self._gauges.get(name, 0.0))
         return self._gauges.get(name, 0.0)
 
     def gauges(self) -> Dict[str, float]:
@@ -54,9 +66,11 @@ class MetricsCollector:
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation of the sample ``name``."""
+        state_monitor.record_accum("metrics", self, ("sample", name))
         self._samples.setdefault(name, []).append(float(value))
 
     def sample(self, name: str) -> List[float]:
+        state_monitor.record_read("metrics", self, ("sample", name))
         return list(self._samples.get(name, []))
 
     def percentile(self, name: str, q: float) -> float:
@@ -71,6 +85,7 @@ class MetricsCollector:
             if q > 100.0:
                 raise ValueError(f"percentile must be in [0, 100], got {q!r}")
             q = q / 100.0
+        state_monitor.record_read("metrics", self, ("sample", name))
         return _percentile(self._samples.get(name, []), q)
 
     def quantiles(self, name: str, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> Dict[float, float]:
@@ -82,6 +97,7 @@ class MetricsCollector:
         return {q: self.percentile(name, q) for q in qs}
 
     def summary(self, name: str) -> DistributionSummary:
+        state_monitor.record_read("metrics", self, ("sample", name))
         return summarize(self._samples.get(name, []))
 
     def summaries(self) -> Dict[str, DistributionSummary]:

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.network import SimulatedNetwork
+from repro.sim import monitor as state_monitor
 from repro.sim.simulator import Simulator
 
 # Key layout of the plane (one flat namespace, prefix-typed).
@@ -110,19 +111,30 @@ class GossipNode:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _observe(self, key: str, entry: Optional[GossipEntry]) -> None:
+        state_monitor.record_read(
+            "gossip", self, key,
+            (entry.version, entry.value) if entry is not None else (0, None),
+        )
+
     def entry(self, key: str) -> Optional[GossipEntry]:
-        return self._entries.get(key)
+        entry = self._entries.get(key)
+        self._observe(key, entry)
+        return entry
 
     def get(self, key: str, default: object = None) -> object:
         entry = self._entries.get(key)
+        self._observe(key, entry)
         return entry.value if entry is not None else default
 
     def version_of(self, key: str) -> int:
         entry = self._entries.get(key)
+        self._observe(key, entry)
         return entry.version if entry is not None else 0
 
     def put(self, key: str, value: object, version: int) -> bool:
         """Merge one entry; accepted only when strictly newer (no regress)."""
+        state_monitor.record_merge("gossip", self, key, version, value)
         current = self._entries.get(key)
         if current is not None and version <= current.version:
             return False
@@ -134,7 +146,7 @@ class GossipNode:
 
     def digest(self) -> Dict[str, int]:
         """``key -> version`` summary used to compare node states."""
-        return {key: entry.version for key, entry in self._entries.items()}
+        return {key: entry.version for key, entry in sorted(self._entries.items())}
 
     def snapshot(self) -> Dict[str, GossipEntry]:
         """A frozen copy of the store (the batch-snapshot primitive)."""

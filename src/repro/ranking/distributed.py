@@ -71,7 +71,7 @@ class RankContribution:
 def compute_honest_contribution(task: RankTask, damping: float = DEFAULT_DAMPING) -> RankContribution:
     """The correct partition computation every honest worker bee runs."""
     result = RankContribution()
-    for _, (rank, out_links) in task.node_states.items():
+    for _, (rank, out_links) in sorted(task.node_states.items()):
         if not out_links:
             result.dangling_mass += rank
             continue
@@ -190,7 +190,7 @@ class DecentralizedPageRank:
                     },
                 )
                 outcome = self._execute_with_voting(task)
-                for target, mass in outcome.accepted.contributions.items():
+                for target, mass in sorted(outcome.accepted.contributions.items()):
                     contributions[target] = contributions.get(target, 0.0) + mass
                 dangling_mass += outcome.accepted.dangling_mass
 
@@ -254,7 +254,9 @@ class DecentralizedPageRank:
             groups, key=lambda fp: (len(groups[fp]), -self._first_index(answers, fp))
         )
         agreeing = groups[winning_fingerprint]
-        dissenting = [w for fp, ws in groups.items() if fp != winning_fingerprint for w in ws]
+        dissenting = [
+            w for fp, ws in sorted(groups.items()) if fp != winning_fingerprint for w in ws
+        ]
         for worker_address in dissenting:
             self.stats.record_dissent(worker_address)
         return VoteOutcome(
@@ -271,7 +273,7 @@ class DecentralizedPageRank:
         equals ``damping * sum(input ranks)`` exactly; anything else has
         created or destroyed rank mass and is provably wrong.
         """
-        input_mass = sum(rank for rank, _ in task.node_states.values())
+        input_mass = sum(rank for _, (rank, _out) in sorted(task.node_states.items()))
         expected = self.damping * input_mass
         observed = sum(contribution.contributions.values()) + self.damping * contribution.dangling_mass
         return abs(observed - expected) <= self.conservation_tolerance + 1e-12 * abs(expected)

@@ -72,7 +72,7 @@ class LinkGraph:
         """The induced subgraph over ``nodes`` (used to split work across bees)."""
         wanted = set(nodes)
         result = LinkGraph()
-        for node in wanted:
+        for node in sorted(wanted):
             if node in self._out:
                 result.add_node(node)
                 for target in self._out[node]:

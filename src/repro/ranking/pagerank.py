@@ -30,7 +30,7 @@ class PageRankResult:
     def l1_error(self, other: Dict[int, float]) -> float:
         """Sum of absolute rank differences against another rank vector."""
         keys = set(self.ranks) | set(other)
-        return sum(abs(self.ranks.get(k, 0.0) - other.get(k, 0.0)) for k in keys)
+        return sum(abs(self.ranks.get(k, 0.0) - other.get(k, 0.0)) for k in sorted(keys))
 
 
 def pagerank(

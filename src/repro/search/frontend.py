@@ -670,9 +670,12 @@ class SearchFrontend:
         This is safe because each query builds its own executor and cursors;
         the only state shared between branches is read-mostly — the
         prefetched readers (whose lazy shard memoization is an idempotent
-        content fill) and the caches, which branches observe in the same
-        deterministic order as the sequential path, so pages are
-        bit-identical either way.  Shard loads that do happen mid-execution
+        content fill) and the caches.  Queries that share a result-cache key
+        are deduplicated first: only the first occurrence executes inside
+        the region, and its duplicates replay after the region closes, so no
+        branch ever reads a page a sibling branch stored (the
+        :class:`~repro.sim.monitor.SharedStateMonitor` race detector checks
+        exactly this).  Shard loads that do happen mid-execution
         are placement-routed to the least-loaded live provider, so parallel
         queries over the same head term fan out across its replica set
         instead of contending on one peer.
@@ -738,6 +741,14 @@ class SearchFrontend:
         pages: List[Optional[ResultPage]] = [None] * len(raw_queries)
         thunks: List[Callable[[], ResultPage]] = []
         slots: List[int] = []
+        # Duplicate queries (same result-cache key) must not share a parallel
+        # region: the first branch's cache put would be visible to the
+        # second's get — an intra-region read-after-write no real concurrent
+        # execution guarantees.  Only the first occurrence runs in the
+        # region; duplicates replay afterwards, where the just-stored page
+        # makes them a cache hit (exactly what the sequential path did).
+        seen_keys: Dict[Hashable, int] = {}
+        replays: List[Tuple[int, Callable[[], ResultPage]]] = []
         for slot, (raw_query, query, key) in enumerate(zip(raw_queries, parsed, keys)):
             if query is None:
                 pages[slot] = ResultPage(query=raw_query, latency=0.0)
@@ -752,6 +763,11 @@ class SearchFrontend:
                     extra_latency=prefetch_share, cache_key=key,
                 )
 
+            if key is not None:
+                if key in seen_keys:
+                    replays.append((slot, run))
+                    continue
+                seen_keys[key] = slot
             thunks.append(run)
             slots.append(slot)
         if self.overlapped_prefetch and len(thunks) > 1:
@@ -761,6 +777,8 @@ class SearchFrontend:
             executed = [thunk() for thunk in thunks]
         for slot, page in zip(slots, executed):
             pages[slot] = page
+        for slot, run in replays:
+            pages[slot] = run()
         batch_latency = self.simulator.now - started
         for page in pages:
             page.diagnostics["batch_latency"] = batch_latency

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
 from repro.search.results import ResultPage
+from repro.sim import monitor as state_monitor
 
 
 @dataclass
@@ -101,9 +102,11 @@ class ResultCache:
         page = self._entries.get(key)
         if page is None:
             self.stats.misses += 1
+            state_monitor.record_read("result_cache", self, key)
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        state_monitor.record_read("result_cache", self, key, page)
         return page
 
     def put(self, key: Hashable, page: ResultPage, fingerprint: Hashable = None) -> None:
@@ -113,10 +116,18 @@ class ResultCache:
         latest page for that query shape, making it reachable through
         :meth:`get_stale` after its freshness key has moved on.
         """
+        state_monitor.record_write(
+            "result_cache", self, key, page,
+            replaced=self._entries.get(key, state_monitor.ABSENT),
+        )
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = page
         if fingerprint is not None:
+            state_monitor.record_write(
+                "result_cache", self, ("fingerprint", fingerprint), key,
+                replaced=self._latest_by_fingerprint.get(fingerprint, state_monitor.ABSENT),
+            )
             self._latest_by_fingerprint[fingerprint] = key
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -131,6 +142,7 @@ class ResultCache:
         itself never reads through this method.
         """
         key = self._latest_by_fingerprint.get(fingerprint)
+        state_monitor.record_read("result_cache", self, ("fingerprint", fingerprint), key)
         if key is None:
             return None
         page = self._entries.get(key)
@@ -139,6 +151,7 @@ class ResultCache:
             del self._latest_by_fingerprint[fingerprint]
             return None
         self.stats.stale_serves += 1
+        state_monitor.record_read("result_cache", self, key, page)
         return page
 
     def clear(self) -> None:

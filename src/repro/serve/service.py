@@ -52,10 +52,12 @@ nothing does, and the benchmark shows what that costs.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
 
+from repro.metrics.collector import MetricsCollector
 from repro.search.frontend import FrontendOptions, SearchFrontend
+from repro.sim.simulator import Simulator
 from repro.search.results import (
     SERVED_DEGRADED,
     SERVED_SHED,
@@ -161,34 +163,53 @@ class _Replica:
 
 
 class QueryService:
-    """The serving front door over one engine's frontends.
+    """The serving front door over a set of search frontends.
+
+    The service deliberately does **not** hold the engine: the serving
+    plane (like ``repro/search``) sees only what a deployed front door
+    would — a clock, a way to build frontend replicas, and a metrics sink
+    (repro-lint rule RL003).  Use :meth:`QueenBeeEngine.create_service` to
+    wire one against a deployment.
 
     Parameters
     ----------
-    engine:
-        The deployment to serve against; replicas are built through
-        :meth:`QueenBeeEngine.create_frontend` (so the metadata plane
-        decides whether they are shared-state or real remote nodes).
+    simulator:
+        The clock and event queue completions are scheduled on.
+    frontend_factory:
+        ``factory(requester=..., options=...) -> SearchFrontend`` builds
+        one replica; :meth:`QueenBeeEngine.create_frontend` fits, so the
+        metadata plane decides whether replicas are shared-state or real
+        remote nodes.
     options:
         The admission/limit policy (:class:`ServiceOptions`).
     frontend_options:
-        Policy for the underlying frontends; defaults to the engine
-        config's :meth:`FrontendOptions.from_config`.  Degraded serving
-        needs ``result_cache_capacity > 0`` to ever find a page.
+        Policy for the underlying frontends (passed to the factory).
+        Degraded serving needs ``result_cache_capacity > 0`` to ever find
+        a page.
     requesters:
         Optional per-replica requester peer addresses (length must match
         ``options.replicas`` when given).
+    metrics:
+        Optional collector the ``serve.*`` outcome counters and latency
+        samples are recorded into.
+    on_served:
+        Optional zero-argument callback invoked once per fully-served
+        request (the engine counts these in its own stats).
     """
 
     def __init__(
         self,
-        engine,
+        simulator: Simulator,
+        frontend_factory: Callable[..., SearchFrontend],
         options: Optional[ServiceOptions] = None,
         frontend_options: Optional[FrontendOptions] = None,
         requesters: Optional[List[str]] = None,
+        metrics: Optional[MetricsCollector] = None,
+        on_served: Optional[Callable[[], None]] = None,
     ) -> None:
-        self.engine = engine
-        self.simulator = engine.simulator
+        self.simulator = simulator
+        self.metrics = metrics
+        self.on_served = on_served
         self.options = options or ServiceOptions()
         self.options.validate()
         if requesters is not None and len(requesters) != self.options.replicas:
@@ -198,7 +219,7 @@ class QueryService:
         self.replicas: List[_Replica] = []
         for index in range(self.options.replicas):
             requester = requesters[index] if requesters is not None else None
-            frontend = engine.create_frontend(requester=requester, options=frontend_options)
+            frontend = frontend_factory(requester=requester, options=frontend_options)
             self.replicas.append(_Replica(index, frontend))
         self.stats = ServiceStats()
         self.responses: List[ServedRequest] = []
@@ -343,11 +364,13 @@ class QueryService:
     # -- accounting ---------------------------------------------------------------
 
     def _observe(self, request: ServedRequest) -> None:
-        metrics = self.engine.metrics
         serving = request.page.serving
-        metrics.increment(f"serve.{serving.served_from}")
-        if serving.answered:
-            metrics.observe("serve.latency", serving.latency)
+        if self.metrics is not None:
+            self.metrics.increment(f"serve.{serving.served_from}")
+            if serving.answered:
+                self.metrics.observe("serve.latency", serving.latency)
         if serving.served_from not in (SERVED_SHED, SERVED_DEGRADED):
-            metrics.observe("serve.queue_delay", serving.queue_delay)
-            self.engine.stats.queries_served += 1
+            if self.metrics is not None:
+                self.metrics.observe("serve.queue_delay", serving.queue_delay)
+            if self.on_served is not None:
+                self.on_served()

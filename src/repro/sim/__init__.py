@@ -9,10 +9,24 @@ Every QueenBee experiment runs on simulated time.  The package provides:
 * :class:`~repro.sim.simulator.Simulator` — ties the two together and owns
   the seeded random number generator, so that whole experiments are
   reproducible from a single seed.
+* :class:`~repro.sim.monitor.SharedStateMonitor` — the parallel-region race
+  detector (the runtime half of ``repro-lint``): activated around a
+  workload, it attributes every access to the instrumented shared surfaces
+  to the region task it happened in and flags order-sensitive cross-task
+  conflicts.
 """
 
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
+from repro.sim.monitor import Conflict, SharedStateConflictError, SharedStateMonitor
 from repro.sim.simulator import Simulator
 
-__all__ = ["SimClock", "Event", "EventQueue", "Simulator"]
+__all__ = [
+    "Conflict",
+    "Event",
+    "EventQueue",
+    "SharedStateConflictError",
+    "SharedStateMonitor",
+    "SimClock",
+    "Simulator",
+]

@@ -1,0 +1,456 @@
+"""The parallel-region race detector: SharedStateMonitor.
+
+:meth:`repro.sim.simulator.Simulator.parallel_region` *declares* that its
+branches are logically concurrent — the clock charges only the slowest one.
+That declaration is a proof obligation the simulator cannot discharge by
+itself: the branches actually run sequentially, so a branch that mutates
+shared state (a cache entry, a gossip store, a metrics counter) and a
+sibling that reads it get an ordering a real concurrent execution would
+not guarantee.  Such a pair silently breaks both the latency accounting
+*and* the reproducibility story (the result now depends on branch order).
+
+This module is the runtime half of ``repro-lint``: a
+:class:`SharedStateMonitor` activated around a workload records every
+logical access to the instrumented shared surfaces —
+:class:`~repro.index.cache.PostingCache`,
+:class:`~repro.search.result_cache.ResultCache`,
+:class:`~repro.net.gossip.GossipNode`, and
+:class:`~repro.metrics.collector.MetricsCollector` — attributing each to
+the parallel-region task it happened in, and flags cross-task conflicts
+when a region closes.
+
+Access kinds and the conflict matrix
+------------------------------------
+``READ``
+    Observes a key's value (the observed value is recorded, including
+    "absent").
+``WRITE``
+    Replaces a key's value (last-writer-wins).
+``ACCUM``
+    A commutative update — a counter increment, a sample append.  Any
+    interleaving yields the same final state, so ACCUM/ACCUM pairs never
+    conflict.
+``MERGE``
+    A version-guarded monotonic merge (the gossip store's ``put``): the
+    higher version wins regardless of order, so two merges commute unless
+    they carry the *same* version with *different* values.
+
+Two tasks conflict on a key when their access kinds are order-sensitive:
+
+* WRITE/WRITE — unless every written value compares equal (an idempotent
+  double-fill, e.g. two branches caching the same deterministic fetch);
+  these are demoted to ``benign`` and counted, not flagged.
+* READ/WRITE — unless the write is a *no-op*: the written value equals the
+  value it replaced, so no interleaving could have shown the reader
+  anything different.  (Comparing against the reader's *observed* value
+  would be unsound — in this sequential execution a later task's read
+  observes an earlier sibling's write, which is exactly the order
+  dependency being hunted.)
+* ACCUM vs READ or WRITE — a read of a counter mid-increment, or an
+  increment racing a reset, is order-sensitive.
+* MERGE/MERGE — only at equal version with unequal values.
+* MERGE/READ — only when the merged version is *newer* than the version
+  the reader observed (the merge would have changed the read).
+* MERGE vs WRITE/ACCUM — always.
+
+Accesses outside any parallel region are serial by construction and are
+ignored.  Regions nest: an inner region's conflicts are checked among its
+own tasks, then its whole footprint collapses into the enclosing task
+(matching how :meth:`parallel_region` collapses the inner clock cost).
+
+Instrumentation is pay-for-play: the shared surfaces call the module-level
+``record_*`` hooks, which are a single ``is None`` test when no monitor is
+active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+READ = "read"
+WRITE = "write"
+ACCUM = "accum"
+MERGE = "merge"
+
+#: Sentinel: a READ observed "no entry", or a WRITE replaced "no entry".
+#: Instrumented surfaces pass it as ``replaced=`` when filling a fresh key.
+ABSENT = object()
+_ABSENT = ABSENT
+
+_active: Optional["SharedStateMonitor"] = None
+
+
+def active() -> Optional["SharedStateMonitor"]:
+    """The currently installed monitor, if any."""
+    return _active
+
+
+def activate(monitor: "SharedStateMonitor") -> None:
+    global _active
+    if _active is not None:
+        raise RuntimeError("a SharedStateMonitor is already active")
+    _active = monitor
+
+
+def deactivate(monitor: "SharedStateMonitor") -> None:
+    global _active
+    if _active is monitor:
+        _active = None
+
+
+def record_read(surface: str, obj: object, key: object, observed: object = _ABSENT) -> None:
+    if _active is not None:
+        _active.record(surface, obj, key, READ, observed)
+
+
+def record_write(
+    surface: str,
+    obj: object,
+    key: object,
+    value: object = _ABSENT,
+    replaced: object = _ABSENT,
+) -> None:
+    """Record a key overwrite.  ``replaced`` is the value the key held
+    before the write (``ABSENT`` when it held none): a write whose value
+    equals what it replaced is a no-op and never conflicts."""
+    if _active is not None:
+        _active.record(surface, obj, key, WRITE, (value, replaced))
+
+
+def record_accum(surface: str, obj: object, key: object) -> None:
+    if _active is not None:
+        _active.record(surface, obj, key, ACCUM, _ABSENT)
+
+
+def record_merge(surface: str, obj: object, key: object, version: int, value: object) -> None:
+    if _active is not None:
+        _active.record(surface, obj, key, MERGE, (version, value))
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One order-sensitive cross-task access pair on one key."""
+
+    kind: str  # "write-write" | "read-write" | "accum" | "merge"
+    surface: str
+    object_label: str
+    key: object
+    tasks: Tuple[int, ...]
+    detail: str = ""
+
+    def render(self) -> str:
+        tasks = ",".join(str(t) for t in self.tasks)
+        return (
+            f"{self.kind} conflict on {self.surface}[{self.key!r}] "
+            f"({self.object_label}) between tasks {{{tasks}}}"
+            + (f": {self.detail}" if self.detail else "")
+        )
+
+
+@dataclass
+class _KeyAccess:
+    """One task's footprint on one (object, key)."""
+
+    reads: List[object] = field(default_factory=list)  # observed values
+    writes: List[Tuple[object, object]] = field(default_factory=list)  # (value, replaced)
+    merges: List[Tuple[int, object]] = field(default_factory=list)  # (version, value)
+    accums: int = 0
+
+
+class _Task:
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.accesses: Dict[Tuple[str, int, object], _KeyAccess] = {}
+
+    def access(self, slot: Tuple[str, int, object]) -> _KeyAccess:
+        entry = self.accesses.get(slot)
+        if entry is None:
+            entry = _KeyAccess()
+            self.accesses[slot] = entry
+        return entry
+
+
+class _Region:
+    def __init__(self) -> None:
+        self.tasks: List[_Task] = []
+        self.current: Optional[_Task] = None
+
+
+def _equal(a: object, b: object) -> bool:
+    try:
+        return bool(a == b)
+    except Exception:
+        return a is b
+
+
+class SharedStateMonitor:
+    """Per-task read/write-set tracking over the shared mutable surfaces.
+
+    Usage::
+
+        with SharedStateMonitor() as monitor:
+            engine.search_batch(queries)
+        assert not monitor.conflicts, monitor.report()
+
+    Only one monitor can be active at a time (the simulator is
+    single-threaded, and the instrumentation hooks are module-level).
+    ``raise_on_conflict=True`` raises :class:`SharedStateConflictError` as
+    soon as a region closes with conflicts, which pins the failure to the
+    offending region in a test's traceback.
+    """
+
+    def __init__(self, raise_on_conflict: bool = False) -> None:
+        self.raise_on_conflict = raise_on_conflict
+        self.conflicts: List[Conflict] = []
+        #: Cross-task same-value double-writes: order-insensitive in effect,
+        #: but still duplicated work worth seeing in a report.
+        self.benign_conflicts: List[Conflict] = []
+        self.regions_checked = 0
+        self.accesses_recorded = 0
+        self._frames: List[_Region] = []
+        self._object_labels: Dict[int, str] = {}
+        self._object_refs: List[object] = []  # keep ids stable while active
+        self._label_counts: Dict[str, int] = {}
+
+    # -- context manager -----------------------------------------------------------
+
+    def __enter__(self) -> "SharedStateMonitor":
+        activate(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        deactivate(self)
+
+    # -- object identity -----------------------------------------------------------
+
+    def _label(self, surface: str, obj: object) -> str:
+        key = id(obj)
+        label = self._object_labels.get(key)
+        if label is None:
+            count = self._label_counts.get(surface, 0)
+            self._label_counts[surface] = count + 1
+            label = f"{surface}#{count}"
+            self._object_labels[key] = label
+            self._object_refs.append(obj)  # pin: id() must not be reused
+        return label
+
+    # -- region/task lifecycle (driven by Simulator.parallel_region) ----------------
+
+    def begin_region(self) -> None:
+        self._frames.append(_Region())
+
+    def begin_task(self, index: int) -> None:
+        frame = self._frames[-1]
+        task = _Task(index)
+        frame.tasks.append(task)
+        frame.current = task
+
+    def end_task(self) -> None:
+        if self._frames:
+            self._frames[-1].current = None
+
+    def end_region(self) -> None:
+        frame = self._frames.pop()
+        self.regions_checked += 1
+        conflicts = self._analyze(frame)
+        if self._frames:
+            self._collapse_into_parent(frame)
+        if conflicts and self.raise_on_conflict:
+            raise SharedStateConflictError(conflicts)
+
+    def _collapse_into_parent(self, frame: _Region) -> None:
+        """Fold a nested region's footprint into the enclosing task."""
+        parent = self._frames[-1].current
+        if parent is None:
+            return
+        for task in frame.tasks:
+            for slot, access in task.accesses.items():
+                merged = parent.access(slot)
+                merged.reads.extend(access.reads)
+                merged.writes.extend(access.writes)
+                merged.merges.extend(access.merges)
+                merged.accums += access.accums
+
+    # -- recording -----------------------------------------------------------------
+
+    def record(self, surface: str, obj: object, key: object, kind: str, payload: object) -> None:
+        if not self._frames:
+            return  # serial context: ordering is real, not simulated-away
+        current = self._frames[-1].current
+        if current is None:
+            return  # between tasks (region bookkeeping itself)
+        self.accesses_recorded += 1
+        self._label(surface, obj)  # assign the deterministic label on first touch
+        access = current.access((surface, id(obj), key))
+        if kind == READ:
+            access.reads.append(payload)
+        elif kind == WRITE:
+            access.writes.append(payload)
+        elif kind == MERGE:
+            access.merges.append(payload)  # (version, value)
+        elif kind == ACCUM:
+            access.accums += 1
+
+    # -- analysis ------------------------------------------------------------------
+
+    def _analyze(self, frame: _Region) -> List[Conflict]:
+        """Pairwise cross-task conflict detection for one closed region."""
+        touched: Dict[Tuple[str, int, object], List[Tuple[_Task, _KeyAccess]]] = {}
+        for task in frame.tasks:
+            for slot, access in task.accesses.items():
+                touched.setdefault(slot, []).append((task, access))
+        found: List[Conflict] = []
+        for slot, entries in touched.items():
+            if len(entries) < 2:
+                continue
+            surface, obj_id, key = slot
+            label = self._object_labels.get(obj_id, surface)
+            found.extend(self._analyze_key(surface, label, key, entries))
+        self.conflicts.extend(found)
+        return found
+
+    def _analyze_key(
+        self,
+        surface: str,
+        label: str,
+        key: object,
+        entries: List[Tuple["_Task", _KeyAccess]],
+    ) -> List[Conflict]:
+        conflicts: List[Conflict] = []
+
+        def conflict(kind: str, tasks: Tuple[int, ...], detail: str) -> Conflict:
+            return Conflict(
+                kind=kind, surface=surface, object_label=label, key=key,
+                tasks=tasks, detail=detail,
+            )
+
+        writers = [(t, a) for t, a in entries if a.writes]
+        readers = [(t, a) for t, a in entries if a.reads]
+        mergers = [(t, a) for t, a in entries if a.merges]
+        accumulators = [(t, a) for t, a in entries if a.accums]
+
+        # WRITE / WRITE
+        if len(writers) >= 2:
+            values = [value for _, access in writers for value, _replaced in access.writes]
+            first = values[0]
+            tasks = tuple(sorted(t.index for t, _ in writers))
+            if all(_equal(first, value) for value in values[1:]):
+                self.benign_conflicts.append(
+                    conflict("write-write", tasks, "identical values (idempotent double-fill)")
+                )
+            else:
+                conflicts.append(conflict("write-write", tasks, "differing written values"))
+
+        # READ / WRITE (cross-task).  A write is harmless only when it is a
+        # no-op — its value equals the value it replaced — because then no
+        # interleaving could have shown the reader anything different.
+        for writer_task, writer_access in writers:
+            no_op = all(
+                replaced is not _ABSENT and _equal(value, replaced)
+                for value, replaced in writer_access.writes
+            )
+            for reader_task, reader_access in readers:
+                if reader_task is writer_task:
+                    continue
+                tasks = tuple(sorted({reader_task.index, writer_task.index}))
+                if no_op:
+                    self.benign_conflicts.append(
+                        conflict("read-write", tasks, "write replaced an equal value (no-op)")
+                    )
+                else:
+                    conflicts.append(
+                        conflict(
+                            "read-write", tasks,
+                            "a concurrent execution could observe either order",
+                        )
+                    )
+
+        # ACCUM vs READ/WRITE: an increment commutes with other increments,
+        # but not with a concurrent read (mid-count observation) or write
+        # (reset/overwrite racing the increment).
+        if accumulators:
+            accum_ids = {t.index for t, _ in accumulators}
+            for other_task, other_access in entries:
+                if not (other_access.reads or other_access.writes):
+                    continue
+                concurrent_accums = accum_ids - {other_task.index}
+                if not concurrent_accums:
+                    continue
+                conflicts.append(
+                    conflict(
+                        "accum",
+                        tuple(sorted(concurrent_accums | {other_task.index})),
+                        "commutative update racing a read/write of the same key",
+                    )
+                )
+
+        # MERGE / MERGE
+        if len(mergers) >= 2:
+            by_version: Dict[int, List[Tuple[int, object]]] = {}
+            for task, access in mergers:
+                for version, value in access.merges:
+                    by_version.setdefault(version, []).append((task.index, value))
+            for version, pairs in sorted(by_version.items()):
+                task_ids = sorted({task_id for task_id, _ in pairs})
+                if len(task_ids) < 2:
+                    continue
+                first_value = pairs[0][1]
+                if not all(_equal(first_value, value) for _, value in pairs[1:]):
+                    conflicts.append(
+                        conflict(
+                            "merge", tuple(task_ids),
+                            f"same version {version} merged with differing values",
+                        )
+                    )
+
+        # MERGE vs READ (stale-read order dependency) and MERGE vs WRITE/ACCUM
+        for merge_task, merge_access in mergers:
+            top_version = max(version for version, _ in merge_access.merges)
+            for other_task, other_access in entries:
+                if other_task is merge_task:
+                    continue
+                tasks = tuple(sorted({merge_task.index, other_task.index}))
+                if other_access.writes or other_access.accums:
+                    conflicts.append(
+                        conflict("merge", tasks, "version-guarded merge racing a plain write")
+                    )
+                    continue
+                for observed in other_access.reads:
+                    observed_version = (
+                        observed[0]
+                        if isinstance(observed, tuple) and observed
+                        and isinstance(observed[0], int)
+                        else -1
+                    )
+                    if observed is _ABSENT or observed_version < top_version:
+                        conflicts.append(
+                            conflict(
+                                "merge", tasks,
+                                "merge carries a newer version than a concurrent read observed",
+                            )
+                        )
+                        break
+        return conflicts
+
+    # -- reporting -----------------------------------------------------------------
+
+    def report(self) -> str:
+        lines = [
+            f"SharedStateMonitor: {self.regions_checked} region(s), "
+            f"{self.accesses_recorded} access(es), {len(self.conflicts)} conflict(s), "
+            f"{len(self.benign_conflicts)} benign"
+        ]
+        lines.extend("  " + conflict.render() for conflict in self.conflicts)
+        return "\n".join(lines)
+
+
+class SharedStateConflictError(AssertionError):
+    """Raised by ``raise_on_conflict`` monitors when a region closes dirty."""
+
+    def __init__(self, conflicts: List[Conflict]) -> None:
+        self.conflicts = conflicts
+        super().__init__(
+            "parallel-region shared-state conflict(s):\n"
+            + "\n".join("  " + conflict.render() for conflict in conflicts)
+        )

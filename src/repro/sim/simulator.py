@@ -6,6 +6,7 @@ import random
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.sim import monitor as state_monitor
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 
@@ -168,14 +169,32 @@ class Simulator:
 
         The branches must not schedule future events that depend on the
         intermediate clock positions; QueenBee's index/rank pipelines don't.
+
+        When a :class:`repro.sim.monitor.SharedStateMonitor` is active, each
+        branch runs as a tracked task and cross-branch shared-state conflicts
+        are checked as the region closes — the sequential execution here is
+        only *sound* if no branch's result depends on a sibling having run.
         """
         start = self.clock.now
         slowest = 0.0
         results = []
-        for thunk in thunks:
-            self.clock.rewind_to(start)
-            results.append(thunk())
-            slowest = max(slowest, self.clock.now - start)
+        watcher = state_monitor.active()
+        if watcher is not None:
+            watcher.begin_region()
+        try:
+            for index, thunk in enumerate(thunks):
+                self.clock.rewind_to(start)
+                if watcher is not None:
+                    watcher.begin_task(index)
+                try:
+                    results.append(thunk())
+                finally:
+                    if watcher is not None:
+                        watcher.end_task()
+                slowest = max(slowest, self.clock.now - start)
+        finally:
+            if watcher is not None:
+                watcher.end_region()
         self.clock.rewind_to(start)
         self.clock.advance(slowest)
         return results

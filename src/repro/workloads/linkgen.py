@@ -50,7 +50,7 @@ def generate_link_graph(
                 target = rng.choice(attachment_pool)
             if target != node:
                 chosen.add(target)
-        for target in chosen:
+        for target in sorted(chosen):
             graph.add_edge(node, target)
             attachment_pool.append(target)
         attachment_pool.append(node)

@@ -1,0 +1,14 @@
+"""RL004 bad fixture (strict scope): this path is an order-critical module,
+so unsorted *dict* iteration is an error too — insertion order here is
+downstream of other iteration orders and feeds publish fanout."""
+
+
+def publish_all(tracked: dict) -> int:
+    writes = 0
+    for key, value in tracked.items():  # flagged: unsorted .items()
+        writes += publish(key, value)
+    return writes
+
+
+def publish(key, value) -> int:
+    return 1

@@ -1,0 +1,11 @@
+"""RL003 bad fixture: a plane-isolated module re-coupled to the engine."""
+
+from repro.core.engine import QueenBeeEngine  # flagged: engine import
+
+
+class Frontend:
+    def __init__(self, engine: "QueenBeeEngine") -> None:
+        self.engine = engine  # flagged: holds engine soft state
+
+    def corpus_size(self) -> int:
+        return len(self.engine.documents)  # flagged: reaches into internals

@@ -1,0 +1,12 @@
+"""RL001 bad fixture: unseeded randomness under src/repro."""
+
+import random
+from random import choice  # noqa: F401  (flagged: pulls in the global RNG)
+
+
+def jitter() -> float:
+    return random.random()  # flagged: process-global unseeded RNG
+
+
+def pick(options):
+    return choice(options)

@@ -1,0 +1,12 @@
+"""RL002 bad fixture: wall-clock reads inside simulated components."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # flagged: wall clock
+
+
+def today() -> str:
+    return datetime.now().isoformat()  # flagged: wall clock

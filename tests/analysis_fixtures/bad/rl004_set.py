@@ -1,0 +1,11 @@
+"""RL004 bad fixture (lax scope): provably-set iteration without sorted()."""
+
+
+def fanout(peers):
+    targets = set(peers)
+    return [address for address in targets]  # flagged: set comprehension
+
+
+def drain(pending: set) -> None:
+    for item in pending:  # flagged: set for-loop (annotation-inferred)
+        item.run()

@@ -1,0 +1,5 @@
+"""RL005 bad fixture: a config read that names no declared knob."""
+
+
+def interval(config) -> float:
+    return config.gossip_interal  # flagged: typo'd knob name

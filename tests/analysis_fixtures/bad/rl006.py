@@ -1,0 +1,7 @@
+"""RL006 bad fixture: metric names absent from the registry."""
+
+
+def record(metrics, latency: float, outcome: str) -> None:
+    metrics.increment("bogus.counter")  # flagged: undeclared counter
+    metrics.observe("bogus.sample", latency)  # flagged: undeclared sample
+    metrics.increment(f"bogus.{outcome}")  # flagged: undeclared dynamic prefix

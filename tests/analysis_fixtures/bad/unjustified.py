@@ -1,0 +1,7 @@
+"""RL000 fixture: a suppression without a justification is itself an error."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=RL002

@@ -1,0 +1,12 @@
+"""RL004 good fixture (strict scope): dict iteration is canonicalized."""
+
+
+def publish_all(tracked: dict) -> int:
+    writes = 0
+    for key, value in sorted(tracked.items()):
+        writes += publish(key, value)
+    return writes
+
+
+def publish(key, value) -> int:
+    return 1

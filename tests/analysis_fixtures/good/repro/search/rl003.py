@@ -1,0 +1,11 @@
+"""RL003 good fixture: narrow injected dependencies, no engine reference."""
+
+
+class Frontend:
+    def __init__(self, simulator, fetch_shard, metrics) -> None:
+        self.simulator = simulator
+        self.fetch_shard = fetch_shard
+        self.metrics = metrics
+
+    def resolve(self, term: str):
+        return self.fetch_shard(term)

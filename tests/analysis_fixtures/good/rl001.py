@@ -1,0 +1,11 @@
+"""RL001 good fixture: all randomness flows through seeded streams."""
+
+import random
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()
+
+
+def make_stream(seed: int) -> random.Random:
+    return random.Random(seed)

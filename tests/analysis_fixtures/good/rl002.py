@@ -1,0 +1,9 @@
+"""RL002 good fixture: time comes from the simulator clock."""
+
+
+def stamp(simulator) -> float:
+    return simulator.now
+
+
+def elapsed(simulator, started: float) -> float:
+    return simulator.now - started

@@ -1,0 +1,17 @@
+"""RL004 good fixture (lax scope): set iteration passes through sorted()."""
+
+
+def fanout(peers):
+    targets = set(peers)
+    return [address for address in sorted(targets)]
+
+
+def total(pending: set) -> int:
+    return len(pending)  # size probes never observe order
+
+
+def spans(chunks):
+    # List[Tuple[..., Dict[...], ...]] is a *list*: element types must not
+    # drag plain list iteration into the dict rule.
+    prepared: "list[tuple[str, dict]]" = list(chunks)
+    return [name for name, _ in prepared]

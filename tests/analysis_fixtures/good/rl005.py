@@ -1,0 +1,9 @@
+"""RL005 good fixture: config reads name declared knobs only."""
+
+
+def overlay_size(config) -> int:
+    return config.peer_count
+
+
+def master_seed(config) -> int:
+    return config.seed

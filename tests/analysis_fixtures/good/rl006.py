@@ -1,0 +1,7 @@
+"""RL006 good fixture: metric names come from the declared registry."""
+
+
+def record(metrics, latency: float, outcome: str) -> None:
+    metrics.increment("query.batches")
+    metrics.observe("query.latency", latency)
+    metrics.increment(f"serve.{outcome}")  # "serve." is a declared prefix

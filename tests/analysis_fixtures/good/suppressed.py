@@ -1,0 +1,13 @@
+"""Suppression fixture: a justified pragma silences the finding (and is
+counted), both inline and on a standalone comment line above."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=RL002 -- fixture exercising the hatch
+
+
+def stamp_again() -> float:
+    # repro-lint: disable=RL002 -- standalone pragma covers the next line
+    return time.time()

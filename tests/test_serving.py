@@ -11,7 +11,7 @@ from repro.search.results import (
     SERVED_RESULT_CACHE,
     SERVED_SHED,
 )
-from repro.serve import QueryService, ServiceOptions
+from repro.serve import ServiceOptions
 from repro.serve.service import SHED_OVER_BUDGET, SHED_QUEUE_FULL
 from repro.workloads import FlashCrowdArrivals, PoissonArrivals
 
@@ -88,8 +88,7 @@ class TestServiceOptionsValidation:
 class TestAdmission:
     def test_queue_full_rejection_is_tagged_shed(self):
         engine, corpus = make_serving_engine(seed=11)
-        service = QueryService(
-            engine,
+        service = engine.create_service(
             ServiceOptions(replicas=1, concurrency=1, queue_capacity=0, degraded=False),
         )
         query = corpus.documents[0].text.split()[0]
@@ -108,8 +107,7 @@ class TestAdmission:
 
     def test_degraded_answer_replays_the_cached_page(self):
         engine, corpus = make_serving_engine(seed=13)
-        service = QueryService(
-            engine,
+        service = engine.create_service(
             ServiceOptions(replicas=1, concurrency=1, queue_capacity=0, degraded=True),
         )
         query = corpus.documents[0].text.split()[0]
@@ -135,8 +133,7 @@ class TestAdmission:
 
     def test_latency_budget_sheds_before_the_queue_fills(self):
         engine, corpus = make_serving_engine(seed=17)
-        service = QueryService(
-            engine,
+        service = engine.create_service(
             ServiceOptions(
                 replicas=1, concurrency=1, queue_capacity=100,
                 latency_budget=1.0, degraded=False,
@@ -163,8 +160,7 @@ class TestUnlimitedIdentity:
         ).generate(3000)
         assert len(workload) > 5
 
-        service = QueryService(
-            served_engine,
+        service = served_engine.create_service(
             ServiceOptions(replicas=1, concurrency=None, queue_capacity=None),
         )
         responses = service.run_workload(workload)
@@ -185,8 +181,7 @@ class TestUnlimitedIdentity:
 class TestFlashCrowdRecovery:
     def test_service_sheds_during_burst_and_recovers_after(self):
         engine, corpus = make_serving_engine(seed=23)
-        service = QueryService(
-            engine,
+        service = engine.create_service(
             ServiceOptions(replicas=1, concurrency=1, queue_capacity=1, degraded=True),
             # No result cache: every admitted request pays the full path, so
             # the burst genuinely overloads the slot.
@@ -236,7 +231,7 @@ class TestFlashCrowdRecovery:
 class TestServeMetrics:
     def test_latency_and_outcome_metrics_are_recorded(self):
         engine, corpus = make_serving_engine(seed=29)
-        service = QueryService(engine, ServiceOptions(replicas=2, concurrency=2))
+        service = engine.create_service(ServiceOptions(replicas=2, concurrency=2))
         query = corpus.documents[0].text.split()[0]
         page = service.serve(query)
         assert page.serving.answered

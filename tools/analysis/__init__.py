@@ -1,0 +1,14 @@
+"""repro-lint: repo-specific static analysis (see docs/ANALYSIS.md)."""
+
+from tools.analysis.core import Finding, LintReport, Module, Rule, run_lint
+from tools.analysis.rules import ALL_RULES, default_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "Module",
+    "Rule",
+    "default_rules",
+    "run_lint",
+]

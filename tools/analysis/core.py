@@ -1,0 +1,237 @@
+"""The repro-lint framework: findings, suppressions, and the file runner.
+
+``repro-lint`` is an AST-based analyzer for invariants this repository's
+correctness arguments rest on (seeded determinism, simulator-clock-only
+time, metadata-plane isolation, ordered iteration on publish/gossip paths,
+declared config knobs and metric names).  Generic linters cannot express
+these rules because they are *repo-specific*: "no unseeded randomness" is
+a style nit elsewhere and a reproducibility bug here.
+
+Architecture
+------------
+A rule is a subclass of :class:`Rule` with a unique ``rule_id`` (``RLxxx``)
+and a ``check(module)`` generator yielding :class:`Finding` objects.  The
+runner parses each file once into a :class:`Module` (source, AST, path
+metadata) and hands it to every selected rule.  Findings whose line (or
+whose file, via a file-level pragma) carries a matching suppression comment
+are dropped — but counted, so the CLI can report suppression usage.
+
+Suppression syntax (checked by tests in ``tests/test_repro_lint.py``)::
+
+    risky_call()  # repro-lint: disable=RL001 -- seeded upstream via fork_rng
+
+    # At the top of a file (before any code):
+    # repro-lint: disable-file=RL004 -- iteration feeds a commutative sum
+
+Multiple rules separate with commas: ``disable=RL001,RL002``.  The text
+after ``--`` is a justification; the analyzer requires it to be non-empty
+so a suppression always documents *why* the invariant does not apply.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)=(?P<rules>[A-Z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from comments.
+
+    ``by_line`` maps a physical line number to the set of rule ids disabled
+    on that line; ``file_wide`` disables a rule for the whole file.
+    ``missing_reason`` records suppressions written without a justification
+    (these are themselves reported as findings — an undocumented escape
+    hatch defeats the point of having one).
+    """
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+    missing_reason: List[Tuple[int, str]] = field(default_factory=list)
+    used: Set[Tuple[int, str]] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if rule_id in self.file_wide:
+            self.used.add((0, rule_id))
+            return True
+        if rule_id in self.by_line.get(line, set()):
+            self.used.add((line, rule_id))
+            return True
+        return False
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``# repro-lint:`` pragmas from one file's source."""
+    suppressions = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - unparsable file
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",") if part.strip()}
+        line = token.start[0]
+        if not match.group("reason"):
+            for rule_id in sorted(rules):
+                suppressions.missing_reason.append((line, rule_id))
+        if match.group("kind") == "disable-file":
+            suppressions.file_wide.update(rules)
+        else:
+            suppressions.by_line.setdefault(line, set()).update(rules)
+            # A pragma on a comment-only line also covers the next physical
+            # line, so findings inside multi-line expressions (dict literals,
+            # call chains) can be annotated without overlong lines.
+            if token.line[: token.start[1]].strip() == "":
+                suppressions.by_line.setdefault(line + 1, set()).update(rules)
+    return suppressions
+
+
+@dataclass
+class Module:
+    """One parsed source file plus the metadata rules key off."""
+
+    path: str  # as given on the command line
+    rel_path: str  # normalized, package-relative (e.g. "repro/net/gossip.py")
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+def _rel_path(path: str) -> str:
+    """Normalize to a forward-slash path relative to the ``repro`` package.
+
+    Rules address modules as ``repro/<sub>/<file>.py`` regardless of where
+    the tree is checked out or whether the caller passed ``src/repro`` or an
+    absolute path.
+    """
+    normalized = os.path.normpath(path).replace(os.sep, "/")
+    marker = "repro/"
+    index = normalized.rfind("/" + marker)
+    if index >= 0:
+        return normalized[index + 1 :]
+    if normalized.startswith(marker):
+        return normalized
+    return normalized
+
+
+class Rule:
+    """Base class for one analyzer rule."""
+
+    rule_id: str = "RL000"
+    title: str = ""
+
+    def check(self, module: Module) -> Iterator[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+def load_module(path: str) -> Optional[Module]:
+    """Parse one file; ``None`` for files the analyzer cannot read."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError):
+        return None
+    return Module(
+        path=path,
+        rel_path=_rel_path(path),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def run_lint(paths: Sequence[str], rules: Iterable[Rule]) -> LintReport:
+    """Run ``rules`` over every Python file under ``paths``."""
+    report = LintReport()
+    rules = list(rules)
+    for file_path in iter_python_files(paths):
+        module = load_module(file_path)
+        if module is None:
+            continue
+        report.files_checked += 1
+        for rule in rules:
+            for finding in rule.check(module):
+                if module.suppressions.is_suppressed(finding.rule_id, finding.line):
+                    report.suppressed += 1
+                    continue
+                report.findings.append(finding)
+        for line, rule_id in module.suppressions.missing_reason:
+            report.findings.append(
+                Finding(
+                    rule_id="RL000",
+                    path=module.path,
+                    line=line,
+                    message=(
+                        f"suppression of {rule_id} has no justification "
+                        "(write `# repro-lint: disable=... -- <why the invariant "
+                        "does not apply here>`)"
+                    ),
+                )
+            )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return report

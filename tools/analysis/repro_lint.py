@@ -1,0 +1,70 @@
+"""repro-lint: the repo-specific invariant analyzer (CLI).
+
+Usage::
+
+    python -m tools.analysis.repro_lint src/repro          # full run
+    python -m tools.analysis.repro_lint --select RL004 src # one rule
+    python -m tools.analysis.repro_lint --list-rules
+
+Exit status is 0 when clean, 1 when any finding survives suppression.
+See ``docs/ANALYSIS.md`` for the rule catalog and suppression syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+# RL005/RL006 read their registries from the repro package; make a bare
+# `python tools/analysis/repro_lint.py` work without PYTHONPATH gymnastics.
+for _entry in (_REPO_ROOT, os.path.join(_REPO_ROOT, "src")):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from tools.analysis.core import run_lint  # noqa: E402
+from tools.analysis.rules import ALL_RULES, default_rules  # noqa: E402
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-lint", description=__doc__)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to check (default: src/repro)")
+    parser.add_argument("--select", action="append", default=None, metavar="RLxxx",
+                        help="run only these rule ids (repeatable)")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="print findings only (no summary line)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_class in ALL_RULES:
+            doc = (rule_class.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule_class.rule_id}  {rule_class.title}")
+            print(f"       {doc}")
+        return 0
+
+    rules = default_rules()
+    if args.select:
+        wanted = {rule_id.strip() for chunk in args.select for rule_id in chunk.split(",")}
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+        if not rules:
+            parser.error(f"no rules match --select {sorted(wanted)}")
+
+    paths = args.paths or [os.path.join(_REPO_ROOT, "src", "repro")]
+    report = run_lint(paths, rules)
+    for finding in report.findings:
+        print(finding.render())
+    if not args.quiet:
+        print(
+            f"repro-lint: {report.files_checked} files, "
+            f"{len(report.findings)} finding(s), {report.suppressed} suppressed",
+            file=sys.stderr,
+        )
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
