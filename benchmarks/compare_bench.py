@@ -65,6 +65,31 @@ TRACKED: Dict[str, object] = {
             "answered (%)": 5.0,
         },
     },
+    "BENCH_E12.json": [
+        {
+            # Chaos matrix: under each fault scenario the answered share and
+            # recall must not erode, and the tail must not blow out further.
+            "rows_key": "rows",
+            "identity": ("scenario", "resilience"),
+            "metrics": {
+                "p99 latency": 250.0,
+            },
+            "higher_metrics": {
+                "answered (%)": 5.0,
+                "recall vs healthy (%)": 5.0,
+            },
+        },
+        {
+            # Crash-during-publish sweep: ``torn`` is a bool (0/1), so any
+            # flip from False to True is an infinite relative regression —
+            # the zero-torn-reads invariant gates the build.
+            "rows_key": "crash_rows",
+            "identity": ("crash after sends",),
+            "metrics": {
+                "torn": 0.0,
+            },
+        },
+    ],
     "BENCH_E3.json": [
         {
             "rows_key": "repair_rows",

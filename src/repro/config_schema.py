@@ -53,6 +53,18 @@ KNOBS: Tuple[Knob, ...] = (
         ("loss_rate", float, 0.0, "Probability an RPC is dropped."),
     ),
     *_knobs(
+        "resilience",
+        ("rpc_timeout", float, 0.0, "Ticks charged per lost RPC (0 = legacy sampled round trip)."),
+        ("rpc_retries", int, 1, "Attempts per resilient RPC (1 = no retry)."),
+        ("retry_backoff", float, 0.0, "Base backoff before attempt 2 (ticks, doubling)."),
+        ("retry_jitter", float, 0.0, "± fraction of deterministic jitter per backoff."),
+        ("retry_deadline", float, 0.0, "Per-operation retry deadline budget (0 = unbounded)."),
+        ("hedged_fetches", bool, False, "Hedge block fetches across two providers."),
+        ("failure_detector", bool, True, "Local liveness from RPC outcomes (False = oracle ablation)."),
+        ("detector_threshold", int, 3, "Net failures before a peer is suspected."),
+        ("detector_probe_after", float, 2_000.0, "Ticks until a suspected peer is re-probed (0 = never)."),
+    ),
+    *_knobs(
         "dht",
         ("dht_k", int, 8, "Kademlia bucket size."),
         ("dht_alpha", int, 3, "Concurrent lookups per round."),

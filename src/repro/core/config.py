@@ -32,6 +32,34 @@ class QueenBeeConfig:
     latency_sigma: float = 0.45
     loss_rate: float = 0.0
 
+    # Resilience
+    # Ticks a lost RPC costs the sender — the explicit timeout budget,
+    # charged uniformly on the single and parallel paths.  0 keeps the
+    # legacy accounting (a sampled round trip per drop).
+    rpc_timeout: float = 0.0
+    # Attempts per resilient RPC (block fetch/push); 1 = no retry.
+    rpc_retries: int = 1
+    # Base backoff (ticks) before the second attempt; doubles per attempt.
+    retry_backoff: float = 0.0
+    # ± fraction of deterministic jitter on each backoff, drawn from a
+    # dedicated RNG stream (never perturbs latency/loss sampling).
+    retry_jitter: float = 0.0
+    # Per-operation retry deadline budget (ticks); 0 = unbounded.
+    retry_deadline: float = 0.0
+    # Hedge storage block fetches across the two best-ranked providers,
+    # charging the clock only the winner's round trip (tail-latency hedge).
+    hedged_fetches: bool = False
+    # Route liveness from the local FailureDetector (suspicion built from
+    # observed RPC outcomes).  False restores the global is_online oracle
+    # on the fetch path — the ablation that quantifies what an omniscient
+    # membership view would buy.
+    failure_detector: bool = True
+    # Net failures before a peer is suspected (avoided by routing).
+    detector_threshold: int = 3
+    # Ticks after the last failure at which a suspected peer is probed
+    # again (presumed alive for one request); 0 = never re-probe.
+    detector_probe_after: float = 2_000.0
+
     # DHT
     dht_k: int = 8
     dht_alpha: int = 3
@@ -177,6 +205,20 @@ class QueenBeeConfig:
         config_schema.check_unknown_knobs(self.as_dict())
         if self.execution_mode not in ("taat", "maxscore"):
             raise ValueError(f"unknown execution_mode {self.execution_mode!r}")
+        if self.rpc_timeout < 0:
+            raise ValueError("rpc_timeout must be non-negative")
+        if self.rpc_retries < 1:
+            raise ValueError("rpc_retries must be at least 1")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
+        if self.retry_deadline < 0:
+            raise ValueError("retry_deadline must be non-negative")
+        if self.detector_threshold < 1:
+            raise ValueError("detector_threshold must be at least 1")
+        if self.detector_probe_after < 0:
+            raise ValueError("detector_probe_after must be non-negative")
         if self.posting_cache_capacity < 0:
             raise ValueError("posting_cache_capacity must be non-negative")
         if self.index_shard_size < 0:

@@ -41,8 +41,9 @@ from repro.net.gossip import (
     STATS_HEAD_KEY,
     quantize_load,
 )
+from repro.net.detector import FailureDetector
 from repro.net.latency import LogNormalLatency
-from repro.net.network import SimulatedNetwork
+from repro.net.network import RetryPolicy, SimulatedNetwork
 from repro.ranking.distributed import DecentralizedPageRank, RankCeilingPublisher
 from repro.ranking.graph import LinkGraph
 from repro.ranking.pagerank import PageRankResult
@@ -123,10 +124,31 @@ class QueenBeeEngine:
         cfg = self.config
 
         self.simulator = Simulator(seed=cfg.seed)
+        # The local failure detector feeds on every RPC outcome the network
+        # observes and replaces the is_online oracle on the fetch/routing
+        # path.  On a healthy network it never suspects anyone, so wiring
+        # it by default keeps the happy path bit-identical.
+        self.detector = (
+            FailureDetector(
+                self.simulator,
+                suspicion_threshold=cfg.detector_threshold,
+                probe_after=cfg.detector_probe_after,
+            )
+            if cfg.failure_detector
+            else None
+        )
         self.network = SimulatedNetwork(
             self.simulator,
             latency=LogNormalLatency(median=cfg.latency_median, sigma=cfg.latency_sigma),
             loss_rate=cfg.loss_rate,
+            rpc_timeout=cfg.rpc_timeout or None,
+            detector=self.detector,
+        )
+        self.network.retry_policy = RetryPolicy(
+            attempts=cfg.rpc_retries,
+            backoff_base=cfg.retry_backoff,
+            jitter=cfg.retry_jitter,
+            deadline=cfg.retry_deadline,
         )
         self.dht = DHTNetwork(
             self.simulator, self.network, k=cfg.dht_k, alpha=cfg.dht_alpha, replicate=cfg.dht_replicate
@@ -134,6 +156,7 @@ class QueenBeeEngine:
         self.storage = DecentralizedStorage(
             self.simulator, self.network, self.dht,
             replication=cfg.storage_replication, chunk_size=cfg.chunk_size,
+            liveness=self.detector, hedged_fetches=cfg.hedged_fetches,
         )
         self.chain = Blockchain(self.simulator, validators=["validator-0"], auto_mine=True)
         self.contracts = QueenBeeContracts.deploy(

@@ -112,6 +112,34 @@ class DHTNetwork:
         if node is not None:
             self.network.unregister(address)
 
+    def refresh_routing(self) -> int:
+        """Re-seed routing tables and re-run the join lookup on every node.
+
+        The sim-level stand-in for Kademlia's periodic bucket refresh.
+        After an outage (a partition, a fault-injection window) failed
+        lookups have evicted contacts wholesale, and a node whose table
+        emptied cannot recover on its own — real deployments re-learn
+        peers on the next bucket-refresh cycle.  Each online node is
+        re-seeded with one known contact and then looks its own ID up,
+        repopulating tables along the lookup path.  Deterministic (sorted
+        iteration, no RNG) so recovery scenarios replay exactly.  Returns
+        the number of nodes refreshed.
+        """
+        online = [
+            node
+            for address, node in sorted(self.nodes.items())
+            if self.network.is_online(address)
+        ]
+        if len(online) < 2:
+            return len(online)
+        for index, node in enumerate(online):
+            seed = online[(index + 1) % len(online)]
+            node.routing_table.update(seed.as_contact())
+            result = find_node(node, node.node_id, k=self.k, alpha=self.alpha)
+            for contact in result.closest:
+                node.routing_table.update(contact)
+        return len(online)
+
     def node_addresses(self) -> List[str]:
         return sorted(self.nodes)
 

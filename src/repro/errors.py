@@ -2,7 +2,7 @@
 
 Keeping all exceptions in one module lets callers catch a single base class
 (:class:`ReproError`) at system boundaries while still being able to handle
-specific failures (e.g. :class:`LookupError` from the DHT vs
+specific failures (e.g. :class:`KeyNotFoundError` from the DHT vs
 :class:`ContractError` from the chain) close to where they occur.
 """
 
@@ -23,6 +23,14 @@ class NetworkError(ReproError):
 
 class NodeUnreachableError(NetworkError):
     """The destination peer is offline, partitioned away, or unknown."""
+
+
+class RequestTimeoutError(NetworkError):
+    """A resilient request exhausted its per-operation deadline budget."""
+
+
+class RetriesExhaustedError(NetworkError):
+    """A resilient request failed on every attempt its retry policy allowed."""
 
 
 class DHTError(ReproError):

@@ -480,13 +480,6 @@ class DistributedIndex:
             return max(local, self.epoch_feed.generation(term))
         return local
 
-    def _bump_generation(self, term: str) -> int:
-        # generation() already merges the local registry with the feed, so
-        # a publisher that learned a newer epoch via gossip bumps past it.
-        generation = self.generation(term) + 1
-        self._generations[term] = generation
-        return generation
-
     def _observe_generation(self, term: str, generation: int) -> None:
         if generation > self._generations.get(term, 0):
             self._generations[term] = generation
@@ -521,8 +514,25 @@ class DistributedIndex:
         the manifest.  A pointer left behind by a shrinking list keeps
         resolving to its (immutable) old payload; it is harmless because
         nothing resolves shards the current manifest does not name.
+
+        **Crash ordering.**  Every side effect a *reader* can observe is
+        sequenced so the ``idx:<term>`` manifest write is the commit point:
+        shard payloads are stored and announced first, per-shard pointers
+        move next, and only after the manifest DHT put succeeds does this
+        publisher's own generation registry (and epoch-feed announcement)
+        advance.  A publisher that dies anywhere before the commit point
+        leaves the old manifest — and the old, still-immutable shard
+        payloads it names — fully intact: readers see the *old* generation
+        or the *new* one, never a torn mix.  (Dying between the commit
+        point and the feed announcement just delays remote frontends one
+        gossip round; they read old-but-consistent until the epoch lands.)
         """
-        generation = self._bump_generation(term)
+        # generation() merges the local registry with the epoch feed, so a
+        # publisher that learned a newer epoch via gossip bumps past it.
+        # The registry itself is NOT written here — that happens after the
+        # manifest commit below, so a crash mid-publish cannot leave this
+        # publisher believing in a generation no reader can fetch.
+        generation = self.generation(term) + 1
         previous = self._previous_manifest(term) if generation > 1 else None
         chunks = self._split_for_republish(postings, previous)
 
@@ -604,9 +614,13 @@ class DistributedIndex:
             term=term, generation=generation, shards=tuple(infos),
             rank_version=previous.rank_version if previous is not None else -1,
         )
-        self._authoritative[term] = manifest
         manifest_json = manifest.to_json()
         self.dht.put(term_key(term), manifest_json)
+        # Commit point passed: only now does the new generation become the
+        # one this publisher asserts (and gossips).
+        if generation > self._generations.get(term, 0):
+            self._generations[term] = generation
+        self._authoritative[term] = manifest
         if self.epoch_feed is not None:
             # Announce the epoch on the feed at the peer that published it.
             self.epoch_feed.publish(term, generation, origin=publisher)
@@ -838,7 +852,12 @@ class DistributedIndex:
                 peer = peers.get(address)
                 return peer.blocks_served if peer is not None else 0
 
-        return rank_replicas(info.providers, self.storage.network.is_online, load_of)
+        # Liveness comes from the storage facade's presumed_alive — the
+        # local failure detector when one is attached, never the global
+        # oracle directly (RL007).  A wrongly-suspected provider drops out
+        # of the *hint* only; the fetch path still falls through to the
+        # full announced provider set.
+        return rank_replicas(info.providers, self.storage.presumed_alive, load_of)
 
     def authoritative_manifests(self) -> Dict[str, TermManifest]:
         """The latest manifest this instance published, per term (a copy).

@@ -468,10 +468,18 @@ class PlacementPolicy:
     # -- internals ---------------------------------------------------------------
 
     def _online_peers(self) -> List[str]:
+        # Choosing repair *targets* is publisher-side work, where oracle
+        # membership stands in for the join/leave feed churn already
+        # delivers; routing reads go through rank_replicas with an
+        # injected liveness callable instead.
         network = self.storage.network
+        # repro-lint: disable=RL007 -- repair-side membership scan, not a routing read
         return [a for a in self.storage.peer_addresses() if network.is_online(a)]
 
     def _is_online(self, address: str) -> bool:
+        # The churn model itself drives on_peer_down/up from oracle events,
+        # so the repair-floor check may consult the same source.
+        # repro-lint: disable=RL007 -- repair-side liveness (sanctioned ablation site)
         return self.storage.network.is_online(address)
 
     @staticmethod

@@ -321,6 +321,12 @@ class GossipPlane:
     def _online(self, address: str) -> bool:
         return self.network is None or self.network.is_online(address)
 
+    def _reachable(self, src: str, dst: str) -> bool:
+        # Partition-aware peer selection: an exchange models real traffic,
+        # so a network split must stop gossip across the cut (each side
+        # keeps converging internally and re-merges after the heal).
+        return self.network is None or self.network.can_reach(src, dst)
+
     # -- publishing --------------------------------------------------------------
 
     def publish(self, origin: str, key: str, value: object, version: int) -> bool:
@@ -356,7 +362,11 @@ class GossipPlane:
         for address in addresses:
             if not self._online(address):
                 continue
-            peers = [a for a in addresses if a != address and self._online(a)]
+            peers = [
+                a
+                for a in addresses
+                if a != address and self._online(a) and self._reachable(address, a)
+            ]
             if not peers:
                 continue
             for peer in self._rng.sample(peers, min(self.fanout, len(peers))):

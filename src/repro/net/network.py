@@ -5,6 +5,24 @@ centralized baseline's single server) registers a handler under a string
 address.  RPCs are synchronous calls that advance the simulated clock by the
 round-trip latency, so end-to-end operation latency falls out of the clock
 rather than being estimated separately.
+
+Resilience machinery (all inert by default, so the happy path is
+bit-identical to the pre-resilience network):
+
+* a :class:`~repro.net.faults.FaultPlane` (created lazily via
+  :attr:`SimulatedNetwork.faults`) injects deterministic link loss, gray
+  failures, stragglers, partitions, and crash windows into the send path;
+* ``rpc_timeout`` makes lost-RPC time accounting uniform — both
+  :meth:`rpc` and :meth:`rpc_parallel` charge the configured timeout on a
+  drop instead of a sampled round trip;
+* :class:`RetryPolicy` + :meth:`request_with_retry` add bounded retries
+  with exponential backoff, deterministic jitter, and a per-operation
+  deadline budget;
+* :meth:`rpc_hedged` duplicates a tail-latency-critical read across
+  providers and charges the clock only the winner's round trip;
+* an attached :class:`~repro.net.detector.FailureDetector` is fed the
+  transport outcome of every RPC, giving routing code a *local* liveness
+  estimate instead of the global :meth:`is_online` oracle.
 """
 
 from __future__ import annotations
@@ -12,7 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import NetworkError, NodeUnreachableError
+from repro.errors import (
+    NetworkError,
+    NodeUnreachableError,
+    RequestTimeoutError,
+    RetriesExhaustedError,
+)
+from repro.net.detector import FailureDetector
+from repro.net.faults import BLOCK, DROP, FLAKY, FaultPlane
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message, Response
 from repro.sim.simulator import Simulator
@@ -28,6 +53,8 @@ class NetworkStats:
     messages_dropped: int = 0
     bytes_sent: int = 0
     rpc_count: int = 0
+    retries: int = 0
+    hedges: int = 0
     per_type: Dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Message, response: Optional[Response]) -> None:
@@ -47,7 +74,61 @@ class NetworkStats:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.rpc_count = 0
+        self.retries = 0
+        self.hedges = 0
         self.per_type.clear()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    The default policy (one attempt, no backoff, no deadline) makes
+    :meth:`SimulatedNetwork.request_with_retry` behave exactly like a
+    plain :meth:`~SimulatedNetwork.rpc` call — resilience is opt-in.
+
+    Parameters
+    ----------
+    attempts:
+        Total attempts (first try included); ``1`` means no retry.
+    backoff_base:
+        Ticks waited before the second attempt; each further attempt
+        doubles it (``backoff_base * 2**(attempt-1)``).  ``0`` retries
+        immediately.
+    jitter:
+        Fraction of the backoff randomized (``±jitter``), drawn from the
+        network's dedicated retry RNG stream so jitter never perturbs the
+        latency/loss streams.
+    deadline:
+        Per-operation budget in ticks; once the clock has advanced past
+        it no further attempt is made and
+        :class:`~repro.errors.RequestTimeoutError` is raised.  ``0``
+        disables the budget.
+    """
+
+    attempts: int = 1
+    backoff_base: float = 0.0
+    jitter: float = 0.0
+    deadline: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts!r}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter!r}")
+        if self.deadline < 0:
+            raise ValueError(f"deadline must be >= 0, got {self.deadline!r}")
+
+    def backoff_delay(self, attempt: int, rng) -> float:
+        """Backoff before ``attempt`` (attempt 1 is the first retry)."""
+        if self.backoff_base <= 0:
+            return 0.0
+        delay = self.backoff_base * (2.0 ** (attempt - 1))
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
 
 
 class SimulatedNetwork:
@@ -63,6 +144,13 @@ class SimulatedNetwork:
     loss_rate:
         Probability that any individual RPC is dropped (raises
         :class:`NetworkError`).
+    rpc_timeout:
+        When set, a dropped RPC charges exactly this many ticks — on both
+        the single and the parallel path — instead of a sampled round
+        trip.  ``None`` keeps the legacy sampled-round-trip accounting.
+    detector:
+        Optional :class:`FailureDetector` fed the transport outcome of
+        every RPC this network delivers or fails to deliver.
     """
 
     def __init__(
@@ -70,17 +158,45 @@ class SimulatedNetwork:
         simulator: Simulator,
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
+        rpc_timeout: Optional[float] = None,
+        detector: Optional[FailureDetector] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        if rpc_timeout is not None and rpc_timeout <= 0:
+            raise ValueError(f"rpc_timeout must be positive, got {rpc_timeout!r}")
         self.simulator = simulator
         self.latency = latency or ConstantLatency()
         self.loss_rate = loss_rate
+        self.rpc_timeout = rpc_timeout
+        self.detector = detector
+        self.retry_policy = RetryPolicy()
         self.stats = NetworkStats()
         self._handlers: Dict[str, Handler] = {}
         self._online: Set[str] = set()
         self._partition_of: Dict[str, int] = {}
         self._rng = simulator.fork_rng("network")
+        self._retry_rng = simulator.fork_rng("network-retry")
+        self._faults: Optional[FaultPlane] = None
+
+    # -- fault plane ---------------------------------------------------------
+
+    @property
+    def faults(self) -> FaultPlane:
+        """The fault-injection plane, created on first access.
+
+        A network whose ``faults`` property is never touched carries no
+        plane at all; an empty plane is inert (no RNG draws, no clock
+        charges), so merely accessing this does not change behaviour.
+        """
+        if self._faults is None:
+            self._faults = FaultPlane(self.simulator)
+        return self._faults
+
+    def _active_faults(self) -> Optional[FaultPlane]:
+        if self._faults is not None and self._faults.active:
+            return self._faults
+        return None
 
     # -- membership ---------------------------------------------------------
 
@@ -132,6 +248,17 @@ class SimulatedNetwork:
         """Restore full connectivity."""
         self._partition_of.clear()
 
+    def can_reach(self, src: str, dst: str) -> bool:
+        """Whether a message from ``src`` could currently reach ``dst``
+        (destination registered, online, and on the same partition side).
+
+        This is *topology* ground truth, which a real node does observe —
+        its own links either work or they don't — unlike the per-peer
+        liveness oracle :meth:`is_online` routing code must avoid.  The
+        gossip plane uses it so partitions actually stop gossip exchange.
+        """
+        return self._can_reach(src, dst)
+
     def _can_reach(self, src: str, dst: str) -> bool:
         if dst not in self._online or dst not in self._handlers:
             return False
@@ -141,7 +268,28 @@ class SimulatedNetwork:
         dst_group = self._partition_of.get(dst, -1)
         return src_group == dst_group
 
+    # -- detector feed -------------------------------------------------------
+
+    def _note_success(self, address: str) -> None:
+        if self.detector is not None:
+            self.detector.record_success(address)
+
+    def _note_failure(self, address: str) -> None:
+        if self.detector is not None:
+            self.detector.record_failure(address)
+
     # -- RPC ----------------------------------------------------------------
+
+    def _drop_cost(self, src: str, dst: str) -> float:
+        """Ticks a lost request costs the sender.
+
+        With ``rpc_timeout`` configured this is the timeout — uniform
+        across the single and parallel paths; without it, the legacy
+        sampled round trip (kept for bit-compatibility at default config).
+        """
+        if self.rpc_timeout is not None:
+            return self.rpc_timeout
+        return self.latency.sample(self._rng, src, dst) * 2
 
     def rpc(self, src: str, dst: str, msg_type: str, payload: Optional[dict] = None) -> Response:
         """Send a request and wait for the reply, charging round-trip latency.
@@ -152,19 +300,95 @@ class SimulatedNetwork:
         message = Message(sender=src, recipient=dst, msg_type=msg_type, payload=payload or {})
         if not self._can_reach(src, dst):
             self.stats.record_drop(message)
+            self._note_failure(dst)
             raise NodeUnreachableError(f"{dst!r} is unreachable from {src!r}")
-        if self.loss_rate and self._rng.random() < self.loss_rate:
+        plane = self._active_faults()
+        verdict = plane.intercept(message) if plane is not None else None
+        if verdict == BLOCK:
+            self.stats.record_drop(message)
+            self._note_failure(dst)
+            raise NodeUnreachableError(
+                f"{dst!r} is unreachable from {src!r} (injected fault)"
+            )
+        if verdict == DROP or (self.loss_rate and self._rng.random() < self.loss_rate):
             self.stats.record_drop(message)
             # A lost request still costs the sender a timeout's worth of waiting.
-            self.simulator.clock.advance(self.latency.sample(self._rng, src, dst) * 2)
+            self.simulator.clock.advance(self._drop_cost(src, dst))
+            self._note_failure(dst)
             raise NetworkError(f"message {msg_type!r} from {src!r} to {dst!r} was lost")
-        one_way = self.latency.sample(self._rng, src, dst)
+        factor = plane.latency_factor(src, dst) if plane is not None else 1.0
+        one_way = self.latency.sample(self._rng, src, dst) * factor
         self.simulator.clock.advance(one_way)
-        handler = self._handlers[dst]
-        response = handler(message)
-        self.simulator.clock.advance(self.latency.sample(self._rng, dst, src))
+        if verdict == FLAKY:
+            response = Response.failure(dst, msg_type, "injected fault: flaky responder")
+        else:
+            handler = self._handlers[dst]
+            response = handler(message)
+        self.simulator.clock.advance(self.latency.sample(self._rng, dst, src) * factor)
         self.stats.record(message, response)
+        if verdict == FLAKY:
+            # A gray failure: the peer "answered", but uselessly — that is a
+            # failure observation (an app-level error from a real handler is
+            # not; it proves the peer alive).
+            self._note_failure(dst)
+        else:
+            self._note_success(dst)
         return response
+
+    def request_with_retry(
+        self,
+        src: str,
+        dst: str,
+        msg_type: str,
+        payload: Optional[dict] = None,
+        policy: Optional[RetryPolicy] = None,
+    ) -> Response:
+        """An :meth:`rpc` with bounded retries under ``policy``.
+
+        Transport failures (unreachable, lost) *and* non-ok responses are
+        retried — a client cannot tell an injected gray failure from a real
+        error, so it retries both.  Backoff advances the simulated clock;
+        jitter draws from the dedicated retry RNG stream.  On exhaustion
+        the last non-ok response is returned if any attempt got through,
+        otherwise :class:`~repro.errors.RetriesExhaustedError` is raised;
+        blowing the deadline raises :class:`~repro.errors.RequestTimeoutError`.
+
+        With the default policy (or ``attempts=1`` and no deadline) this
+        *is* :meth:`rpc` — same draws, same charges, same exceptions.
+        """
+        policy = policy if policy is not None else self.retry_policy
+        if policy.attempts <= 1 and policy.deadline <= 0:
+            return self.rpc(src, dst, msg_type, payload)
+        deadline = (
+            self.simulator.now + policy.deadline if policy.deadline > 0 else None
+        )
+        last_error: Optional[NetworkError] = None
+        last_response: Optional[Response] = None
+        for attempt in range(policy.attempts):
+            if attempt > 0:
+                delay = policy.backoff_delay(attempt, self._retry_rng)
+                if delay > 0:
+                    self.simulator.clock.advance(delay)
+                if deadline is not None and self.simulator.now >= deadline:
+                    raise RequestTimeoutError(
+                        f"{msg_type!r} from {src!r} to {dst!r} blew its "
+                        f"{policy.deadline}-tick deadline after {attempt} attempt(s)"
+                    )
+                self.stats.retries += 1
+            try:
+                response = self.rpc(src, dst, msg_type, payload)
+            except NetworkError as exc:
+                last_error = exc
+                continue
+            if response.ok:
+                return response
+            last_response = response
+        if last_response is not None:
+            return last_response
+        raise RetriesExhaustedError(
+            f"{msg_type!r} from {src!r} to {dst!r} failed all "
+            f"{policy.attempts} attempt(s): {last_error}"
+        ) from last_error
 
     def rpc_parallel(
         self,
@@ -180,29 +404,118 @@ class SimulatedNetwork:
         individual failures.
         """
         start = self.simulator.now
+        plane = self._active_faults()
         results: List[Optional[Response]] = []
         slowest = 0.0
         for dst, msg_type, payload in requests:
             message = Message(sender=src, recipient=dst, msg_type=msg_type, payload=payload or {})
             if not self._can_reach(src, dst):
                 self.stats.record_drop(message)
+                self._note_failure(dst)
                 results.append(None)
                 continue
-            if self.loss_rate and self._rng.random() < self.loss_rate:
+            verdict = plane.intercept(message) if plane is not None else None
+            if verdict == BLOCK:
+                self.stats.record_drop(message)
+                self._note_failure(dst)
+                results.append(None)
+                continue
+            if verdict == DROP or (self.loss_rate and self._rng.random() < self.loss_rate):
                 self.stats.record_drop(message)
                 results.append(None)
-                slowest = max(slowest, self.latency.sample(self._rng, src, dst) * 2)
+                slowest = max(slowest, self._drop_cost(src, dst))
+                self._note_failure(dst)
                 continue
-            round_trip = self.latency.sample(self._rng, src, dst) + self.latency.sample(
-                self._rng, dst, src
-            )
+            factor = plane.latency_factor(src, dst) if plane is not None else 1.0
+            round_trip = (
+                self.latency.sample(self._rng, src, dst)
+                + self.latency.sample(self._rng, dst, src)
+            ) * factor
+            if verdict == FLAKY:
+                response = Response.failure(dst, msg_type, "injected fault: flaky responder")
+                self.stats.record(message, response)
+                results.append(None)
+                slowest = max(slowest, round_trip)
+                self._note_failure(dst)
+                continue
             handler = self._handlers[dst]
             response = handler(message)
             self.stats.record(message, response)
             results.append(response)
             slowest = max(slowest, round_trip)
+            self._note_success(dst)
         self.simulator.clock.advance_to(start + slowest)
         return results
+
+    def rpc_hedged(
+        self,
+        src: str,
+        requests: Sequence[Tuple[str, str, dict]],
+    ) -> Tuple[Optional[int], Optional[Response]]:
+        """Send duplicate requests, keep the fastest useful answer.
+
+        The tail-latency hedge: all requests are really sent (every one is
+        counted in :class:`NetworkStats` and every reachable handler runs,
+        so provider load counters reflect the duplicate work), but the
+        clock advances only by the *winning* round trip — the client acts
+        on the first ok response and abandons the rest in flight.  If no
+        request succeeds the clock advances by the slowest failure (the
+        client waited for all of them before giving up) and the fastest
+        non-ok response, if any, is returned for diagnostics.
+
+        Returns ``(index, response)`` of the winner, or ``(None, None)``
+        when nothing came back at all.
+        """
+        start = self.simulator.now
+        plane = self._active_faults()
+        if len(requests) > 1:
+            self.stats.hedges += len(requests) - 1
+        best: Optional[Tuple[float, int, Response]] = None
+        fallback: Optional[Tuple[float, int, Response]] = None
+        slowest_failure = 0.0
+        for index, (dst, msg_type, payload) in enumerate(requests):
+            message = Message(sender=src, recipient=dst, msg_type=msg_type, payload=payload or {})
+            if not self._can_reach(src, dst):
+                self.stats.record_drop(message)
+                self._note_failure(dst)
+                continue
+            verdict = plane.intercept(message) if plane is not None else None
+            if verdict == BLOCK:
+                self.stats.record_drop(message)
+                self._note_failure(dst)
+                continue
+            if verdict == DROP or (self.loss_rate and self._rng.random() < self.loss_rate):
+                self.stats.record_drop(message)
+                slowest_failure = max(slowest_failure, self._drop_cost(src, dst))
+                self._note_failure(dst)
+                continue
+            factor = plane.latency_factor(src, dst) if plane is not None else 1.0
+            round_trip = (
+                self.latency.sample(self._rng, src, dst)
+                + self.latency.sample(self._rng, dst, src)
+            ) * factor
+            if verdict == FLAKY:
+                response = Response.failure(dst, msg_type, "injected fault: flaky responder")
+                self._note_failure(dst)
+            else:
+                handler = self._handlers[dst]
+                response = handler(message)
+                self._note_success(dst)
+            self.stats.record(message, response)
+            if response.ok:
+                if best is None or round_trip < best[0]:
+                    best = (round_trip, index, response)
+            else:
+                slowest_failure = max(slowest_failure, round_trip)
+                if fallback is None or round_trip < fallback[0]:
+                    fallback = (round_trip, index, response)
+        if best is not None:
+            self.simulator.clock.advance_to(start + best[0])
+            return best[1], best[2]
+        self.simulator.clock.advance_to(start + slowest_failure)
+        if fallback is not None:
+            return fallback[1], fallback[2]
+        return None, None
 
     def broadcast(self, src: str, msg_type: str, payload: Optional[dict] = None) -> int:
         """Best-effort delivery to every online peer except the sender.

@@ -12,12 +12,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import BlockNotFoundError
 from repro.dht.dht import DHTNetwork
+from repro.net.detector import FailureDetector
 from repro.net.network import SimulatedNetwork
 from repro.sim.simulator import Simulator
 from repro.storage.block import Block
 from repro.storage.chunker import DEFAULT_CHUNK_SIZE
 from repro.storage.dag import MerkleDAG
-from repro.storage.peer import StoragePeer
+from repro.storage.peer import GET_BLOCK, StoragePeer, decode_block
 
 
 def provider_key(cid: str) -> str:
@@ -36,6 +37,7 @@ class StorageStats:
     bytes_added: int = 0
     placed_adds: int = 0
     replications: int = 0
+    hedged_gets: int = 0
     per_get_providers: List[int] = field(default_factory=list)
 
     def reset(self) -> None:
@@ -46,6 +48,7 @@ class StorageStats:
         self.bytes_added = 0
         self.placed_adds = 0
         self.replications = 0
+        self.hedged_gets = 0
         self.per_get_providers.clear()
 
 
@@ -71,6 +74,8 @@ class DecentralizedStorage:
         dht: DHTNetwork,
         replication: int = 3,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        liveness: Optional[FailureDetector] = None,
+        hedged_fetches: bool = False,
     ) -> None:
         if replication < 1:
             raise ValueError(f"replication must be at least 1, got {replication!r}")
@@ -78,6 +83,8 @@ class DecentralizedStorage:
         self.network = network
         self.dht = dht
         self.replication = replication
+        self.liveness = liveness
+        self.hedged_fetches = hedged_fetches
         self.dag = MerkleDAG(chunk_size=chunk_size)
         self.peers: Dict[str, StoragePeer] = {}
         self.stats = StorageStats()
@@ -212,13 +219,7 @@ class DecentralizedStorage:
         self.stats.gets += 1
         providers = [p for p in self.dht.get_set(provider_key(cid)) if isinstance(p, str)]
         self.stats.per_get_providers.append(len(providers))
-        reachable = [p for p in providers if self.network.is_online(p) and p != peer.address]
-        if preferred:
-            ranked = [
-                p for p in preferred if self.network.is_online(p) and p != peer.address
-            ]
-            ranked_set = set(ranked)
-            reachable = ranked + [p for p in reachable if p not in ranked_set]
+        reachable = self._route_candidates(providers, preferred, exclude=peer.address)
         if peer.store.has(cid):
             root = peer.store.get(cid)
         else:
@@ -300,6 +301,44 @@ class DecentralizedStorage:
             self.stats.replications += 1
         return supplied
 
+    # -- liveness -------------------------------------------------------------
+
+    def presumed_alive(self, address: str) -> bool:
+        """The fetch path's liveness estimate for routing decisions.
+
+        With a :class:`FailureDetector` attached this is the *local*
+        verdict built from observed RPC outcomes; without one it falls
+        back to the network's global oracle (the ablation baseline).
+        """
+        if self.liveness is not None:
+            return self.liveness.is_alive(address)
+        return self.network.is_online(address)
+
+    def _route_candidates(
+        self,
+        providers: Sequence[str],
+        preferred: Optional[Sequence[str]],
+        exclude: str,
+    ) -> List[str]:
+        """Provider fetch order: preferred hint first, suspected peers last.
+
+        Unlike the old oracle filter, a suspected peer is demoted to the
+        *end* of the order rather than removed: the detector can be wrong,
+        and a fetch must never fail without having tried every announced
+        provider.  (Trying a truly-dead peer is free — the network raises
+        immediately with no clock charge.)
+        """
+        ordered: List[str] = []
+        seen = set()
+        for address in list(preferred or []) + list(providers):
+            if address == exclude or address in seen:
+                continue
+            seen.add(address)
+            ordered.append(address)
+        alive = [a for a in ordered if self.presumed_alive(a)]
+        suspect = [a for a in ordered if not self.presumed_alive(a)]
+        return alive + suspect
+
     # -- internals ------------------------------------------------------------
 
     def _choose_replicas(self, publisher: str, count: int) -> List[str]:
@@ -309,9 +348,37 @@ class DecentralizedStorage:
         return self._rng.sample(candidates, min(count, len(candidates)))
 
     def _fetch_from_any(self, peer: StoragePeer, providers: List[str], cid: str) -> Optional[Block]:
+        providers = list(providers)
+        if self.hedged_fetches and len(providers) > 1:
+            # Hedge the first two candidates: the clock pays only the
+            # winner's round trip, cutting the tail a straggler provider
+            # would otherwise set.  On a double miss, fall through to the
+            # rest sequentially.
+            self.stats.hedged_gets += 1
+            _, response = self.network.rpc_hedged(
+                peer.address,
+                [(p, GET_BLOCK, {"cid": cid}) for p in providers[:2]],
+            )
+            block = self._accept_block(peer, response, cid)
+            if block is not None:
+                self.stats.blocks_transferred += 1
+                return block
+            providers = providers[2:]
         for provider in providers:
             block = peer.fetch_block_from(provider, cid)
             if block is not None:
                 self.stats.blocks_transferred += 1
                 return block
         return None
+
+    def _accept_block(
+        self, peer: StoragePeer, response: Optional[object], cid: str
+    ) -> Optional[Block]:
+        """Validate a hedged GET_BLOCK response exactly like a direct fetch."""
+        if response is None or not response.ok:
+            return None
+        block = decode_block(response.payload["block"])
+        if not block.verify() or block.cid != cid:
+            return None
+        peer.store.put(block)
+        return block

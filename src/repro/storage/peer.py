@@ -77,9 +77,16 @@ class StoragePeer:
     # -- client-side helpers --------------------------------------------------
 
     def fetch_block_from(self, provider: str, cid: str) -> Optional[Block]:
-        """Request one block from ``provider``; returns ``None`` on any failure."""
+        """Request one block from ``provider``; returns ``None`` on any failure.
+
+        Goes through the network's resilient request path, so a configured
+        :class:`~repro.net.network.RetryPolicy` applies; under the default
+        policy this is a plain ``rpc``.
+        """
         try:
-            response = self.network.rpc(self.address, provider, GET_BLOCK, {"cid": cid})
+            response = self.network.request_with_retry(
+                self.address, provider, GET_BLOCK, {"cid": cid}
+            )
         except Exception:
             return None
         if not response.ok:
@@ -92,9 +99,13 @@ class StoragePeer:
         return block
 
     def push_block_to(self, target: str, block: Block, pin: bool = False) -> bool:
-        """Replicate ``block`` to ``target``; returns ``True`` on success."""
+        """Replicate ``block`` to ``target``; returns ``True`` on success.
+
+        Also routed through the resilient request path: a lossy link no
+        longer sinks a replication push when retries are configured.
+        """
         try:
-            response = self.network.rpc(
+            response = self.network.request_with_retry(
                 self.address, target, PUT_BLOCK, {"block": encode_block(block), "pin": pin}
             )
         except Exception:

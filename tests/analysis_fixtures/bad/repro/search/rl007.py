@@ -1,0 +1,12 @@
+"""Bad: routing code reads the global liveness oracle (RL007 twice)."""
+
+
+def pick_provider(network, providers):
+    live = [p for p in providers if network.is_online(p)]
+    if not live:
+        return None
+    return live[0]
+
+
+def probe(network, address):
+    return network.is_online(address)

@@ -1,0 +1,14 @@
+"""Good: routing liveness comes from the detector or an injected callable."""
+
+
+def pick_provider(storage, providers):
+    live = [p for p in providers if storage.presumed_alive(p)]
+    if not live:
+        return None
+    return live[0]
+
+
+def rank(providers, is_online):
+    # A bare `is_online(...)` call is an *injected* liveness callable —
+    # the dependency-injection seam RL007 exists to enforce.
+    return [p for p in providers if is_online(p)]

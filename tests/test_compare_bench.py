@@ -72,6 +72,22 @@ def test_empty_baseline_section_never_gates(compare_bench):
     assert failures == []
 
 
+def test_boolean_metric_flip_is_gated(compare_bench):
+    # The E12 crash sweep tracks "torn" as a bool; bool is an int subtype,
+    # so False -> True must register as an (infinite) relative regression.
+    spec = {
+        "rows_key": "crash_rows",
+        "identity": ("crash after sends",),
+        "metrics": {"torn": 0.0},
+    }
+    baseline = {"crash_rows": [{"crash after sends": 5, "torn": False}]}
+    torn = {"crash_rows": [{"crash after sends": 5, "torn": True}]}
+    clean = {"crash_rows": [{"crash after sends": 5, "torn": False}]}
+    assert compare_bench._compare_spec("E12.json", spec, baseline, clean, 0.25) == []
+    failures = compare_bench._compare_spec("E12.json", spec, baseline, torn, 0.25)
+    assert len(failures) == 1 and "torn" in failures[0]
+
+
 def test_tracked_registry_sections_are_well_formed(compare_bench):
     for name, tracked in compare_bench.TRACKED.items():
         specs = tracked if isinstance(tracked, list) else [tracked]

@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import NetworkError, NodeUnreachableError
 from repro.net.churn import ChurnModel
+from repro.net.faults import LinkLoss
 from repro.net.latency import ConstantLatency, LogNormalLatency, UniformLatency
 from repro.net.message import Message, Response, estimate_size
 from repro.net.network import SimulatedNetwork
@@ -151,6 +152,43 @@ class TestParallelAndBroadcast:
         assert network.broadcast("a", "announce") == 2
         network.set_offline("c")
         assert network.broadcast("a", "announce") == 1
+
+
+class TestDropTimeAccounting:
+    """A lost RPC must charge the same wall-clock cost on every send path."""
+
+    def make(self, rpc_timeout):
+        sim = Simulator(seed=7)
+        network = SimulatedNetwork(
+            sim, latency=ConstantLatency(5.0), rpc_timeout=rpc_timeout
+        )
+        for name in ("a", "b", "c"):
+            network.register(name, echo_handler(name))
+        # Deterministic drop on a->b only; a->c stays healthy.
+        network.faults.add(LinkLoss(probability=1.0, src="a", dst="b"))
+        return sim, network
+
+    def test_single_rpc_drop_charges_configured_timeout(self):
+        sim, network = self.make(rpc_timeout=40.0)
+        before = sim.now
+        with pytest.raises(NetworkError):
+            network.rpc("a", "b", "ping")
+        assert sim.now == before + 40.0
+
+    def test_parallel_drop_charges_same_timeout_as_single_path(self):
+        sim, network = self.make(rpc_timeout=40.0)
+        before = sim.now
+        responses = network.rpc_parallel("a", [("b", "ping", {}), ("c", "ping", {})])
+        assert responses[0] is None and responses[1].ok
+        # The dropped request dominates the region: timeout, not 2x latency.
+        assert sim.now == before + 40.0
+
+    def test_legacy_drop_cost_without_timeout_is_round_trip_latency(self):
+        sim, network = self.make(rpc_timeout=None)
+        before = sim.now
+        with pytest.raises(NetworkError):
+            network.rpc("a", "b", "ping")
+        assert sim.now == before + 10.0  # 5 out + 5 back, the pre-timeout accounting
 
 
 class TestPartitions:

@@ -215,7 +215,30 @@ class TestRoutingAndRepair:
             engine.storage.peers[provider].blocks_served = 100 - rank
         # Least-loaded (fewest blocks served) first.
         assert engine.index._route_providers(info) == list(reversed(providers))
-        # A dead hint drops out; everything dead disables the hint entirely.
+        # Liveness comes from the failure detector, not the oracle: a peer
+        # that just died stays hinted until this node *observes* failures.
+        engine.network.set_offline(providers[-1])
+        assert providers[-1] in engine.index._route_providers(info)
+        for _ in range(engine.config.detector_threshold):
+            engine.detector.record_failure(providers[-1])
+        assert providers[-1] not in engine.index._route_providers(info)
+        # Everyone suspected disables the hint entirely (the fetch path
+        # then falls back to the raw provider record).
+        for provider in providers:
+            for _ in range(engine.config.detector_threshold):
+                engine.detector.record_failure(provider)
+        assert engine.index._route_providers(info) is None
+
+    def test_route_providers_oracle_ablation_drops_dead_hints(self):
+        # failure_detector=False restores the omniscient-membership routing.
+        corpus = small_corpus()
+        engine = build_engine(failure_detector=False)
+        engine.bootstrap_corpus(corpus.documents)
+        term = heaviest_term(corpus)
+        manifest = engine.index.fetch_term_manifest(term)
+        info = next(i for i in manifest.shards if i.count and len(i.providers) >= 2)
+        providers = list(info.providers)
+        assert engine.detector is None
         engine.network.set_offline(providers[-1])
         assert providers[-1] not in engine.index._route_providers(info)
         for provider in providers:

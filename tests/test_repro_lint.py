@@ -54,6 +54,7 @@ BAD_FIXTURES = [
     (("repro", "core", "engine.py"), "RL004", 1),
     (("rl005.py",), "RL005", 1),
     (("rl006.py",), "RL006", 3),
+    (("repro", "search", "rl007.py"), "RL007", 2),
 ]
 
 GOOD_FIXTURES = [
@@ -64,6 +65,7 @@ GOOD_FIXTURES = [
     ("repro", "core", "engine.py"),
     ("rl005.py",),
     ("rl006.py",),
+    ("repro", "search", "rl007.py"),
 ]
 
 
@@ -82,7 +84,7 @@ def test_good_fixture_is_clean(parts):
 
 def test_whole_bad_tree_reports_every_rule():
     report = lint(os.path.join(FIXTURES, "bad"))
-    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"} <= rule_ids(report)
+    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"} <= rule_ids(report)
 
 
 # ---------------------------------------------------------------------------

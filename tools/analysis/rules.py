@@ -674,6 +674,52 @@ class UndeclaredMetricName(Rule):
         # Name/attribute references (constants from the registry) pass.
 
 
+# ---------------------------------------------------------------------------
+# RL007 — no liveness-oracle reads on routing paths
+# ---------------------------------------------------------------------------
+
+
+class LivenessOracleOnRoutingPath(Rule):
+    """Routing code may not read the global liveness oracle.
+
+    ``SimulatedNetwork.is_online`` is simulator ground truth no deployed
+    peer possesses.  The search/serve path and replica routing
+    (``repro/index/placement.py``) must build liveness *locally* from
+    observed RPC outcomes — the :class:`repro.net.detector.FailureDetector`,
+    reached through ``DecentralizedStorage.presumed_alive`` or an injected
+    liveness callable — or the resilience results claim an omniscience a
+    real deployment cannot have.  Publisher/repair-side membership scans
+    are sanctioned via justified ``disable=RL007`` pragmas (the churn model
+    already drives those paths from oracle events).
+    """
+
+    rule_id = "RL007"
+    title = "liveness-oracle read on a routing path"
+
+    ORACLE_FREE_PREFIXES = ("repro/search/", "repro/serve/")
+    ORACLE_FREE_MODULES = frozenset({"repro/index/placement.py"})
+
+    def _applies(self, module: Module) -> bool:
+        rel = module.rel_path
+        return rel.startswith(self.ORACLE_FREE_PREFIXES) or rel in self.ORACLE_FREE_MODULES
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not self._applies(module):
+            return
+        for node in ast.walk(module.tree):
+            # Attribute access only: a bare `is_online(...)` call is an
+            # *injected* liveness callable (rank_replicas' parameter — the
+            # dependency-injection seam this rule exists to enforce).
+            if isinstance(node, ast.Attribute) and node.attr == "is_online":
+                yield self.finding(
+                    module,
+                    node,
+                    "`.is_online` is the global liveness oracle; routing paths "
+                    "must go through the FailureDetector "
+                    "(storage.presumed_alive / an injected liveness callable)",
+                )
+
+
 ALL_RULES = (
     UnseededRandomness,
     WallClockTime,
@@ -681,6 +727,7 @@ ALL_RULES = (
     UnsortedIteration,
     UndeclaredConfigKnob,
     UndeclaredMetricName,
+    LivenessOracleOnRoutingPath,
 )
 
 
