@@ -74,6 +74,8 @@ KNOBS: Tuple[Knob, ...] = (
         "storage",
         ("storage_replication", int, 3, "Default content replication factor."),
         ("chunk_size", int, 8_192, "Content chunk size in bytes."),
+        ("storage_backend", str, "memory", "Per-peer block-store medium: 'memory' or 'sqlite'."),
+        ("storage_path", str, "", "Directory for on-disk backend files ('' = per-run temp dir)."),
     ),
     *_knobs(
         "index",
@@ -127,6 +129,7 @@ KNOBS: Tuple[Knob, ...] = (
         ("overlapped_prefetch", bool, True, "Concurrent manifest/shard prefetch."),
         ("result_cache_capacity", int, 0, "Frontend result-cache capacity in pages (0 = off)."),
         ("result_cache_loose_keys", bool, False, "Bucketized statistics in result-cache keys."),
+        ("vectorized_scoring", bool, False, "Numpy array decode/score hot loops (scalar = reference)."),
     ),
 )
 

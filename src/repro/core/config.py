@@ -68,6 +68,12 @@ class QueenBeeConfig:
     # Storage
     storage_replication: int = 3
     chunk_size: int = 8_192
+    # Per-peer block-store medium: "memory" (dicts, the bit-identical
+    # reference) or "sqlite" (single-file on-disk store; the E4 sweep's
+    # 10k+-doc corpora run on it with identical sim-visible behaviour).
+    storage_backend: str = "memory"
+    # Directory for on-disk backend files; "" allocates a per-run temp dir.
+    storage_path: str = ""
 
     # Index
     compress_index: bool = True
@@ -176,6 +182,11 @@ class QueenBeeConfig:
     # low-order digits from a fresh execution (the documented exactness
     # trade; loose hits are counter-tracked per frontend).
     result_cache_loose_keys: bool = False
+    # Numpy-vectorized shard decode + array BM25 scoring in the executor.
+    # Off by default: the scalar path is the bit-identical reference, and
+    # the vectorized path must return identical top-k pages (asserted in
+    # tests and the E10 bench).
+    vectorized_scoring: bool = False
 
     @classmethod
     def from_dict(cls, knobs: Mapping[str, object]) -> "QueenBeeConfig":
@@ -247,6 +258,8 @@ class QueenBeeConfig:
             raise ValueError("dht_k and dht_alpha must be positive")
         if self.storage_replication < 1:
             raise ValueError("storage_replication must be at least 1")
+        if self.storage_backend not in ("memory", "sqlite"):
+            raise ValueError(f"unknown storage_backend {self.storage_backend!r}")
         if self.rank_redundancy < 1:
             raise ValueError("rank_redundancy must be at least 1")
         if self.worker_stake < self.min_worker_stake:

@@ -50,7 +50,7 @@ from repro.ranking.pagerank import PageRankResult
 from repro.search.frontend import FrontendOptions, SearchFrontend
 from repro.search.results import ResultPage
 from repro.sim.simulator import Simulator
-from repro.storage.ipfs import DecentralizedStorage
+from repro.storage.ipfs import DecentralizedStorage, StorageOptions
 
 RANK_VECTOR_KEY = "rank:vector"
 
@@ -155,8 +155,8 @@ class QueenBeeEngine:
         )
         self.storage = DecentralizedStorage(
             self.simulator, self.network, self.dht,
-            replication=cfg.storage_replication, chunk_size=cfg.chunk_size,
-            liveness=self.detector, hedged_fetches=cfg.hedged_fetches,
+            options=StorageOptions.from_config(cfg),
+            liveness=self.detector,
         )
         self.chain = Blockchain(self.simulator, validators=["validator-0"], auto_mine=True)
         self.contracts = QueenBeeContracts.deploy(
@@ -776,6 +776,6 @@ class QueenBeeEngine:
             sort_keys=True,
         )
         publisher_peer = self.workers[0].storage_peer if self.workers else None
-        cid = self.storage.add_text(payload, publisher=publisher_peer)
+        cid = self.storage.add_text(payload, publisher=publisher_peer).cid
         self.dht.put(RANK_VECTOR_KEY, cid)
         self._rank_cid = cid

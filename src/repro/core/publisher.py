@@ -51,7 +51,10 @@ class ContentPublisher:
         """Publish one document version.  Never raises: rejected publishes
         (e.g. the dedup defense firing on mirrored content) return a receipt
         with ``accepted=False``."""
-        cid = self.storage.add_text(document.full_text, publisher=self.storage_peer)
+        store_receipt = self.storage.add_text(
+            document.full_text, publisher=self.storage_peer
+        )
+        cid = store_receipt.cid
         record = self.contracts.publish_page(self.owner, document.url, cid)
         accepted = "error" not in record
         receipt = PublishReceipt(

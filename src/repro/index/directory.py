@@ -112,7 +112,7 @@ class TermDirectory:
         payload = json.dumps(
             {"doc_id": doc_id, "version": version, "terms": terms}, sort_keys=True
         )
-        cid = self.storage.add_text(payload, publisher=publisher)
+        cid = self.storage.add_text(payload, publisher=publisher).cid
         record = TermDirectoryRecord(
             doc_id=doc_id, version=version, terms_cid=cid, terms=dict(terms)
         )

@@ -583,14 +583,15 @@ class DistributedIndex:
             body["gen"] = generation
             payload = json.dumps(body, sort_keys=True)
             requested = placements.get(index, ())
-            cid, holders = self.storage.add_text_placed(
+            receipt = self.storage.add_text(
                 payload, publisher=publisher, providers=requested or None
             )
+            cid = receipt.cid
             # Hints and the repair registry record the providers the push
             # actually reached (a chosen peer lost at push time is dropped;
             # the publisher fallback is announced) — a hint naming a peer
             # without the content would defeat the repair floor check.
-            achieved = tuple(holders) if requested else ()
+            achieved = receipt.providers if requested else ()
             self.dht.put(shard_key(term, index), cid)
             self.stats.shards_published += 1
             self.stats.bytes_published += len(payload)
@@ -699,7 +700,7 @@ class DistributedIndex:
     ) -> str:
         """Publish the collection statistics the frontend needs for BM25."""
         payload = json.dumps(statistics.to_dict(), sort_keys=True)
-        cid = self.storage.add_text(payload, publisher=publisher)
+        cid = self.storage.add_text(payload, publisher=publisher).cid
         self.dht.put(STATS_KEY, cid)
         self.stats.bytes_published += len(payload)
         return cid

@@ -249,6 +249,16 @@ class PostingList:
     def from_bytes(cls, data: bytes) -> "PostingList":
         doc_ids, frequencies = decompress_postings(data)
         result = cls()
+        if all(a < b for a, b in zip(doc_ids, doc_ids[1:])):
+            # The codec emits strictly increasing doc ids, so the decoded
+            # list is already in final order: build it directly instead of
+            # running a per-posting sorted insert.  ``Posting`` still
+            # validates each term frequency.
+            result._postings = [
+                Posting(doc_id, frequency)
+                for doc_id, frequency in zip(doc_ids, frequencies)
+            ]
+            return result
         for doc_id, frequency in zip(doc_ids, frequencies):
             result.add(doc_id, frequency)
         return result

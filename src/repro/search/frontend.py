@@ -111,6 +111,9 @@ class FrontendOptions:
     use_rank_range_index: bool = True
     result_cache_capacity: int = 0
     result_cache_loose_keys: bool = False
+    # Numpy array decode/score hot loops in the executor; the scalar path
+    # is the bit-identical reference (pages never change, only speed).
+    vectorized_scoring: bool = False
 
     @classmethod
     def from_config(cls, config, **overrides) -> "FrontendOptions":
@@ -128,6 +131,7 @@ class FrontendOptions:
             use_rank_range_index=config.metadata_plane != "gossip",
             result_cache_capacity=config.result_cache_capacity,
             result_cache_loose_keys=config.result_cache_loose_keys,
+            vectorized_scoring=config.vectorized_scoring,
         )
         return replace(options, **overrides) if overrides else options
 
@@ -204,6 +208,10 @@ class SearchFrontend:
         avgdl) instead of the exact statistics version — more reuse under
         update-heavy streams, at the documented exactness trade (see
         ``_result_cache_key``).
+    vectorized_scoring:
+        Run the executor's numpy array decode/score hot loops instead of
+        the scalar per-posting loops.  Pages are bit-identical either way
+        (asserted in tests and the E10 bench); only throughput changes.
     shard_size_hint:
         The deployment's shard size, used only for the planner's shard
         fan-out estimate in diagnostics (0 = unknown/unsharded).
@@ -238,6 +246,7 @@ class SearchFrontend:
         overlapped_prefetch: bool = True,
         result_cache_capacity: int = 0,
         result_cache_loose_keys: bool = False,
+        vectorized_scoring: bool = False,
         shard_size_hint: int = 0,
         metadata_view: Optional[Any] = None,
         use_rank_ceilings: bool = True,
@@ -255,6 +264,7 @@ class SearchFrontend:
                 use_rank_range_index=use_rank_range_index,
                 result_cache_capacity=result_cache_capacity,
                 result_cache_loose_keys=result_cache_loose_keys,
+                vectorized_scoring=vectorized_scoring,
             )
         self.options = options
         self.simulator = simulator
@@ -280,6 +290,7 @@ class SearchFrontend:
             else None
         )
         self.result_cache_loose_keys = options.result_cache_loose_keys
+        self.vectorized_scoring = options.vectorized_scoring
         # The gossiped metadata view this frontend reads (None on the shared
         # plane).  Used for two things here: search_batch pins it so every
         # query in the batch sees one consistent metadata version, and the
@@ -864,6 +875,7 @@ class SearchFrontend:
                 else None
             ),
             use_manifest_ceilings=self.use_rank_ceilings,
+            vectorized_scoring=self.vectorized_scoring,
         )
         outcome = executor.execute(plan)
 

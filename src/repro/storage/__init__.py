@@ -17,9 +17,20 @@ from repro.storage.cid import compute_cid, verify_cid
 from repro.storage.block import Block
 from repro.storage.chunker import chunk_bytes
 from repro.storage.dag import MerkleDAG
+from repro.storage.backend import (
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    create_backend,
+)
 from repro.storage.blockstore import BlockStore
 from repro.storage.peer import StoragePeer
-from repro.storage.ipfs import DecentralizedStorage
+from repro.storage.ipfs import (
+    DecentralizedStorage,
+    FetchResult,
+    StorageOptions,
+    StoreReceipt,
+)
 
 __all__ = [
     "compute_cid",
@@ -27,7 +38,14 @@ __all__ = [
     "Block",
     "chunk_bytes",
     "MerkleDAG",
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "create_backend",
     "BlockStore",
     "StoragePeer",
     "DecentralizedStorage",
+    "StorageOptions",
+    "StoreReceipt",
+    "FetchResult",
 ]

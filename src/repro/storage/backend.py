@@ -1,0 +1,421 @@
+"""Pluggable per-peer block-storage backends behind :class:`BlockStore`.
+
+The storage layer is redesigned around an explicit :class:`StorageBackend`
+protocol so new media can plug in without touching any caller: the engine,
+peers and tests all keep talking to :class:`~repro.storage.blockstore.BlockStore`,
+which delegates the mechanics (recency order, pinning, byte accounting,
+eviction victims, transactions) to a backend.
+
+Two implementations ship:
+
+* :class:`MemoryBackend` — the original python-dict store, kept as the
+  bit-identical ablation.  Its recency/accounting semantics are the
+  reference contract every other backend must reproduce exactly, because
+  eviction order is visible to the simulation (a divergent victim changes
+  which fetches hit the network).
+* :class:`SqliteBackend` — a single-file on-disk store (the caterpillar
+  ``storage/sqlite.py`` idiom): one writer connection with explicit
+  transactions, reads over committed revisions only.  It lets the E4
+  scalability sweep run corpora that no longer fit comfortably in python
+  dicts, with sim-visible behaviour bit-identical to the memory backend.
+
+Both backends expose a transactional :meth:`StorageBackend.writer` context:
+puts staged inside it become visible atomically at exit, and an exception
+(the simulated crash model — a publish aborted mid-flight) discards the
+stage entirely.  A reader therefore always observes old-or-new, never a torn
+prefix; composed with the manifest-DHT-put commit point this is what keeps
+crash-interrupted publishes invisible (see docs/RESILIENCE.md).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import sqlite3
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import BlockNotFoundError
+from repro.storage.block import Block
+
+
+class StorageWriter:
+    """Staged puts for one transaction; handed out by ``backend.writer()``."""
+
+    def __init__(self) -> None:
+        self._staged: List[Tuple[Block, bool]] = []
+
+    def put(self, block: Block, pin: bool = False) -> None:
+        """Stage ``block`` for the commit; invisible to readers until then."""
+        self._staged.append((block, pin))
+
+
+class StorageBackend(abc.ABC):
+    """The protocol every block-storage medium implements.
+
+    Semantics (shared contract, pinned by the conformance suite):
+
+    * ``get``/``put`` refresh a block's recency; ``pin`` does not.
+    * ``evict_one`` removes and returns the least-recently-used *unpinned*
+      block's CID (``None`` when everything is pinned or the store is empty).
+    * ``cached_bytes`` counts only unpinned payload bytes — the quantity the
+      capacity policy in :class:`~repro.storage.blockstore.BlockStore`
+      compares against.
+    * ``writer()`` yields a :class:`StorageWriter`; staged puts apply
+      atomically on clean exit and are discarded wholesale on exception.
+    """
+
+    @abc.abstractmethod
+    def get(self, cid: str) -> Block:
+        """Return the block, refreshing recency; raise ``BlockNotFoundError``."""
+
+    @abc.abstractmethod
+    def put(self, block: Block, pin: bool = False) -> None:
+        """Store (or refresh) a block, optionally pinning it."""
+
+    @abc.abstractmethod
+    def has(self, cid: str) -> bool: ...
+
+    @abc.abstractmethod
+    def delete(self, cid: str) -> bool:
+        """Drop a block; returns whether it was present."""
+
+    @abc.abstractmethod
+    def pin(self, cid: str) -> None:
+        """Pin an already-stored block; raise ``BlockNotFoundError`` if absent."""
+
+    @abc.abstractmethod
+    def is_pinned(self, cid: str) -> bool: ...
+
+    @abc.abstractmethod
+    def evict_one(self) -> Optional[str]:
+        """Evict and return the LRU unpinned block's CID (``None`` if none)."""
+
+    @abc.abstractmethod
+    def iter_cids(self) -> Iterator[str]:
+        """All stored CIDs in recency order (LRU first)."""
+
+    @abc.abstractmethod
+    def cached_bytes(self) -> int: ...
+
+    @abc.abstractmethod
+    def total_bytes(self) -> int: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @contextmanager
+    def writer(self) -> Iterator[StorageWriter]:
+        """Transactional put context: all-or-nothing visibility at exit."""
+        staged = StorageWriter()
+        yield staged
+        # Only reached when the body did not raise: apply the stage.
+        self._commit(staged._staged)
+
+    @abc.abstractmethod
+    def _commit(self, staged: List[Tuple[Block, bool]]) -> None:
+        """Apply a writer's staged puts atomically."""
+
+    def close(self) -> None:
+        """Release any resources (no-op for in-memory media)."""
+
+
+class MemoryBackend(StorageBackend):
+    """The original dict-backed store; the bit-identical reference backend.
+
+    One deliberate quirk is preserved from the pre-backend ``BlockStore``:
+    putting a *new* block with ``pin=True`` decrements ``cached_bytes``
+    (clamped at zero) even though the block was never counted as cached.
+    Changing it would change eviction timing, which is sim-visible — so the
+    sqlite backend replicates it too.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: "OrderedDict[str, Block]" = OrderedDict()
+        self._pinned: set = set()
+        self._cached_bytes = 0
+
+    def get(self, cid: str) -> Block:
+        block = self._blocks.get(cid)
+        if block is None:
+            raise BlockNotFoundError(f"block {cid[:16]}… is not stored locally")
+        self._blocks.move_to_end(cid)
+        return block
+
+    def put(self, block: Block, pin: bool = False) -> None:
+        if block.cid in self._blocks:
+            self._blocks.move_to_end(block.cid)
+        else:
+            self._blocks[block.cid] = block
+            if not pin:
+                self._cached_bytes += block.size
+        if pin and block.cid not in self._pinned:
+            self._pinned.add(block.cid)
+            # A pinned block no longer counts against the cache.
+            self._cached_bytes = max(0, self._cached_bytes - block.size)
+
+    def has(self, cid: str) -> bool:
+        return cid in self._blocks
+
+    def delete(self, cid: str) -> bool:
+        block = self._blocks.pop(cid, None)
+        if block is None:
+            return False
+        if cid in self._pinned:
+            self._pinned.discard(cid)
+        else:
+            self._cached_bytes = max(0, self._cached_bytes - block.size)
+        return True
+
+    def pin(self, cid: str) -> None:
+        if cid not in self._blocks:
+            raise BlockNotFoundError(f"cannot pin missing block {cid[:16]}…")
+        if cid not in self._pinned:
+            self._pinned.add(cid)
+            self._cached_bytes = max(0, self._cached_bytes - self._blocks[cid].size)
+
+    def is_pinned(self, cid: str) -> bool:
+        return cid in self._pinned
+
+    def evict_one(self) -> Optional[str]:
+        victim_cid = next(
+            (cid for cid in self._blocks if cid not in self._pinned), None
+        )
+        if victim_cid is None:
+            return None
+        victim = self._blocks.pop(victim_cid)
+        self._cached_bytes = max(0, self._cached_bytes - victim.size)
+        return victim_cid
+
+    def iter_cids(self) -> Iterator[str]:
+        return iter(list(self._blocks))
+
+    def cached_bytes(self) -> int:
+        return self._cached_bytes
+
+    def total_bytes(self) -> int:
+        return sum(block.size for block in self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def _commit(self, staged: List[Tuple[Block, bool]]) -> None:
+        for block, pin in staged:
+            self.put(block, pin=pin)
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS blocks (
+    cid    TEXT PRIMARY KEY,
+    data   BLOB NOT NULL,
+    links  TEXT NOT NULL,
+    size   INTEGER NOT NULL,
+    pinned INTEGER NOT NULL,
+    seq    INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS blocks_seq ON blocks (seq);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+class SqliteBackend(StorageBackend):
+    """Single-file on-disk block store with committed-revision reads.
+
+    Layout: one ``blocks`` table (payload, links, pin flag, recency ``seq``)
+    plus a ``meta`` table carrying the monotonic recency counter, the
+    unpinned-byte account and a ``revision`` bumped per committed writer
+    transaction.  Recency and accounting transitions mirror
+    :class:`MemoryBackend` operation for operation, so a simulation run is
+    bit-identical across backends (asserted by the conformance suite and the
+    E4 smoke job).
+
+    Transactions: the connection runs in autocommit; ``writer()`` stages
+    puts in python and applies them inside one explicit ``BEGIN``/``COMMIT``,
+    so concurrent reads (and a reopened file after an aborted stage) observe
+    only committed revisions.  ``synchronous=OFF`` skips fsyncs — the crash
+    model here is a raised exception (the simulator's crash windows), not a
+    kernel panic, and the E4 sweep pays the write path thousands of times.
+    """
+
+    def __init__(self, path: str) -> None:
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self.path = path
+        self._db = sqlite3.connect(path, isolation_level=None)
+        self._db.execute("PRAGMA synchronous=OFF")
+        self._db.execute("PRAGMA journal_mode=MEMORY")
+        self._db.executescript(_SCHEMA)
+        self._next_seq = self._meta("next_seq", 0)
+        self._cached = self._meta("cached_bytes", None)
+        if self._cached is None:
+            row = self._db.execute(
+                "SELECT COALESCE(SUM(size), 0) FROM blocks WHERE pinned = 0"
+            ).fetchone()
+            self._cached = int(row[0])
+
+    # -- meta helpers ---------------------------------------------------------
+
+    def _meta(self, key: str, default):
+        row = self._db.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return int(row[0]) if row is not None else default
+
+    def _set_meta(self, key: str, value: int) -> None:
+        self._db.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    def _bump_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        self._set_meta("next_seq", self._next_seq)
+        return seq
+
+    def _set_cached(self, value: int) -> None:
+        self._cached = value
+        self._set_meta("cached_bytes", value)
+
+    @property
+    def revision(self) -> int:
+        """Count of committed writer transactions (persisted across reopens)."""
+        return self._meta("revision", 0)
+
+    # -- protocol -------------------------------------------------------------
+
+    def get(self, cid: str) -> Block:
+        row = self._db.execute(
+            "SELECT data, links FROM blocks WHERE cid = ?", (cid,)
+        ).fetchone()
+        if row is None:
+            raise BlockNotFoundError(f"block {cid[:16]}… is not stored locally")
+        self._db.execute(
+            "UPDATE blocks SET seq = ? WHERE cid = ?", (self._bump_seq(), cid)
+        )
+        links = tuple(row[1].split("\n")) if row[1] else ()
+        return Block(cid=cid, data=row[0], links=links)
+
+    def put(self, block: Block, pin: bool = False) -> None:
+        self._put_row(block, pin)
+
+    def _put_row(self, block: Block, pin: bool) -> None:
+        row = self._db.execute(
+            "SELECT pinned FROM blocks WHERE cid = ?", (block.cid,)
+        ).fetchone()
+        if row is not None:
+            self._db.execute(
+                "UPDATE blocks SET seq = ? WHERE cid = ?",
+                (self._bump_seq(), block.cid),
+            )
+            already_pinned = bool(row[0])
+        else:
+            self._db.execute(
+                "INSERT INTO blocks (cid, data, links, size, pinned, seq) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    block.cid,
+                    block.data,
+                    "\n".join(block.links),
+                    block.size,
+                    1 if pin else 0,
+                    self._bump_seq(),
+                ),
+            )
+            already_pinned = pin
+            if not pin:
+                self._set_cached(self._cached + block.size)
+            else:
+                # Mirror MemoryBackend's new-pinned-put accounting quirk.
+                self._set_cached(max(0, self._cached - block.size))
+        if pin and row is not None and not already_pinned:
+            self._db.execute(
+                "UPDATE blocks SET pinned = 1 WHERE cid = ?", (block.cid,)
+            )
+            self._set_cached(max(0, self._cached - block.size))
+
+    def has(self, cid: str) -> bool:
+        return (
+            self._db.execute("SELECT 1 FROM blocks WHERE cid = ?", (cid,)).fetchone()
+            is not None
+        )
+
+    def delete(self, cid: str) -> bool:
+        row = self._db.execute(
+            "SELECT pinned, size FROM blocks WHERE cid = ?", (cid,)
+        ).fetchone()
+        if row is None:
+            return False
+        self._db.execute("DELETE FROM blocks WHERE cid = ?", (cid,))
+        if not row[0]:
+            self._set_cached(max(0, self._cached - int(row[1])))
+        return True
+
+    def pin(self, cid: str) -> None:
+        row = self._db.execute(
+            "SELECT pinned, size FROM blocks WHERE cid = ?", (cid,)
+        ).fetchone()
+        if row is None:
+            raise BlockNotFoundError(f"cannot pin missing block {cid[:16]}…")
+        if not row[0]:
+            self._db.execute("UPDATE blocks SET pinned = 1 WHERE cid = ?", (cid,))
+            self._set_cached(max(0, self._cached - int(row[1])))
+
+    def is_pinned(self, cid: str) -> bool:
+        row = self._db.execute(
+            "SELECT pinned FROM blocks WHERE cid = ?", (cid,)
+        ).fetchone()
+        return bool(row[0]) if row is not None else False
+
+    def evict_one(self) -> Optional[str]:
+        row = self._db.execute(
+            "SELECT cid, size FROM blocks WHERE pinned = 0 ORDER BY seq ASC LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return None
+        self._db.execute("DELETE FROM blocks WHERE cid = ?", (row[0],))
+        self._set_cached(max(0, self._cached - int(row[1])))
+        return row[0]
+
+    def iter_cids(self) -> Iterator[str]:
+        rows = self._db.execute("SELECT cid FROM blocks ORDER BY seq ASC").fetchall()
+        return iter([row[0] for row in rows])
+
+    def cached_bytes(self) -> int:
+        return self._cached
+
+    def total_bytes(self) -> int:
+        row = self._db.execute("SELECT COALESCE(SUM(size), 0) FROM blocks").fetchone()
+        return int(row[0])
+
+    def __len__(self) -> int:
+        return int(self._db.execute("SELECT COUNT(*) FROM blocks").fetchone()[0])
+
+    def _commit(self, staged: List[Tuple[Block, bool]]) -> None:
+        self._db.execute("BEGIN")
+        try:
+            for block, pin in staged:
+                self._put_row(block, pin)
+            self._set_meta("revision", self._meta("revision", 0) + 1)
+        except BaseException:
+            self._db.execute("ROLLBACK")
+            raise
+        self._db.execute("COMMIT")
+
+    def close(self) -> None:
+        self._db.close()
+
+
+def create_backend(name: str, path: str = "") -> StorageBackend:
+    """Instantiate a backend by config name (``storage_backend`` knob)."""
+    if name == "memory":
+        return MemoryBackend()
+    if name == "sqlite":
+        if not path:
+            raise ValueError("sqlite backend needs a database file path")
+        return SqliteBackend(path)
+    raise ValueError(f"unknown storage backend {name!r} (expected 'memory' or 'sqlite')")

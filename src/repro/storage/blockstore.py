@@ -1,16 +1,24 @@
-"""A peer's local block storage with optional pinning and capacity eviction."""
+"""A peer's local block storage with optional pinning and capacity eviction.
+
+Since the storage-backend redesign, :class:`BlockStore` is the *policy* layer
+only: it owns the capacity budget and decides when to evict, while the
+mechanics (recency order, pinning, byte accounting, transactions) live in a
+pluggable :class:`~repro.storage.backend.StorageBackend`.  The public API is
+unchanged, so peers, the storage facade and the tests are oblivious to which
+medium holds the blocks.
+"""
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
-from repro.errors import BlockNotFoundError
+from repro.storage.backend import MemoryBackend, StorageBackend, StorageWriter
 from repro.storage.block import Block
 
 
 class BlockStore:
-    """An in-memory, LRU-evicting block store.
+    """An LRU-evicting block store over a pluggable backend.
 
     Pinned blocks (a peer's own published content, index shards a worker bee
     is responsible for) are never evicted; cached blocks (content fetched for
@@ -18,82 +26,69 @@ class BlockStore:
     mirroring how DWeb peers "serve their cached data to peer devices".
     """
 
-    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity_bytes: Optional[int] = None,
+        backend: Optional[StorageBackend] = None,
+    ) -> None:
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError(f"capacity_bytes must be positive, got {capacity_bytes!r}")
         self.capacity_bytes = capacity_bytes
-        self._blocks: "OrderedDict[str, Block]" = OrderedDict()
-        self._pinned: set = set()
-        self._cached_bytes = 0
+        self.backend = backend if backend is not None else MemoryBackend()
 
     def __contains__(self, cid: str) -> bool:
-        return cid in self._blocks
+        return self.backend.has(cid)
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        return len(self.backend)
 
     def put(self, block: Block, pin: bool = False) -> None:
         """Store ``block``; pinned blocks are exempt from eviction."""
-        if block.cid in self._blocks:
-            self._blocks.move_to_end(block.cid)
-        else:
-            self._blocks[block.cid] = block
-            if not pin:
-                self._cached_bytes += block.size
-        if pin:
-            if block.cid not in self._pinned:
-                self._pinned.add(block.cid)
-                # A block promoted to pinned no longer counts against the cache.
-                self._cached_bytes = max(0, self._cached_bytes - block.size)
+        self.backend.put(block, pin=pin)
+        self._evict_if_needed()
+
+    @contextmanager
+    def writer(self) -> Iterator[StorageWriter]:
+        """Transactional puts: all staged blocks become visible atomically.
+
+        An exception inside the context discards the whole stage — a crash
+        mid-publish leaves the store at its previous committed state, never
+        a torn prefix.  Eviction runs once, after a successful commit.
+        """
+        with self.backend.writer() as staged:
+            yield staged
         self._evict_if_needed()
 
     def get(self, cid: str) -> Block:
         """Fetch a block, refreshing its LRU position.  Raises if absent."""
-        block = self._blocks.get(cid)
-        if block is None:
-            raise BlockNotFoundError(f"block {cid[:16]}… is not stored locally")
-        self._blocks.move_to_end(cid)
-        return block
+        return self.backend.get(cid)
 
     def has(self, cid: str) -> bool:
-        return cid in self._blocks
+        return self.backend.has(cid)
 
     def remove(self, cid: str) -> bool:
-        block = self._blocks.pop(cid, None)
-        if block is None:
-            return False
-        if cid in self._pinned:
-            self._pinned.discard(cid)
-        else:
-            self._cached_bytes = max(0, self._cached_bytes - block.size)
-        return True
+        return self.backend.delete(cid)
 
     def pin(self, cid: str) -> None:
         """Mark an already-stored block as pinned."""
-        block = self._blocks.get(cid)
-        if block is None:
-            raise BlockNotFoundError(f"cannot pin missing block {cid[:16]}…")
-        if cid not in self._pinned:
-            self._pinned.add(cid)
-            self._cached_bytes = max(0, self._cached_bytes - block.size)
+        self.backend.pin(cid)
 
     def is_pinned(self, cid: str) -> bool:
-        return cid in self._pinned
+        return self.backend.is_pinned(cid)
 
     def cids(self) -> List[str]:
-        return list(self._blocks)
+        return list(self.backend.iter_cids())
 
     def total_bytes(self) -> int:
-        return sum(block.size for block in self._blocks.values())
+        return self.backend.total_bytes()
+
+    def close(self) -> None:
+        """Release backend resources (file handles for on-disk media)."""
+        self.backend.close()
 
     def _evict_if_needed(self) -> None:
         if self.capacity_bytes is None:
             return
-        while self._cached_bytes > self.capacity_bytes:
-            victim_cid = next(
-                (cid for cid in self._blocks if cid not in self._pinned), None
-            )
-            if victim_cid is None:
+        while self.backend.cached_bytes() > self.capacity_bytes:
+            if self.backend.evict_one() is None:
                 return
-            victim = self._blocks.pop(victim_cid)
-            self._cached_bytes = max(0, self._cached_bytes - victim.size)

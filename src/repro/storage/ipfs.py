@@ -7,14 +7,18 @@ QueenBee stores page contents, index shards, and page-rank vectors here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import os
+import re
+import tempfile
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import BlockNotFoundError
 from repro.dht.dht import DHTNetwork
 from repro.net.detector import FailureDetector
 from repro.net.network import SimulatedNetwork
 from repro.sim.simulator import Simulator
+from repro.storage.backend import StorageBackend, create_backend
 from repro.storage.block import Block
 from repro.storage.chunker import DEFAULT_CHUNK_SIZE
 from repro.storage.dag import MerkleDAG
@@ -24,6 +28,101 @@ from repro.storage.peer import GET_BLOCK, StoragePeer, decode_block
 def provider_key(cid: str) -> str:
     """DHT key under which the providers of ``cid`` are recorded."""
     return f"providers:{cid}"
+
+
+@dataclass(frozen=True)
+class StorageOptions:
+    """Storage-layer policy in one bag (mirrors ``FrontendOptions``).
+
+    Replaces the kwarg sprawl the :class:`DecentralizedStorage` constructor
+    accumulated (``replication=``, ``chunk_size=``, ``hedged_fetches=`` —
+    still accepted, deprecated; see the constructor docstring).
+    """
+
+    #: Block-store medium per peer: ``"memory"`` or ``"sqlite"``.
+    backend: str = "memory"
+    #: Directory for on-disk backend files ("" = per-run temp directory).
+    path: str = ""
+    #: Peers (incl. the publisher) each add is pushed to (E3's knob).
+    replication: int = 3
+    #: Merkle-DAG leaf size in bytes.
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    #: Per-peer cache budget in bytes (``None`` = unbounded).
+    capacity_bytes: Optional[int] = None
+    #: Race the first two providers on block fetches (PR 8's tail cut).
+    hedged_fetches: bool = False
+
+    @classmethod
+    def from_config(cls, config, **overrides) -> "StorageOptions":
+        """Build from a :class:`~repro.core.config.QueenBeeConfig`."""
+        options = cls(
+            backend=config.storage_backend,
+            path=config.storage_path,
+            replication=config.storage_replication,
+            chunk_size=config.chunk_size,
+            hedged_fetches=config.hedged_fetches,
+        )
+        return replace(options, **overrides) if overrides else options
+
+
+@dataclass(frozen=True)
+class StoreReceipt:
+    """Structured result of an ``add``: what was stored, where it landed.
+
+    ``providers`` is what actually got announced on the DHT — with pinned
+    placement, chosen peers that could not be reached at push time are
+    already dropped, so callers recording placements use this, not the
+    request.
+    """
+
+    cid: str
+    providers: Tuple[str, ...]
+    size: int
+    #: Whether an explicit provider set was requested (placement path).
+    placed: bool = False
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Structured result of a ``get``: the bytes plus how they were reached."""
+
+    cid: str
+    data: bytes
+    #: Size of the DHT provider record at fetch time.
+    providers_known: int
+    #: Blocks pulled over the network (0 = served entirely from local store).
+    blocks_fetched: int
+    #: Provider fetch attempts, including ones that failed (a hedged
+    #: two-provider race counts as one logical attempt).
+    attempts: int
+    #: Whether any block was fetched via a hedged two-provider race.
+    hedged: bool
+
+    @property
+    def retried(self) -> bool:
+        """Whether any block needed more than one provider attempt."""
+        return self.attempts > self.blocks_fetched
+
+    @property
+    def from_local(self) -> bool:
+        return self.blocks_fetched == 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def text(self) -> str:
+        return self.data.decode("utf-8")
+
+
+@dataclass
+class _FetchTrace:
+    """Mutable per-get accounting threaded through the block-fetch helpers."""
+
+    attempts: int = 0
+    blocks_fetched: int = 0
+    hedged: bool = False
 
 
 @dataclass
@@ -59,12 +158,15 @@ class DecentralizedStorage:
     ----------
     simulator / network / dht:
         Shared simulation substrate.  The DHT holds provider records.
-    replication:
-        Number of peers (including the publisher) each piece of content is
-        pushed to at ``add`` time.  Higher replication survives more churn
-        (experiment E3's knob).
-    chunk_size:
-        Merkle-DAG leaf size in bytes.
+    options:
+        A :class:`StorageOptions` bag (backend medium, replication factor,
+        chunk size, hedging) — the preferred way to configure the layer.
+    replication / chunk_size / hedged_fetches:
+        Deprecated per-field equivalents, kept for back-compat: when given
+        they override the corresponding ``options`` field.  New callers
+        should pass ``options`` (``StorageOptions.from_config(config)``).
+    liveness:
+        Wiring, not policy: the engine's :class:`FailureDetector`.
     """
 
     def __init__(
@@ -72,33 +174,87 @@ class DecentralizedStorage:
         simulator: Simulator,
         network: SimulatedNetwork,
         dht: DHTNetwork,
-        replication: int = 3,
-        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        options: Optional[StorageOptions] = None,
+        replication: Optional[int] = None,
+        chunk_size: Optional[int] = None,
         liveness: Optional[FailureDetector] = None,
-        hedged_fetches: bool = False,
+        hedged_fetches: Optional[bool] = None,
     ) -> None:
-        if replication < 1:
-            raise ValueError(f"replication must be at least 1, got {replication!r}")
+        if options is None:
+            options = StorageOptions()
+        legacy = {}
+        if replication is not None:
+            legacy["replication"] = replication
+        if chunk_size is not None:
+            legacy["chunk_size"] = chunk_size
+        if hedged_fetches is not None:
+            legacy["hedged_fetches"] = hedged_fetches
+        if legacy:
+            options = replace(options, **legacy)
+        if options.replication < 1:
+            raise ValueError(
+                f"replication must be at least 1, got {options.replication!r}"
+            )
         self.simulator = simulator
         self.network = network
         self.dht = dht
-        self.replication = replication
+        self.options = options
+        self.replication = options.replication
         self.liveness = liveness
-        self.hedged_fetches = hedged_fetches
-        self.dag = MerkleDAG(chunk_size=chunk_size)
+        self.hedged_fetches = options.hedged_fetches
+        self.dag = MerkleDAG(chunk_size=options.chunk_size)
         self.peers: Dict[str, StoragePeer] = {}
         self.stats = StorageStats()
         self._rng = simulator.fork_rng("storage")
+        self._backend_dir: Optional[str] = None
 
     # -- membership -----------------------------------------------------------
 
-    def add_peer(self, address: Optional[str] = None, capacity_bytes: Optional[int] = None) -> StoragePeer:
-        """Create a storage peer and register it on the network."""
+    def add_peer(
+        self,
+        address: Optional[str] = None,
+        capacity_bytes: Optional[int] = None,
+        backend: Optional[StorageBackend] = None,
+    ) -> StoragePeer:
+        """Create a storage peer and register it on the network.
+
+        The peer's block-store medium follows ``options.backend`` unless an
+        explicit ``backend`` instance is supplied (tests use this to mix
+        media inside one overlay).
+        """
         if address is None:
             address = f"store-{len(self.peers)}"
-        peer = StoragePeer(address, self.network, capacity_bytes=capacity_bytes)
+        if backend is None:
+            backend = self._make_backend(address)
+        if capacity_bytes is None:
+            capacity_bytes = self.options.capacity_bytes
+        peer = StoragePeer(
+            address, self.network, capacity_bytes=capacity_bytes, backend=backend
+        )
         self.peers[address] = peer
         return peer
+
+    def _make_backend(self, address: str) -> StorageBackend:
+        if self.options.backend == "memory":
+            return create_backend("memory")
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", address)
+        return create_backend(
+            self.options.backend, os.path.join(self._backend_directory(), f"{safe}.db")
+        )
+
+    def _backend_directory(self) -> str:
+        if self._backend_dir is None:
+            if self.options.path:
+                os.makedirs(self.options.path, exist_ok=True)
+                self._backend_dir = self.options.path
+            else:
+                self._backend_dir = tempfile.mkdtemp(prefix="queenbee-blocks-")
+        return self._backend_dir
+
+    def close(self) -> None:
+        """Release every peer's backend resources (on-disk file handles)."""
+        for address in sorted(self.peers):
+            self.peers[address].store.close()
 
     def build(self, count: int) -> List[StoragePeer]:
         return [self.add_peer() for _ in range(count)]
@@ -114,22 +270,13 @@ class DecentralizedStorage:
 
     # -- add / get ------------------------------------------------------------
 
-    def add_bytes(self, data: bytes, publisher: Optional[str] = None) -> str:
-        """Publish ``data`` on the default replication path (root CID only).
-
-        Pinned placement goes through :meth:`add_bytes_placed`, whose
-        returned holder list the caller must record; there is deliberately
-        no ``providers`` passthrough here that would discard it.
-        """
-        return self.add_bytes_placed(data, publisher=publisher)[0]
-
-    def add_bytes_placed(
+    def add_bytes(
         self,
         data: bytes,
         publisher: Optional[str] = None,
         providers: Optional[Sequence[str]] = None,
-    ) -> Tuple[str, List[str]]:
-        """Publish ``data``; returns ``(root CID, announced providers)``.
+    ) -> StoreReceipt:
+        """Publish ``data``; returns a :class:`StoreReceipt`.
 
         Without ``providers`` (the default path), the publisher pins every
         block and replicates to ``replication - 1`` random online peers; the
@@ -142,8 +289,12 @@ class DecentralizedStorage:
         bound any single peer's serving load.  Chosen peers that cannot be
         reached at push time are dropped from the announcement; if every one
         fails, the publisher pins and announces itself so the content is
-        never lost.  The returned holder list is what actually got announced
-        — callers recording placements must use it, not the request.
+        never lost.  ``receipt.providers`` is what actually got announced —
+        callers recording placements must use it, not the request.
+
+        A peer's own pins go through the store's transactional writer, so a
+        crash mid-publish leaves that peer at its previous committed state
+        (old-or-new, composing with the manifest-put commit point).
         """
         origin = self.peers[publisher] if publisher is not None else self.random_peer()
         result = self.dag.build(data)
@@ -151,8 +302,7 @@ class DecentralizedStorage:
             holders: List[str] = []
             for target in providers:
                 if target == origin.address:
-                    for block in result.blocks:
-                        origin.store.put(block, pin=True)
+                    self._pin_locally(origin, result.blocks)
                     holders.append(target)
                     continue
                 delivered = 0
@@ -164,13 +314,11 @@ class DecentralizedStorage:
                 if delivered == len(result.blocks):
                     holders.append(target)
             if not holders:
-                for block in result.blocks:
-                    origin.store.put(block, pin=True)
+                self._pin_locally(origin, result.blocks)
                 holders = [origin.address]
             self.stats.placed_adds += 1
         else:
-            for block in result.blocks:
-                origin.store.put(block, pin=True)
+            self._pin_locally(origin, result.blocks)
             replicas = self._choose_replicas(origin.address, self.replication - 1)
             for replica_address in replicas:
                 for block in result.blocks:
@@ -181,11 +329,41 @@ class DecentralizedStorage:
             self.dht.add_to_set(provider_key(result.root_cid), holder)
         self.stats.adds += 1
         self.stats.bytes_added += len(data)
-        return result.root_cid, holders
+        return StoreReceipt(
+            cid=result.root_cid,
+            providers=tuple(holders),
+            size=len(data),
+            placed=bool(providers),
+        )
 
-    def add_text(self, text: str, publisher: Optional[str] = None) -> str:
+    @staticmethod
+    def _pin_locally(origin: StoragePeer, blocks: Sequence[Block]) -> None:
+        """Pin a whole DAG on ``origin`` atomically (old-or-new, never torn)."""
+        with origin.store.writer() as txn:
+            for block in blocks:
+                txn.put(block, pin=True)
+
+    def add_bytes_placed(
+        self,
+        data: bytes,
+        publisher: Optional[str] = None,
+        providers: Optional[Sequence[str]] = None,
+    ) -> Tuple[str, List[str]]:
+        """Deprecated: ``add_bytes`` now takes ``providers`` and returns a
+        :class:`StoreReceipt`; this shim unpacks it to the old tuple."""
+        receipt = self.add_bytes(data, publisher=publisher, providers=providers)
+        return receipt.cid, list(receipt.providers)
+
+    def add_text(
+        self,
+        text: str,
+        publisher: Optional[str] = None,
+        providers: Optional[Sequence[str]] = None,
+    ) -> StoreReceipt:
         """Convenience wrapper for publishing UTF-8 text (web pages)."""
-        return self.add_bytes(text.encode("utf-8"), publisher=publisher)
+        return self.add_bytes(
+            text.encode("utf-8"), publisher=publisher, providers=providers
+        )
 
     def add_text_placed(
         self,
@@ -193,18 +371,21 @@ class DecentralizedStorage:
         publisher: Optional[str] = None,
         providers: Optional[Sequence[str]] = None,
     ) -> Tuple[str, List[str]]:
-        """Text wrapper for :meth:`add_bytes_placed` (CID plus real holders)."""
-        return self.add_bytes_placed(
-            text.encode("utf-8"), publisher=publisher, providers=providers
-        )
+        """Deprecated: use ``add_text(...)`` and read the receipt's fields."""
+        receipt = self.add_text(text, publisher=publisher, providers=providers)
+        return receipt.cid, list(receipt.providers)
 
     def get_bytes(
         self,
         cid: str,
         requester: Optional[str] = None,
         preferred: Optional[Sequence[str]] = None,
-    ) -> bytes:
+    ) -> FetchResult:
         """Fetch and reassemble the content behind ``cid``.
+
+        Returns a :class:`FetchResult` — the reassembled bytes plus how they
+        were reached (providers known, blocks pulled remotely, attempts,
+        hedging).  Callers that only want the payload read ``.data``/``.text``.
 
         ``preferred`` is an ordered provider routing hint (the index passes
         the manifest's provider set ranked least-loaded-first): live
@@ -220,10 +401,11 @@ class DecentralizedStorage:
         providers = [p for p in self.dht.get_set(provider_key(cid)) if isinstance(p, str)]
         self.stats.per_get_providers.append(len(providers))
         reachable = self._route_candidates(providers, preferred, exclude=peer.address)
+        trace = _FetchTrace()
         if peer.store.has(cid):
             root = peer.store.get(cid)
         else:
-            root = self._fetch_from_any(peer, reachable, cid)
+            root = self._fetch_from_any(peer, reachable, cid, trace)
             if root is None:
                 self.stats.failed_gets += 1
                 raise BlockNotFoundError(f"no reachable provider holds root block {cid[:16]}…")
@@ -232,12 +414,19 @@ class DecentralizedStorage:
             if peer.store.has(link):
                 blocks_by_cid[link] = peer.store.get(link)
                 continue
-            block = self._fetch_from_any(peer, reachable, link)
+            block = self._fetch_from_any(peer, reachable, link, trace)
             if block is None:
                 self.stats.failed_gets += 1
                 raise BlockNotFoundError(f"no reachable provider holds chunk {link[:16]}…")
             blocks_by_cid[link] = block
-        return self.dag.assemble(root, blocks_by_cid)
+        return FetchResult(
+            cid=cid,
+            data=self.dag.assemble(root, blocks_by_cid),
+            providers_known=len(providers),
+            blocks_fetched=trace.blocks_fetched,
+            attempts=trace.attempts,
+            hedged=trace.hedged,
+        )
 
     def get_text(
         self,
@@ -246,7 +435,7 @@ class DecentralizedStorage:
         preferred: Optional[Sequence[str]] = None,
     ) -> str:
         """Fetch content and decode it as UTF-8 text."""
-        return self.get_bytes(cid, requester=requester, preferred=preferred).decode("utf-8")
+        return self.get_bytes(cid, requester=requester, preferred=preferred).text
 
     def providers_of(self, cid: str) -> List[str]:
         """The peers currently announced as providers of ``cid``."""
@@ -347,14 +536,25 @@ class DecentralizedStorage:
             return []
         return self._rng.sample(candidates, min(count, len(candidates)))
 
-    def _fetch_from_any(self, peer: StoragePeer, providers: List[str], cid: str) -> Optional[Block]:
+    def _fetch_from_any(
+        self,
+        peer: StoragePeer,
+        providers: List[str],
+        cid: str,
+        trace: Optional[_FetchTrace] = None,
+    ) -> Optional[Block]:
         providers = list(providers)
+        if trace is None:
+            trace = _FetchTrace()
         if self.hedged_fetches and len(providers) > 1:
             # Hedge the first two candidates: the clock pays only the
             # winner's round trip, cutting the tail a straggler provider
             # would otherwise set.  On a double miss, fall through to the
             # rest sequentially.
             self.stats.hedged_gets += 1
+            trace.hedged = True
+            # One logical attempt, fanned out to two peers by the race.
+            trace.attempts += 1
             _, response = self.network.rpc_hedged(
                 peer.address,
                 [(p, GET_BLOCK, {"cid": cid}) for p in providers[:2]],
@@ -362,12 +562,15 @@ class DecentralizedStorage:
             block = self._accept_block(peer, response, cid)
             if block is not None:
                 self.stats.blocks_transferred += 1
+                trace.blocks_fetched += 1
                 return block
             providers = providers[2:]
         for provider in providers:
+            trace.attempts += 1
             block = peer.fetch_block_from(provider, cid)
             if block is not None:
                 self.stats.blocks_transferred += 1
+                trace.blocks_fetched += 1
                 return block
         return None
 

@@ -423,7 +423,7 @@ def make_storage_stack(seed=2, hedged=False, with_detector=True):
 class TestDetectorRouting:
     def test_suspected_providers_are_demoted_not_removed(self):
         _, _, detector, storage = make_storage_stack()
-        cid = storage.add_text("the shard payload " * 8)
+        cid = storage.add_text("the shard payload " * 8).cid
         providers = storage.providers_of(cid)
         assert len(providers) >= 2
         victim = providers[0]
@@ -437,7 +437,7 @@ class TestDetectorRouting:
     def test_fetch_succeeds_even_when_every_provider_is_suspected(self):
         _, _, detector, storage = make_storage_stack()
         payload = "still reachable " * 8
-        cid = storage.add_text(payload)
+        cid = storage.add_text(payload).cid
         providers = storage.providers_of(cid)
         for address in providers:
             for _ in range(2):
@@ -449,7 +449,7 @@ class TestDetectorRouting:
         pages = []
         for with_detector in (True, False):
             _, _, _, storage = make_storage_stack(with_detector=with_detector)
-            cid = storage.add_text("identical bytes " * 8)
+            cid = storage.add_text("identical bytes " * 8).cid
             requester = next(
                 a for a in storage.peer_addresses() if a not in storage.providers_of(cid)
             )
@@ -459,7 +459,7 @@ class TestDetectorRouting:
     def test_hedged_fetch_duplicates_the_read_and_counts_it(self):
         _, network, _, storage = make_storage_stack(hedged=True)
         payload = "hedged content " * 8
-        cid = storage.add_text(payload)
+        cid = storage.add_text(payload).cid
         assert len(storage.providers_of(cid)) >= 2
         requester = next(
             a for a in storage.peer_addresses() if a not in storage.providers_of(cid)

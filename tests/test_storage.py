@@ -185,12 +185,12 @@ class TestStoragePeerRPC:
 class TestDecentralizedStorage:
     def test_add_get_roundtrip(self, storage):
         text = "QueenBee stores pages on the DWeb " * 10
-        cid = storage.add_text(text)
+        cid = storage.add_text(text).cid
         assert storage.get_text(cid) == text
         assert storage.stats.adds == 1 and storage.stats.gets == 1
 
     def test_providers_are_announced(self, storage):
-        cid = storage.add_text("find my providers")
+        cid = storage.add_text("find my providers").cid
         providers = storage.providers_of(cid)
         assert len(providers) >= 1
         assert all(p.startswith("store-") for p in providers)
@@ -200,14 +200,14 @@ class TestDecentralizedStorage:
             storage.get_bytes(compute_cid("never added"))
 
     def test_content_survives_single_provider_failure(self, storage):
-        cid = storage.add_text("replicated content")
+        cid = storage.add_text("replicated content").cid
         providers = storage.providers_of(cid)
         storage.network.set_offline(providers[0])
         requester = next(a for a in storage.peer_addresses() if a not in providers)
         assert storage.get_text(cid, requester=requester) == "replicated content"
 
     def test_content_unreachable_when_all_providers_fail(self, storage):
-        cid = storage.add_text("doomed content")
+        cid = storage.add_text("doomed content").cid
         providers = storage.providers_of(cid)
         for provider in providers:
             storage.network.set_offline(provider)
@@ -217,7 +217,7 @@ class TestDecentralizedStorage:
         assert storage.stats.failed_gets >= 1
 
     def test_identical_pages_share_a_cid(self, storage):
-        assert storage.add_text("mirror me") == storage.add_text("mirror me")
+        assert storage.add_text("mirror me").cid == storage.add_text("mirror me").cid
 
     def test_invalid_replication_rejected(self, simulator, network, dht):
         with pytest.raises(ValueError):
