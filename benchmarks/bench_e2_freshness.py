@@ -18,6 +18,16 @@ cached path must return top-k pages identical to the uncached path after
 every update and delete (stale-hit rate 0), while the ablation with
 generation validation disabled shows the stale hits the protocol eliminates.
 
+A third section measures what delta publication buys on the wire: the same
+incremental text-only update stream is replayed with ``delta_publication``
+on and off, and the bytes a warm remote frontend moves per update round to
+stay current (posting-shard patches + banded rank refresh vs wholesale
+refetch) are compared.  The two configurations must return bit-identical
+top-k pages; the full run asserts at least a 2x byte reduction.
+
+Results are written to ``BENCH_E2.json`` (``BENCH_E2.smoke.json`` under
+``E2_SMOKE``) for the CI bench-compare gate.
+
 Set the ``E2_SMOKE`` environment variable to run a tiny configuration (the
 CI smoke job does this alongside E10).
 """
@@ -25,9 +35,12 @@ CI smoke job does this alongside E10).
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.centralized import CentralizedSearchEngine
+from repro.core.engine import GossipRankClient
 from repro.baselines.crawler import Crawler
 from repro.core.freshness import FreshnessTracker
 from repro.net.latency import LogNormalLatency
@@ -36,7 +49,7 @@ from repro.search.frontend import SearchFrontend
 from repro.sim.simulator import Simulator
 from repro.workloads.updates import PublishWorkloadGenerator
 
-from benchmarks.common import build_corpus, build_engine, print_table
+from benchmarks.common import build_corpus, build_engine, print_table, write_bench_json
 
 SMOKE = bool(os.environ.get("E2_SMOKE"))
 DOC_COUNT = 100 if SMOKE else 240
@@ -50,6 +63,10 @@ CRAWL_INTERVALS = (2_000.0, 20_000.0, 100_000.0)
 # cache on, queried after every event.
 INVALIDATION_EVENTS = 24 if SMOKE else 60
 QUERY_TERMS_PER_EVENT = 2
+# The delta-publication section: text-only update rounds against a warm
+# gossip frontend, delta channels on vs off.
+DELTA_ROUNDS = 4 if SMOKE else 10
+DELTA_QUERY_TERMS = 4
 
 
 def _workload(corpus, seed=7):
@@ -187,6 +204,7 @@ def _invalidation_row(corpus, validate: bool) -> Dict[str, object]:
         "queries": queries,
         "cache hit rate": stats.hit_rate,
         "invalidations": stats.invalidations,
+        "patched in place": stats.patched_in_place,
         "stale-hit rate (%)": 100.0 * stats.stale_hit_rate,
         "top-k mismatches": mismatches,
     }
@@ -209,9 +227,167 @@ def run_invalidation_experiment(corpus=None) -> List[Dict[str, object]]:
     protocol = rows[0]
     assert protocol["stale-hit rate (%)"] == 0.0, "epoch protocol served a stale shard"
     assert protocol["top-k mismatches"] == 0, "cached top-k diverged from uncached"
-    assert protocol["invalidations"] > 0, "stream never superseded a cached shard"
+    # A superseded cached shard is either invalidated (wholesale refetch) or
+    # patched in place (delta channel); the stream must exercise the protocol
+    # one way or the other.
+    superseded = protocol["invalidations"] + protocol["patched in place"]
+    assert superseded > 0, "stream never superseded a cached shard"
     ablation = rows[1]
     assert ablation["stale-hit rate (%)"] > 0.0, "ablation should expose stale hits"
+    return rows
+
+
+def _delta_terms(corpus, analyzer) -> List[str]:
+    """High-document-frequency query words for the delta section.
+
+    High-df terms have the largest shards, so a one-document patch is far
+    smaller than the wholesale refetch it replaces — the regime delta
+    publication exists for.  Returns raw words (the analyzer maps each to
+    its indexed term at query time).
+    """
+    df: Counter = Counter()
+    word_for_term: Dict[str, str] = {}
+    for doc in corpus.documents:
+        seen = set()
+        for word in doc.full_text.split():
+            word = word.lower().strip(".,;:!?")
+            terms = analyzer.analyze(word)
+            if len(terms) != 1:
+                continue
+            term = terms[0]
+            word_for_term.setdefault(term, word)
+            seen.add(term)
+        df.update(seen)
+    return [word_for_term[term] for term, _ in df.most_common(DELTA_QUERY_TERMS)]
+
+
+def _delta_row(corpus, delta_on: bool) -> Dict[str, object]:
+    """One update-round byte measurement: delta channels on or off.
+
+    Drives ``DELTA_ROUNDS`` text-only updates (links untouched, so the rank
+    graph is stable) against a warm gossip frontend and measures the payload
+    bytes the frontend downloads to stay current: term manifests, posting
+    shards or patches, and rank data (full vector vs moved bands).  DHT
+    *routing* chatter is excluded — the lookup sequence is identical in both
+    configurations, so it would only dilute the quantity the delta channel
+    governs.  Returns the row plus the per-round top-k pages under
+    ``"_topk"`` so the caller can assert bit-identity between the two
+    configurations.
+    """
+    engine = build_engine(
+        peer_count=16, worker_count=4, seed=409,
+        metadata_plane="gossip", posting_cache_capacity=512,
+        delta_publication=delta_on,
+    )
+    engine.bootstrap_corpus(corpus.documents)
+    engine.compute_page_ranks()
+    engine.converge_metadata()
+    frontend = engine.create_gossip_frontend(requester="peer-001:store")
+    # A second warm rank reader whose byte counter the measured phase reads
+    # (the frontend's own client refreshes during the unmeasured queries).
+    rank_client = GossipRankClient(
+        engine.gossip.view("peer-001:store"), engine.storage,
+        "peer-001:store", dht=engine.dht,
+    )
+    rank_client.version()
+    terms = _delta_terms(corpus, engine.analyzer)
+    for term in terms:  # warm the frontend's cache and rank view
+        frontend.search(term)
+
+    rng = random.Random(431)
+    published = list(corpus.documents)
+    reader_bytes = 0
+    topk: List[Tuple[int, str, Tuple]] = []
+    for step in range(DELTA_ROUNDS):
+        victim_index = rng.randrange(len(published))
+        victim = published[victim_index]
+        # A text-only update: repeat one of the queried words so that word's
+        # posting (tf) genuinely changes and its cached shard is superseded.
+        marker = terms[step % len(terms)]
+        updated = victim.updated(
+            text=f"{victim.text} {marker}", published_at=engine.simulator.now
+        )
+        published[victim_index] = updated
+        engine.publish_document(updated)
+        engine.compute_page_ranks()
+        engine.converge_metadata()
+        # The measured phase: the payload bytes a warm reader downloads to
+        # get current again — rank refresh plus manifest + posting refresh
+        # for the queried terms (patch vs wholesale refetch).  The queries
+        # that check top-k identity run *outside* the measurement: their
+        # result/snippet traffic is identical in both configurations and
+        # would drown the refresh bytes this section is about.
+        idx_stats = frontend.index.stats
+        before = (
+            idx_stats.bytes_fetched
+            + idx_stats.manifest_bytes_fetched
+            + rank_client.bytes_fetched
+        )
+        rank_client.version()
+        for word in terms:
+            for term in engine.analyzer.analyze(word):
+                frontend.index.fetch_term(term, requester="peer-001:store")
+        reader_bytes += (
+            idx_stats.bytes_fetched
+            + idx_stats.manifest_bytes_fetched
+            + rank_client.bytes_fetched
+            - before
+        )
+        for word in terms:
+            page = frontend.search(word)
+            topk.append(
+                (step, word, tuple((r.doc_id, round(r.score, 9)) for r in page.results))
+            )
+
+    metrics = engine.metrics
+    return {
+        "delta publication": "on" if delta_on else "off (wholesale)",
+        "update rounds": DELTA_ROUNDS,
+        "reader KiB/round": reader_bytes / DELTA_ROUNDS / 1024.0,
+        "patch KiB stored": metrics.counter("publish.delta_bytes") / 1024.0,
+        "full KiB stored": metrics.counter("publish.full_bytes") / 1024.0,
+        "patched in place": int(metrics.counter("cache.patched_in_place")),
+        "delta fallbacks": int(metrics.counter("cache.delta_fallbacks")),
+        "_topk": topk,
+    }
+
+
+def run_delta_experiment(corpus=None) -> List[Dict[str, object]]:
+    """The delta-publication section: bytes on the wire per update round."""
+    corpus = corpus or build_corpus(DOC_COUNT, seed=77)
+    delta_row = _delta_row(corpus, delta_on=True)
+    wholesale_row = _delta_row(corpus, delta_on=False)
+    delta_topk = delta_row.pop("_topk")
+    wholesale_topk = wholesale_row.pop("_topk")
+    mismatches = sum(1 for a, b in zip(delta_topk, wholesale_topk) if a != b)
+    for row in (delta_row, wholesale_row):
+        row["top-k mismatches"] = mismatches
+    rows = [delta_row, wholesale_row]
+    print_table(
+        "E2c: delta publication — bytes on the wire per update round",
+        rows,
+        note=(
+            f"{DELTA_ROUNDS} text-only update rounds against a warm gossip "
+            f"frontend ({'smoke' if SMOKE else 'full'} config)"
+        ),
+    )
+    # Bit-identity: patched state must be indistinguishable from wholesale.
+    assert len(delta_topk) == len(wholesale_topk) > 0
+    assert mismatches == 0, "delta publication changed a top-k page"
+    assert delta_row["delta fallbacks"] == 0, "clean stream should never fall back"
+    assert delta_row["patched in place"] > 0, "stream never exercised a patch"
+    reduction = (
+        wholesale_row["reader KiB/round"] / delta_row["reader KiB/round"]
+        if delta_row["reader KiB/round"]
+        else float("inf")
+    )
+    # The headline claim, gated hard on the full configuration: update rounds
+    # ship at most half the wholesale bytes.  The smoke config is too small
+    # for a stable ratio, so it only requires an improvement.
+    if SMOKE:
+        assert reduction > 1.0, f"delta rounds moved more bytes ({reduction:.2f}x)"
+    else:
+        assert reduction >= 2.0, f"byte reduction {reduction:.2f}x < 2x"
     return rows
 
 
@@ -225,7 +401,35 @@ def run_experiment() -> List[Dict[str, object]]:
         rows,
         note=f"{PUBLISH_EVENTS} publish/update events, mean interarrival {MEAN_INTERARRIVAL:.0f} ms",
     )
-    run_invalidation_experiment()
+    invalidation_rows = run_invalidation_experiment()
+    delta_rows = run_delta_experiment(corpus)
+    delta_on, delta_off = delta_rows[0], delta_rows[1]
+    payload = {
+        "experiment": "E2",
+        "config": {
+            "smoke": SMOKE,
+            "documents": DOC_COUNT,
+            "publish_events": PUBLISH_EVENTS,
+            "invalidation_events": INVALIDATION_EVENTS,
+            "delta_rounds": DELTA_ROUNDS,
+            "delta_query_terms": DELTA_QUERY_TERMS,
+        },
+        "rows": rows,
+        "invalidation_rows": invalidation_rows,
+        "delta_rows": delta_rows,
+        "derived": {
+            "reader_bytes_reduction": (
+                delta_off["reader KiB/round"] / delta_on["reader KiB/round"]
+                if delta_on["reader KiB/round"]
+                else float("inf")
+            ),
+            "delta_topk_mismatches": delta_on["top-k mismatches"],
+            "delta_fallbacks": delta_on["delta fallbacks"],
+        },
+    }
+    # Smoke runs must not overwrite the committed full-run baseline the
+    # bench-compare job diffs against.
+    write_bench_json("BENCH_E2.smoke.json" if SMOKE else "BENCH_E2.json", payload)
     return rows
 
 

@@ -24,7 +24,14 @@ the returned top-k pages stay bit-identical.
 The **backend rows** scale the corpus to 10k documents on the pluggable
 storage backends: the same build and query workload runs on the in-memory
 and the on-disk (sqlite) block stores, and the top-k pages must match
-exactly — the on-disk medium is sim-invisible.  Results are also written to
+exactly — the on-disk medium is sim-invisible.
+
+The **update rows** measure the bytes-on-the-wire cost of keeping a warm
+reader current through incremental update rounds: with delta publication on,
+a superseded cached shard costs one patch fetch (bounded at half the shard
+payload by ``delta_max_ratio``) instead of a wholesale shard refetch, so the
+per-round refetch bytes must at least halve versus the
+``delta_publication=False`` ablation.  Results are also written to
 ``BENCH_E4.json`` for PR-over-PR tracking; ``E4_SMOKE=1`` runs a tiny
 configuration asserting the placement invariant and both top-k identities
 (the CI smoke job).
@@ -37,6 +44,8 @@ import os
 from typing import Dict, List, Tuple
 
 from repro.index.analysis import Analyzer
+from repro.index.cache import PostingCache
+from repro.index.distributed import DistributedIndex
 from repro.index.inverted_index import LocalInvertedIndex
 
 from benchmarks.common import (
@@ -64,6 +73,9 @@ SHARD_SIZE = 16 if SMOKE else 64
 # the tiny configuration.
 BACKEND_POINT = (90, 12) if SMOKE else (10_000, 16)  # (documents, peers)
 BACKEND_SHARD_SIZE = 16 if SMOKE else 256
+# The update-round section: incremental text-only updates against a warm
+# publisher-side posting cache, delta publication on vs off.
+UPDATE_ROUNDS = 4 if SMOKE else 10
 
 
 def _heaviest_term_load(engine, local: LocalInvertedIndex) -> Tuple[str, int, int]:
@@ -149,6 +161,99 @@ def _row(
     return row, top_k
 
 
+def _head_word(corpus, analyzer) -> str:
+    """The highest-document-frequency plain word in the corpus.
+
+    High df means the word's posting list spans the largest shards — the
+    regime where a patch is much smaller than the wholesale refetch it
+    replaces.  Returns the raw word (its analyzed term is what the index
+    keys on).
+    """
+    df: Dict[str, int] = {}
+    for document in corpus.documents:
+        for word in set(document.full_text.split()):
+            word = word.lower().strip(".,;:!?")
+            if len(analyzer.analyze(word)) == 1:
+                df[word] = df.get(word, 0) + 1
+    return max(df, key=df.get)
+
+
+class _SharedEpochFeed:
+    """Adapter letting a standalone reader index see the engine's epochs.
+
+    The shared-plane engine index learns generations from its own publishes;
+    a reader built next to it needs those bumps to invalidate its cached
+    manifests (a real deployment gets them from the gossip plane, measured
+    in E2c).
+    """
+
+    def __init__(self, index: DistributedIndex) -> None:
+        self._index = index
+
+    def generation(self, term: str) -> int:
+        return self._index.generation(term)
+
+    def observe(self, term: str, generation: int) -> None:
+        pass
+
+
+def _update_row(delta_on: bool) -> Dict[str, object]:
+    """Refetch bytes per update round with delta publication on or off.
+
+    A separate warm reader index (own posting cache — the publish path's
+    own merge fetches must not pollute the measurement) holds the head
+    term's postings; each round a text-only update bumps that term's
+    posting (one more occurrence of the word), superseding the cached
+    entry.  The measured quantity is the content bytes the reader moves to
+    get current again — one patch with the delta channel, the full artifact
+    without — with manifest bytes (identical in both configurations) broken
+    out separately.
+    """
+    docs, peers = SWEEP[0]
+    corpus = build_corpus(docs, seed=900 + docs)
+    # Unsharded on purpose: the head term's whole posting list is one
+    # content object, so the wholesale-vs-patch gap is the full artifact
+    # size (the sharded rows above already bound per-shard fetch load).
+    engine = build_engine(peer_count=peers, worker_count=max(4, peers // 8),
+                          compress_index=True, index_shard_size=0,
+                          posting_cache_capacity=256, seed=900 + docs,
+                          delta_publication=delta_on)
+    engine.bootstrap_corpus(corpus.documents)
+    reader = DistributedIndex(
+        engine.dht, engine.storage, compress=True, cache=PostingCache(64),
+        validate_generations=True, shard_size=0,
+        epoch_feed=_SharedEpochFeed(engine.index),
+        delta_publication=delta_on,
+        delta_max_ratio=engine.config.delta_max_ratio,
+    )
+    word = _head_word(corpus, engine.analyzer)
+    term = engine.analyzer.analyze(word)[0]
+    reader.fetch_term(term)  # warm the reader's cache
+    victim = next(d for d in corpus.documents if word in d.full_text.split())
+
+    stats = reader.stats
+    before_fetch = stats.bytes_fetched
+    before_manifest = stats.manifest_bytes_fetched
+    for _ in range(UPDATE_ROUNDS):
+        victim = victim.updated(
+            text=f"{victim.text} {word}", published_at=engine.simulator.now
+        )
+        engine.publish_document(victim)
+        reader.fetch_term(term)
+    refetch_bytes = stats.bytes_fetched - before_fetch
+    manifest_bytes = stats.manifest_bytes_fetched - before_manifest
+    cache_stats = reader.cache.stats
+    engine.storage.close()
+    return {
+        "delta publication": "on" if delta_on else "off (wholesale)",
+        "update rounds": UPDATE_ROUNDS,
+        "refetch KiB/round": refetch_bytes / 1024.0 / UPDATE_ROUNDS,
+        "manifest KiB/round": manifest_bytes / 1024.0 / UPDATE_ROUNDS,
+        "patched in place": cache_stats.patched_in_place,
+        "delta fallbacks": cache_stats.delta_fallbacks,
+    }
+
+
 def run_experiment() -> Dict[str, object]:
     rows: List[Dict[str, object]] = []
     placement_pairs = []  # (unplaced row, placed row) per sweep point
@@ -194,6 +299,7 @@ def run_experiment() -> Dict[str, object]:
         f"sqlite backend changed top-k pages at {BACKEND_POINT}"
     )
     rows.extend([memory_row, sqlite_row])
+    update_rows = [_update_row(delta_on=True), _update_row(delta_on=False)]
     print_table(
         "E4: decentralized index scalability",
         rows,
@@ -204,6 +310,15 @@ def run_experiment() -> Dict[str, object]:
             "'max shards/provider' is the heaviest term's provider "
             "concentration — placement caps it at the anti-affinity bound "
             "ceil(shards/replication)."
+        ),
+    )
+    print_table(
+        "E4: update-round bytes — patch refetch vs wholesale refetch",
+        update_rows,
+        note=(
+            f"{UPDATE_ROUNDS} text-only update rounds of the head term's "
+            "hottest document against a warm posting cache; manifest bytes "
+            "are identical in both configurations"
         ),
     )
 
@@ -223,6 +338,12 @@ def run_experiment() -> Dict[str, object]:
     # tracked baseline).
     derived["backend_topk_mismatches"] = 0.0
     derived["backend_scale_documents"] = float(backend_docs)
+    delta_update, wholesale_update = update_rows
+    derived["update_refetch_reduction"] = (
+        wholesale_update["refetch KiB/round"] / delta_update["refetch KiB/round"]
+        if delta_update["refetch KiB/round"]
+        else float("inf")
+    )
 
     payload = {
         "experiment": "E4",
@@ -235,6 +356,7 @@ def run_experiment() -> Dict[str, object]:
             "backend_shard_size": BACKEND_SHARD_SIZE,
         },
         "rows": rows,
+        "update_rows": update_rows,
         "derived": derived,
     }
     # Smoke runs write to a separate (gitignored) file: overwriting the
@@ -254,6 +376,16 @@ def run_experiment() -> Dict[str, object]:
         assert placed_row["max shards/provider"] < unplaced_row["max shards/provider"], (
             "placement did not reduce the heaviest term's provider concentration"
         )
+    # The delta-publication acceptance gates: update rounds must patch in
+    # place (never fall back on this clean stream) and the refetch bytes
+    # must at least halve — the delta_max_ratio publication gate guarantees
+    # a published patch is at most half its shard's payload.
+    assert delta_update["patched in place"] > 0, "update rounds never patched the cache"
+    assert delta_update["delta fallbacks"] == 0, "clean stream should never fall back"
+    assert derived["update_refetch_reduction"] >= 2.0, (
+        f"update-round refetch bytes only improved "
+        f"{derived['update_refetch_reduction']:.2f}x (< 2x)"
+    )
     return payload
 
 

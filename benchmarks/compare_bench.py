@@ -29,17 +29,64 @@ from typing import Dict, Iterable, List, Optional, Tuple
 # ``higher_metrics``; ``min_abs`` suppresses noise on tiny absolute values
 # (a 0.01 -> 0.02 "regression" is not a signal).
 TRACKED: Dict[str, object] = {
-    "BENCH_E4.json": {
-        "rows_key": "rows",
-        "identity": ("documents", "peers", "codec", "shard size", "placement", "backend"),
-        "metrics": {
-            "bytes/term fetch": 64.0,
-            "max fetch (bytes)": 64.0,
-            "KiB fetched/query": 0.25,
-            "max shards/provider": 1.0,
-            "dht rounds/lookup": 1.0,
+    "BENCH_E2.json": [
+        {
+            # Freshness: publish-driven lag must stay flat and nothing may be
+            # stale once the stream ends (identity keeps QueenBee and each
+            # crawler interval on their own rows).
+            "rows_key": "rows",
+            "identity": ("system",),
+            "metrics": {
+                "mean lag (ms)": 50.0,
+                "stale at end (%)": 0.0,
+            },
         },
-    },
+        {
+            # Cache invalidation protocol: the cached frontend must keep
+            # returning the uncached top-k under churn.
+            "rows_key": "invalidation_rows",
+            "identity": ("cache validation",),
+            "metrics": {
+                "top-k mismatches": 0.0,
+            },
+        },
+        {
+            # Delta publication: bytes-on-the-wire per update round must not
+            # creep back up, patched state must stay bit-identical (zero
+            # mismatches, zero fingerprint fallbacks on a clean stream).
+            "rows_key": "delta_rows",
+            "identity": ("delta publication",),
+            "metrics": {
+                "reader KiB/round": 0.25,
+                "top-k mismatches": 0.0,
+                "delta fallbacks": 0.0,
+            },
+        },
+    ],
+    "BENCH_E4.json": [
+        {
+            "rows_key": "rows",
+            "identity": ("documents", "peers", "codec", "shard size", "placement", "backend"),
+            "metrics": {
+                "bytes/term fetch": 64.0,
+                "max fetch (bytes)": 64.0,
+                "KiB fetched/query": 0.25,
+                "max shards/provider": 1.0,
+                "dht rounds/lookup": 1.0,
+            },
+        },
+        {
+            # Update-round refetch bytes: the patch path must keep beating
+            # the wholesale refetch, and a fingerprint fallback on the clean
+            # stream (baseline 0) is an infinite relative regression.
+            "rows_key": "update_rows",
+            "identity": ("delta publication",),
+            "metrics": {
+                "refetch KiB/round": 0.1,
+                "delta fallbacks": 0.0,
+            },
+        },
+    ],
     "BENCH_E10.json": [
         {
             "rows_key": "rows",
@@ -188,6 +235,17 @@ def _compare_spec(
             f"{name}: tracked section {rows_key!r} ({len(baseline_rows)} baseline "
             f"row(s)) is {reason} the fresh results — regenerate the baseline or "
             "fix the bench before gating on it"
+        ]
+    if current_rows and not baseline_rows:
+        # The inverse gap: the bench emits a section compare_bench tracks,
+        # but the committed baseline predates it.  Skipping would leave the
+        # new metrics ungated until someone remembers to refresh the
+        # baseline, so force that refresh into the same PR.
+        reason = "missing from" if rows_key not in baseline else "empty in"
+        return [
+            f"{name}: tracked section {rows_key!r} ({len(current_rows)} fresh "
+            f"row(s)) is {reason} the committed baseline — commit a regenerated "
+            f"{name} so the new section is gated from its first run"
         ]
     failures: List[str] = []
     for key, base_row in baseline_rows.items():

@@ -89,6 +89,9 @@ KNOBS: Tuple[Knob, ...] = (
         ("placement_repair_floor", int, 0, "Live providers below which repair kicks in."),
         ("placement_repair_grace", float, 0.0, "Flap-debounce window before repair (ticks)."),
         ("placement_repair_budget", int, 0, "Max repairs per churn event (0 = unbounded)."),
+        ("delta_publication", bool, True, "Publish per-generation patches next to full artifacts."),
+        ("rank_delta_bands", int, 8, "Doc-id bands per rank-vector publication (0 = wholesale)."),
+        ("delta_max_ratio", float, 0.5, "Max patch/full size ratio before falling back to full."),
     ),
     *_knobs(
         "metadata_plane",

@@ -112,6 +112,18 @@ class QueenBeeConfig:
     # per churn event; overflow is recorded as a deficit and retried on the
     # next join/audit.  0 = unbounded.
     placement_repair_budget: int = 0
+    # Publish per-generation patches (posting deltas, banded rank deltas)
+    # next to every full artifact, so warm readers patch in place instead
+    # of refetching wholesale.  The full artifact is still published and
+    # stays authoritative; False is the wholesale ablation E2 measures.
+    delta_publication: bool = True
+    # Doc-id bands the rank vector is partitioned into per publication;
+    # remote frontends refetch only bands whose fingerprint moved.  0
+    # publishes the monolithic vector every round (wholesale).
+    rank_delta_bands: int = 8
+    # A shard patch larger than this fraction of the full shard payload is
+    # not published (an all-docs-changed round degenerates to full fetch).
+    delta_max_ratio: float = 0.5
 
     # Metadata plane
     # How frontends learn soft metadata (index epochs, the rank head,
@@ -242,6 +254,10 @@ class QueenBeeConfig:
             raise ValueError("placement_repair_grace must be non-negative")
         if self.placement_repair_budget < 0:
             raise ValueError("placement_repair_budget must be non-negative")
+        if self.rank_delta_bands < 0:
+            raise ValueError("rank_delta_bands must be non-negative")
+        if not 0.0 < self.delta_max_ratio <= 1.0:
+            raise ValueError("delta_max_ratio must be in (0, 1]")
         if self.metadata_plane not in ("shared", "gossip"):
             raise ValueError(f"unknown metadata_plane {self.metadata_plane!r}")
         if self.gossip_fanout < 1:

@@ -37,6 +37,8 @@ from repro.net.gossip import (
     GossipView,
     LOAD_PREFIX,
     PlaneEpochFeed,
+    RANK_BANDS_KEY,
+    RANK_CEILING_PREFIX,
     RANK_HEAD_KEY,
     STATS_HEAD_KEY,
     quantize_load,
@@ -44,7 +46,13 @@ from repro.net.gossip import (
 from repro.net.detector import FailureDetector
 from repro.net.latency import LogNormalLatency
 from repro.net.network import RetryPolicy, SimulatedNetwork
-from repro.ranking.distributed import DecentralizedPageRank, RankCeilingPublisher
+from repro.ranking.distributed import (
+    DecentralizedPageRank,
+    RANK_BANDS_DHT_KEY,
+    RankCeilingPublisher,
+    RankVectorPublisher,
+    assemble_banded_ranks,
+)
 from repro.ranking.graph import LinkGraph
 from repro.ranking.pagerank import PageRankResult
 from repro.search.frontend import FrontendOptions, SearchFrontend
@@ -58,23 +66,48 @@ RANK_VECTOR_KEY = "rank:vector"
 class GossipRankClient:
     """Rank-vector access for a remote frontend: gossiped head, DWeb body.
 
-    The gossip plane carries only the tiny ``rank:head`` entry (version +
-    CID); when the head this peer has heard of moves past the vector the
-    client serves, the full vector is fetched once from decentralized
-    storage.  ``version()`` always reports the version of the vector
-    actually *served* — if a fetch fails the client keeps serving the
+    With banded publication the gossip plane carries the band manifest
+    (``rank:bands``); when it moves past the vector this client serves, the
+    client recomputes its held bands' fingerprints locally and fetches only
+    the bands that actually moved, splicing them over what it holds — a
+    rank round that changed nothing costs zero content fetches.  The
+    assembled vector is fingerprint-verified before adoption; any failure
+    walks the fallback ladder (gossiped manifest → authoritative DHT
+    manifest → the legacy ``rank:head`` full-vector fetch → keep serving
+    the previous pair).  ``version()`` always reports the version of the
+    vector actually *served* — if every rung fails the client keeps the
     previous consistent (version, vector) pair, so memo keys and result-
     cache keys never get ahead of the data they describe.
     """
 
-    def __init__(self, view: GossipView, storage, requester: str) -> None:
+    def __init__(self, view: GossipView, storage, requester: str, dht=None) -> None:
         self.view = view
         self.storage = storage
         self.requester = requester
+        self.dht = dht
         self._version = 0
         self._ranks: Mapping[int, float] = MappingProxyType({})
+        # Band fetches saved/spent and payload bytes downloaded, for the
+        # E2 freshness accounting.
+        self.band_fetches = 0
+        self.band_refreshes = 0
+        self.bytes_fetched = 0
 
     def _refresh(self) -> None:
+        bands_version, manifest_json = self.view.rank_bands()
+        if bands_version > self._version and manifest_json is not None:
+            if self._adopt_banded(manifest_json):
+                return
+            # Gossiped manifest failed to assemble (lagging band entries or
+            # unreachable providers): retry against the authoritative DHT
+            # copy before degrading to the legacy full-vector path.
+            if self.dht is not None:
+                try:
+                    authoritative = str(self.dht.get(RANK_BANDS_DHT_KEY))
+                except Exception:
+                    authoritative = None
+                if authoritative is not None and self._adopt_banded(authoritative):
+                    return
         head_version, cid = self.view.rank_head()
         if head_version <= self._version or cid is None:
             return
@@ -84,6 +117,7 @@ class GossipRankClient:
             # Unreachable vector: keep the previous consistent pair; the
             # next query retries.
             return
+        self.bytes_fetched += len(payload)
         body = json.loads(payload)
         data = body["ranks"] if isinstance(body, dict) and "ranks" in body else body
         version = (
@@ -93,6 +127,34 @@ class GossipRankClient:
             {int(doc_id): float(rank) for doc_id, rank in sorted(data.items())}
         )
         self._version = version
+
+    def _adopt_banded(self, manifest_json: str) -> bool:
+        """Assemble + verify one band manifest; adopt only on full success."""
+        try:
+            version = int(json.loads(manifest_json).get("v", 0))
+        except (ValueError, TypeError):
+            return False
+        if version <= self._version:
+            return False
+        fetches = 0
+
+        def fetch_text(cid: str) -> str:
+            nonlocal fetches
+            fetches += 1
+            payload = self.storage.get_text(cid, requester=self.requester)
+            self.bytes_fetched += len(payload)
+            return payload
+
+        assembled = assemble_banded_ranks(
+            manifest_json, fetch_text, local_ranks=self._ranks
+        )
+        if assembled is None:
+            return False
+        self._ranks = MappingProxyType(assembled)
+        self._version = version
+        self.band_fetches += fetches
+        self.band_refreshes += 1
+        return True
 
     def version(self) -> int:
         self._refresh()
@@ -174,6 +236,9 @@ class QueenBeeEngine:
         )
 
         self.analyzer = Analyzer()
+        # Constructed before the index: the delta patch channel reports its
+        # byte counters through the engine's collector.
+        self.metrics = MetricsCollector()
         self.posting_cache = (
             PostingCache(cfg.posting_cache_capacity) if cfg.posting_cache_capacity > 0 else None
         )
@@ -214,12 +279,21 @@ class QueenBeeEngine:
             length_lookup=lambda doc_id: self.statistics.length_of(doc_id),
             placement=self.placement,
             epoch_feed=epoch_feed,
+            delta_publication=cfg.delta_publication,
+            delta_max_ratio=cfg.delta_max_ratio,
+            metrics=self.metrics,
+        )
+        # Rank-vector publication: banded deltas against the last wholesale
+        # anchor when delta publication is on, pure wholesale otherwise.
+        self._rank_publisher = RankVectorPublisher(
+            self.storage, self.dht,
+            bands=cfg.rank_delta_bands if cfg.delta_publication else 0,
+            metrics=self.metrics,
         )
         self.directory = DocumentDirectory(self.dht)
         self.term_directory = TermDirectory(self.dht, self.storage)
         self.statistics = CollectionStatistics()
         self.freshness = FreshnessTracker()
-        self.metrics = MetricsCollector()
         self.stats = EngineStats()
 
         # Ground-truth bookkeeping used by experiments (never by the search path).
@@ -418,19 +492,42 @@ class QueenBeeEngine:
         self._page_ranks = dict(result.ranks)
         self._page_ranks_view = MappingProxyType(self._page_ranks)
         self._rank_version += 1
-        self._publish_rank_vector(result.ranks)
+        publisher_peer = self.workers[0].storage_peer if self.workers else None
+        receipt = self._rank_publisher.publish(
+            result.ranks, self._rank_version, publisher=publisher_peer
+        )
+        if receipt.full_cid is not None:
+            self._rank_cid = receipt.full_cid
         if cfg.publish_rank_ceilings:
             # Stamp quantized per-shard rank ceilings into every term
             # manifest (generations untouched, caches stay valid): any
             # frontend can then prune shards by rank straight from the
-            # manifest, without materialising the rank vector.
-            RankCeilingPublisher(self.index).publish(result.ranks, self._rank_version)
-        if self.gossip is not None:
-            # Announce the new rank head; remote frontends fetch the vector
-            # from decentralized storage when the head moves.
-            self.gossip.publish(
-                "peer-000:store", RANK_HEAD_KEY, self._rank_cid, self._rank_version
+            # manifest, without materialising the rank vector.  With delta
+            # publication on, each restamp also gossips a per-term
+            # rank-version hint so remote frontends refresh ceilings on
+            # their *cached* manifests without a refetch.
+            hint_sink = (
+                self._rank_hint_sink()
+                if self.gossip is not None and cfg.delta_publication
+                else None
             )
+            RankCeilingPublisher(self.index).publish(
+                result.ranks, self._rank_version, hint_sink=hint_sink
+            )
+        if self.gossip is not None:
+            if receipt.manifest_json is not None:
+                # The band manifest rides the plane whole (it is small);
+                # the DHT record under the same name stays authoritative.
+                self.gossip.publish(
+                    "peer-000:store", RANK_BANDS_KEY, receipt.manifest_json, self._rank_version
+                )
+            if receipt.full_cid is not None:
+                # Announce the new full-vector head; delta rounds leave it
+                # at the anchor version on purpose (the anchor is what that
+                # CID holds), so legacy readers stay version-consistent.
+                self.gossip.publish(
+                    "peer-000:store", RANK_HEAD_KEY, self._rank_cid, self._rank_version
+                )
 
         # Reward every worker that participated, slash the ones whose answers
         # lost a majority vote (the collusion defense's enforcement arm).
@@ -475,7 +572,20 @@ class QueenBeeEngine:
         return self._rank_version
 
     def fetch_published_ranks(self) -> Dict[int, float]:
-        """The rank vector as a frontend would fetch it from the DWeb."""
+        """The rank vector as a frontend would fetch it from the DWeb.
+
+        With banded publication the authoritative band manifest is preferred
+        (on a delta round the full vector under ``rank:vector`` is the older
+        wholesale anchor); the legacy full-vector path is the fallback.
+        """
+        try:
+            manifest_json = str(self.dht.get(RANK_BANDS_DHT_KEY))
+        except Exception:
+            manifest_json = None
+        if manifest_json is not None:
+            assembled = assemble_banded_ranks(manifest_json, self.storage.get_text)
+            if assembled is not None:
+                return assembled
         try:
             cid = self.dht.get(RANK_VECTOR_KEY)
             payload = self.storage.get_text(cid)
@@ -591,8 +701,11 @@ class QueenBeeEngine:
             validate_generations=cfg.cache_validation, shard_size=cfg.index_shard_size,
             epoch_feed=view,
             load_lookup=view.load_hint,
+            delta_publication=cfg.delta_publication,
+            delta_max_ratio=cfg.delta_max_ratio,
+            metrics=self.metrics,
         )
-        rank_client = GossipRankClient(view, self.storage, requester)
+        rank_client = GossipRankClient(view, self.storage, requester, dht=self.dht)
         return SearchFrontend(
             simulator=self.simulator,
             index=index,
@@ -764,18 +877,19 @@ class QueenBeeEngine:
         for source_doc_id in self._pending_links.pop(document.url, []):
             self.link_graph.add_edge(source_doc_id, document.doc_id)
 
-    def _publish_rank_vector(self, ranks: Mapping[int, float]) -> None:
-        # The version travels with the vector so remote frontends can key
-        # their memoized rank bounds the same way local ones do.
-        payload = json.dumps(
-            {
-                "version": self._rank_version,
-                # repro-lint: disable=RL004 -- sort_keys=True canonicalizes the payload
-                "ranks": {str(doc_id): rank for doc_id, rank in ranks.items()},
-            },
-            sort_keys=True,
-        )
-        publisher_peer = self.workers[0].storage_peer if self.workers else None
-        cid = self.storage.add_text(payload, publisher=publisher_peer).cid
-        self.dht.put(RANK_VECTOR_KEY, cid)
-        self._rank_cid = cid
+    def _rank_hint_sink(self):
+        """The per-term ``rv:<term>`` gossip writer for ceiling restamps."""
+
+        def sink(term: str, manifest) -> None:
+            value = json.dumps(
+                {
+                    "g": manifest.generation,
+                    "rc": [info.rank_ceiling for info in manifest.shards],
+                },
+                sort_keys=True,
+            )
+            self.gossip.publish(
+                "peer-000:store", RANK_CEILING_PREFIX + term, value, self._rank_version
+            )
+
+        return sink

@@ -43,6 +43,12 @@ class PostingCacheStats:
     # Lookups that served an entry whose generation was already superseded —
     # only possible with generation validation disabled (the E2 ablation).
     stale_hits: int = 0
+    # Stale entries brought current by applying a published patch instead
+    # of refetching the full shard (the delta channel's cache-side win).
+    patched_in_place: int = 0
+    # Patch attempts that fell back to a full fetch (base fingerprint
+    # mismatch, unreachable patch, or failed post-patch verification).
+    delta_fallbacks: int = 0
 
     @property
     def lookups(self) -> int:
@@ -64,6 +70,8 @@ class PostingCacheStats:
         self.evictions = 0
         self.invalidations = 0
         self.stale_hits = 0
+        self.patched_in_place = 0
+        self.delta_fallbacks = 0
 
 
 class PostingCache:
@@ -78,7 +86,7 @@ class PostingCache:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity!r}")
         self.capacity = capacity
-        self._entries: "OrderedDict[str, Tuple[PostingList, int]]" = OrderedDict()
+        self._entries: "OrderedDict[str, Tuple[PostingList, int, str]]" = OrderedDict()
         self.stats = PostingCacheStats()
 
     def __len__(self) -> int:
@@ -100,7 +108,7 @@ class PostingCache:
             self.stats.misses += 1
             state_monitor.record_read("posting_cache", self, term)
             return None
-        postings, entry_generation = entry
+        postings, entry_generation, _ = entry
         if generation is not None and entry_generation != generation:
             del self._entries[term]
             self.stats.invalidations += 1
@@ -117,15 +125,39 @@ class PostingCache:
         entry = self._entries.get(term)
         return entry[1] if entry is not None else None
 
-    def put(self, term: str, postings: PostingList, generation: int = 0) -> None:
-        """Insert or replace the entry for ``term``, evicting the LRU tail."""
+    def peek(self, term: str) -> Optional[Tuple[PostingList, int, str]]:
+        """The full ``(postings, generation, fingerprint)`` entry, or None.
+
+        Stats-neutral and LRU-neutral: the patch path uses this to inspect a
+        possibly-stale entry *before* deciding whether to patch it in place
+        or let :meth:`get` invalidate it and fall through to a full fetch.
+        """
+        entry = self._entries.get(term)
+        state_monitor.record_read(
+            "posting_cache", self, term, entry if entry is not None else state_monitor.ABSENT
+        )
+        return entry
+
+    def put(
+        self,
+        term: str,
+        postings: PostingList,
+        generation: int = 0,
+        fingerprint: str = "",
+    ) -> None:
+        """Insert or replace the entry for ``term``, evicting the LRU tail.
+
+        ``fingerprint`` is the shard's manifest content fingerprint; the
+        patch channel matches a published patch's ``base_fp`` against it to
+        decide whether this entry can be patched in place after a republish.
+        """
         state_monitor.record_write(
-            "posting_cache", self, term, (postings, generation),
+            "posting_cache", self, term, (postings, generation, fingerprint),
             replaced=self._entries.get(term, state_monitor.ABSENT),
         )
         if term in self._entries:
             self._entries.move_to_end(term)
-        self._entries[term] = (postings, generation)
+        self._entries[term] = (postings, generation, fingerprint)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1

@@ -99,6 +99,58 @@ def delta_decode(deltas: Iterable[int]) -> List[int]:
     return values
 
 
+def encode_posting_delta(
+    base_ids: Sequence[int],
+    base_tfs: Sequence[int],
+    new_ids: Sequence[int],
+    new_tfs: Sequence[int],
+) -> bytes:
+    """Encode the patch that rewrites ``base`` into ``new``.
+
+    Wire format: ``varint(n_removes) · gap-varints(removed doc ids) ·
+    varint(n_upserts) · gap-varints(upsert doc ids) · varints(upsert tfs)``.
+    Removes are base doc ids absent from ``new``; upserts cover both fresh
+    doc ids and term-frequency changes.  Both inputs must be sorted
+    ascending (the :class:`~repro.index.postings.PostingList` invariant),
+    which keeps the id streams gap-encodable.
+    """
+    base = dict(zip(base_ids, base_tfs))
+    new = dict(zip(new_ids, new_tfs))
+    removes = [doc_id for doc_id in base_ids if doc_id not in new]
+    upserts = [
+        doc_id for doc_id in new_ids if base.get(doc_id) != new[doc_id]
+    ]
+    out = bytearray()
+    out.extend(varint_encode(len(removes)))
+    out.extend(encode_sequence(delta_encode(removes)))
+    out.extend(varint_encode(len(upserts)))
+    out.extend(encode_sequence(delta_encode(upserts)))
+    out.extend(encode_sequence([new[doc_id] for doc_id in upserts]))
+    return bytes(out)
+
+
+def apply_posting_delta(
+    base_ids: Sequence[int],
+    base_tfs: Sequence[int],
+    data: bytes,
+) -> Tuple[List[int], List[int]]:
+    """Invert :func:`encode_posting_delta`: patch ``base`` into ``new``."""
+    n_removes, offset = varint_decode(data)
+    remove_gaps, offset = decode_sequence(data, n_removes, offset)
+    n_upserts, offset = varint_decode(data, offset)
+    upsert_gaps, offset = decode_sequence(data, n_upserts, offset)
+    upsert_tfs, offset = decode_sequence(data, n_upserts, offset)
+    if offset != len(data):
+        raise IndexError_("trailing bytes after posting delta payload")
+    merged = dict(zip(base_ids, base_tfs))
+    for doc_id in delta_decode(remove_gaps):
+        merged.pop(doc_id, None)
+    for doc_id, frequency in zip(delta_decode(upsert_gaps), upsert_tfs):
+        merged[doc_id] = frequency
+    doc_ids = sorted(merged)
+    return doc_ids, [merged[doc_id] for doc_id in doc_ids]
+
+
 def compress_postings(doc_ids: Sequence[int], frequencies: Sequence[int]) -> bytes:
     """Compress parallel ``doc_ids`` (sorted ascending) and ``frequencies`` arrays."""
     if len(doc_ids) != len(frequencies):

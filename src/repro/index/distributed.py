@@ -90,11 +90,12 @@ valid).
 
 from __future__ import annotations
 
+import base64
 import json
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import KeyNotFoundError, TermNotFoundError
+from repro.errors import KeyNotFoundError, ReproError, TermNotFoundError
 from repro.dht.dht import DHTNetwork
 from repro.index.cache import PostingCache
 from repro.index.placement import PlacementPolicy, rank_replicas
@@ -102,6 +103,7 @@ from repro.index.postings import PostingList
 from repro.index.statistics import CollectionStatistics
 from repro.storage.cid import compute_cid
 from repro.storage.ipfs import DecentralizedStorage
+from repro.storage.patches import PatchChannel, PatchInfo
 
 STATS_KEY = "idx:__collection_statistics__"
 
@@ -186,6 +188,11 @@ class ShardInfo:
     # rank-publish time and valid only at the manifest's rank_version
     # (-1 = unknown; the executor falls back to its other rank bounds).
     rank_ceiling: float = -1.0
+    # The published patch rewriting the *previous* generation's content into
+    # this one (None = no patch this generation).  It rides in the manifest,
+    # so the crash ordering below covers it: the patch payload is stored
+    # before the manifest commit point, never after.
+    patch: Optional[PatchInfo] = None
 
     def to_dict(self) -> Dict[str, object]:
         body: Dict[str, object] = {
@@ -197,10 +204,13 @@ class ShardInfo:
             body["prov"] = list(self.providers)
         if self.rank_ceiling >= 0.0:
             body["rc"] = self.rank_ceiling
+        if self.patch is not None:
+            body["patch"] = self.patch.to_dict()
         return body
 
     @classmethod
     def from_dict(cls, body: Dict[str, object]) -> "ShardInfo":
+        patch = body.get("patch")
         return cls(
             index=int(body["i"]), lo=int(body["lo"]), hi=int(body["hi"]),
             count=int(body["n"]), max_tf=int(body["qtf"]),
@@ -208,6 +218,7 @@ class ShardInfo:
             fingerprint=str(body["fp"]), min_len=int(body.get("ml", 0)),
             providers=tuple(str(p) for p in body.get("prov", ())),
             rank_ceiling=float(body.get("rc", -1.0)),
+            patch=PatchInfo.from_dict(patch) if isinstance(patch, dict) else None,
         )
 
 
@@ -349,9 +360,25 @@ class DistributedIndexStats:
     bytes_published: int = 0
     bytes_fetched: int = 0
     manifest_fetches: int = 0
+    manifest_bytes_fetched: int = 0
     shards_published: int = 0
     shards_unchanged: int = 0
     rank_ceiling_refreshes: int = 0
+    # Patch channel (the delta publication path).  ``shards_patched`` counts
+    # cache entries brought current by applying a patch (the fetch they
+    # replaced would have cost the full shard payload); ``delta_fallbacks``
+    # counts patch attempts that degraded to a full fetch.  Patch payload
+    # bytes are folded into ``bytes_fetched``/``per_fetch_bytes`` (they are
+    # real wire bytes) and broken out in ``delta_bytes_fetched``;
+    # ``terms_fetched`` still counts only full shard content fetches.
+    deltas_published: int = 0
+    delta_bytes_published: int = 0
+    shards_patched: int = 0
+    delta_fallbacks: int = 0
+    delta_bytes_fetched: int = 0
+    # Cached manifests whose rank ceilings were refreshed from the gossiped
+    # per-term rv hint (no DHT refetch, no epoch bump).
+    rank_hint_refreshes: int = 0
     per_fetch_bytes: List[int] = field(default_factory=list)
 
     def reset(self) -> None:
@@ -361,9 +388,16 @@ class DistributedIndexStats:
         self.bytes_published = 0
         self.bytes_fetched = 0
         self.manifest_fetches = 0
+        self.manifest_bytes_fetched = 0
         self.shards_published = 0
         self.shards_unchanged = 0
         self.rank_ceiling_refreshes = 0
+        self.deltas_published = 0
+        self.delta_bytes_published = 0
+        self.shards_patched = 0
+        self.delta_fallbacks = 0
+        self.delta_bytes_fetched = 0
+        self.rank_hint_refreshes = 0
         self.per_fetch_bytes.clear()
 
 
@@ -418,6 +452,23 @@ class DistributedIndex:
         providers at fetch time.  Remote frontends pass the gossiped coarse
         load hints; absent, the true served-block counters are read off the
         shared peer objects (the shared-plane behaviour).
+    delta_publication:
+        When true (default), updates that supply the pre-update list
+        (``publish_term(base_postings=...)``) also publish a per-shard
+        *patch* through the :class:`~repro.storage.patches.PatchChannel`,
+        keyed by the previous shard's content fingerprint, and fetches
+        patch superseded cache entries in place instead of refetching the
+        full shard.  False is the wholesale ablation (E2).  The full shard
+        payload is always published either way — patches are an overlay,
+        never the authority.
+    delta_max_ratio:
+        A patch larger than this fraction of the full shard payload is not
+        published (an all-docs-changed round degenerates to full fetch).
+    metrics:
+        Optional :class:`~repro.metrics.collector.MetricsCollector`; the
+        delta channel's byte counters (``publish.delta_bytes`` /
+        ``publish.full_bytes`` / ``cache.patched_in_place`` /
+        ``cache.delta_fallbacks``) land here when present.
     """
 
     def __init__(
@@ -432,6 +483,9 @@ class DistributedIndex:
         placement: Optional[PlacementPolicy] = None,
         epoch_feed: Optional[object] = None,
         load_lookup: Optional[Callable[[str], int]] = None,
+        delta_publication: bool = True,
+        delta_max_ratio: float = 0.5,
+        metrics: Optional[object] = None,
     ) -> None:
         if shard_size < 0:
             raise ValueError(f"shard_size must be non-negative, got {shard_size!r}")
@@ -445,6 +499,10 @@ class DistributedIndex:
         self.placement = placement
         self.epoch_feed = epoch_feed
         self.load_lookup = load_lookup
+        self.delta_publication = delta_publication
+        self.delta_max_ratio = delta_max_ratio
+        self.metrics = metrics
+        self.patches = PatchChannel(storage, metrics=metrics)
         if placement is not None:
             placement.manifest_updater = self.refresh_shard_providers
         self.stats = DistributedIndexStats()
@@ -495,8 +553,17 @@ class DistributedIndex:
         term: str,
         postings: PostingList,
         publisher: Optional[str] = None,
+        base_postings: Optional[PostingList] = None,
     ) -> str:
         """Publish ``postings`` as the authoritative shards for ``term``.
+
+        ``base_postings`` is the authoritative pre-update list the caller
+        already holds (the merge/remove paths fetch it anyway); when given
+        and ``delta_publication`` is on, each changed shard also publishes a
+        patch against its previous content so warm caches update in place.
+        Patches are best-effort — a base that does not re-fingerprint to the
+        previous manifest entry, or a patch bigger than
+        ``delta_max_ratio`` of the full payload, simply ships no patch.
 
         Splits the list into doc-id-range shards, stores the shards whose
         content changed (fingerprint diff against the previous manifest —
@@ -535,6 +602,21 @@ class DistributedIndex:
         generation = self.generation(term) + 1
         previous = self._previous_manifest(term) if generation > 1 else None
         chunks = self._split_for_republish(postings, previous)
+
+        # Recover the previous per-shard contents from the pre-update list
+        # by splitting it along the previous manifest's boundaries.  Each
+        # recovered chunk is verified against the published fingerprint
+        # before any patch is derived from it (see _publish_shard_patch), so
+        # a base that missed a generation or drifted across a re-split can
+        # only suppress a patch, never produce a wrong one.
+        base_chunks: Optional[List[PostingList]] = None
+        if self.delta_publication and base_postings is not None and previous is not None:
+            if len(previous.shards) > 1:
+                base_chunks = base_postings.split_at(
+                    [shard.hi for shard in previous.shards[:-1]]
+                )
+            else:
+                base_chunks = [base_postings]
 
         # First pass: fingerprint every chunk so carried-forward shards (and
         # their placements) are known before any replica set is chosen — the
@@ -582,6 +664,16 @@ class DistributedIndex:
                 continue
             body["gen"] = generation
             payload = json.dumps(body, sort_keys=True)
+            patch = None
+            if base_chunks is not None and index < len(base_chunks):
+                prior = (
+                    previous.shards[index]
+                    if previous is not None and index < len(previous.shards)
+                    else None
+                )
+                patch = self._publish_shard_patch(
+                    term, index, base_chunks[index], chunk, prior, payload, publisher
+                )
             requested = placements.get(index, ())
             receipt = self.storage.add_text(
                 payload, publisher=publisher, providers=requested or None
@@ -595,13 +687,15 @@ class DistributedIndex:
             self.dht.put(shard_key(term, index), cid)
             self.stats.shards_published += 1
             self.stats.bytes_published += len(payload)
+            if self.metrics is not None:
+                self.metrics.increment("publish.full_bytes", len(payload))
             lo = chunk.min_doc_id if len(chunk) else 0
             hi = chunk.max_doc_id if len(chunk) else -1
             info = ShardInfo(
                 index=index, lo=lo, hi=hi, count=len(chunk),
                 max_tf=quantize_max_tf(chunk.max_term_frequency),
                 generation=generation, cid=cid, fingerprint=fingerprint,
-                min_len=min_len, providers=achieved,
+                min_len=min_len, providers=achieved, patch=patch,
             )
             if self.placement is not None:
                 self.placement.record(term, index, cid, info.providers)
@@ -638,6 +732,50 @@ class DistributedIndex:
                     self.placement.forget(term, stale.index)
         return infos[0].cid
 
+    def _publish_shard_patch(
+        self,
+        term: str,
+        index: int,
+        base_chunk: PostingList,
+        chunk: PostingList,
+        prior: Optional[ShardInfo],
+        full_payload: str,
+        publisher: Optional[str],
+    ) -> Optional[PatchInfo]:
+        """Publish the patch rewriting shard ``index``'s previous content
+        into ``chunk``, when one is worth shipping (else ``None``).
+
+        The recovered base must re-encode to exactly the previous manifest
+        entry's fingerprint — anything else (missed generation, boundary
+        drift after a re-split) suppresses the patch rather than risking a
+        wrong one.  A patch that would not clearly beat the full payload
+        (the ``delta_max_ratio`` gate) is also suppressed: an
+        all-docs-changed round ships nothing and readers refetch wholesale.
+        """
+        if prior is None or not prior.fingerprint:
+            return None
+        base_body = self._encode_shard_body(term, base_chunk, index, prior.min_len)
+        if compute_cid(json.dumps(base_body, sort_keys=True)) != prior.fingerprint:
+            return None
+        payload = json.dumps(
+            {
+                "kind": "qb-postings-patch",
+                "term": term,
+                "shard": index,
+                "bfp": prior.fingerprint,
+                "patch": base64.b64encode(base_chunk.delta_to(chunk)).decode("ascii"),
+            },
+            sort_keys=True,
+        )
+        if len(payload) > self.delta_max_ratio * len(full_payload):
+            return None
+        info = self.patches.publish(payload, prior.fingerprint, publisher=publisher)
+        self.stats.deltas_published += 1
+        self.stats.delta_bytes_published += info.size
+        if self.metrics is not None:
+            self.metrics.increment("publish.delta_bytes", info.size)
+        return info
+
     def merge_term(
         self,
         term: str,
@@ -669,7 +807,9 @@ class DistributedIndex:
                 raise
             existing = PostingList()
         merged = existing.merge(new_postings)
-        return self.publish_term(term, merged, publisher=publisher)
+        # The just-fetched authoritative list is exactly the base the patch
+        # channel needs — no extra fetch to publish deltas.
+        return self.publish_term(term, merged, publisher=publisher, base_postings=existing)
 
     def remove_document(self, term: str, doc_id: int, publisher: Optional[str] = None) -> bool:
         """Remove one document from a term's shards (page deletion/update).
@@ -692,7 +832,7 @@ class DistributedIndex:
         updated = existing.copy()
         if not updated.remove(doc_id):
             return False
-        self.publish_term(term, updated, publisher=publisher)
+        self.publish_term(term, updated, publisher=publisher, base_postings=existing)
         return True
 
     def publish_statistics(
@@ -728,7 +868,7 @@ class DistributedIndex:
             cached = self._manifests.get(term)
             if cached is not None:
                 if not self.validate_generations or cached.generation == self.generation(term):
-                    return cached
+                    return self._overlay_rank_hint(term, cached)
         try:
             value = self.dht.get(term_key(term))
         except KeyNotFoundError as exc:
@@ -736,10 +876,49 @@ class DistributedIndex:
             raise TermNotFoundError(f"term {term!r} has no published shard") from exc
         manifest = self._decode_manifest(term, value, requester=requester)
         self.stats.manifest_fetches += 1
+        self.stats.manifest_bytes_fetched += len(str(value))
         self._observe_generation(term, manifest.generation)
         if use_cache:
             self._manifests[term] = manifest
         return manifest
+
+    def _overlay_rank_hint(self, term: str, cached: TermManifest) -> TermManifest:
+        """Refresh a cached manifest's rank ceilings from the gossiped rv hint.
+
+        The epoch feed may carry a per-term ``rv`` hint — the rank version
+        plus the quantized per-shard ceilings stamped at the last rank
+        publish (see :class:`~repro.ranking.distributed.RankCeilingPublisher`).
+        A hint that is newer than the cached stamp *and* describes exactly
+        this generation's shard layout is applied in place, which is
+        identical to what an authoritative manifest refetch would deliver —
+        so ceilings refresh without an epoch bump or a DHT round trip.
+        Anything else (older hint, generation moved, layout mismatch) leaves
+        the cached manifest untouched; stale ceilings only loosen pruning.
+        """
+        hint_of = getattr(self.epoch_feed, "rank_ceiling_hint", None)
+        if hint_of is None:
+            return cached
+        hint = hint_of(term)
+        if hint is None:
+            return cached
+        version, generation, ceilings = hint
+        if (
+            version <= cached.rank_version
+            or generation != cached.generation
+            or len(ceilings) != len(cached.shards)
+        ):
+            return cached
+        shards = tuple(
+            replace(info, rank_ceiling=float(ceiling))
+            for info, ceiling in zip(cached.shards, ceilings)
+        )
+        refreshed = TermManifest(
+            term=term, generation=cached.generation, shards=shards,
+            rank_version=int(version),
+        )
+        self._manifests[term] = refreshed
+        self.stats.rank_hint_refreshes += 1
+        return refreshed
 
     def fetch_term_sharded(
         self,
@@ -794,6 +973,12 @@ class DistributedIndex:
             # Hit/miss accounting lives in self.cache.stats, the single
             # source of truth for cache behaviour.
             expected = info.generation if self.validate_generations else None
+            if expected is not None and info.patch is not None:
+                entry = self.cache.peek(key)
+                if entry is not None and entry[1] != expected:
+                    patched = self._patch_cached_shard(manifest, info, key, entry, requester)
+                    if patched is not None:
+                        return patched
             cached = self.cache.get(key, generation=expected)
             if cached is not None:
                 if not self.validate_generations:
@@ -825,8 +1010,64 @@ class DistributedIndex:
         self.stats.per_fetch_bytes.append(len(payload))
         postings, generation = self._decode_shard(payload)
         if self.cache is not None and use_cache:
-            self.cache.put(key, postings, generation=generation)
+            # Stamp the entry with the manifest's content fingerprint so a
+            # later republish's patch (keyed by this fingerprint) can apply.
+            self.cache.put(key, postings, generation=generation, fingerprint=info.fingerprint)
         return postings
+
+    def _patch_cached_shard(
+        self,
+        manifest: TermManifest,
+        info: ShardInfo,
+        key: str,
+        entry: Tuple[PostingList, int, str],
+        requester: Optional[str],
+    ) -> Optional[PostingList]:
+        """Bring a superseded cache entry current by applying the shard's patch.
+
+        Returns the patched postings, or ``None`` to fall through to the
+        full fetch (the next rung of the ladder).  The patched result must
+        re-encode to exactly the manifest entry's content fingerprint before
+        it is served or cached — a successful patch is therefore
+        bit-identical to a wholesale refetch by construction, and any
+        mismatch (wrong base, corrupt patch, unreachable payload) costs one
+        counted fallback, never a wrong page.
+        """
+        postings, _, fingerprint = entry
+        patch = info.patch
+        if not fingerprint or fingerprint != patch.base_fp:
+            return self._delta_fallback()
+        payload = self.patches.fetch(
+            patch, requester=requester, preferred=self._route_providers(info)
+        )
+        if payload is None:
+            return self._delta_fallback()
+        try:
+            body = json.loads(payload)
+            patched = postings.apply_delta(base64.b64decode(body["patch"]))
+        except (ReproError, ValueError, KeyError, TypeError):
+            return self._delta_fallback()
+        check = self._encode_shard_body(manifest.term, patched, info.index, info.min_len)
+        if compute_cid(json.dumps(check, sort_keys=True)) != info.fingerprint:
+            return self._delta_fallback()
+        self.stats.shards_patched += 1
+        self.stats.delta_bytes_fetched += len(payload)
+        self.stats.bytes_fetched += len(payload)
+        self.stats.per_fetch_bytes.append(len(payload))
+        self.cache.stats.patched_in_place += 1
+        self.cache.put(key, patched, generation=info.generation, fingerprint=info.fingerprint)
+        if self.metrics is not None:
+            self.metrics.increment("cache.patched_in_place")
+        return patched
+
+    def _delta_fallback(self) -> None:
+        """Count one patch attempt degrading to a full fetch; returns None."""
+        self.stats.delta_fallbacks += 1
+        if self.cache is not None:
+            self.cache.stats.delta_fallbacks += 1
+        if self.metrics is not None:
+            self.metrics.increment("cache.delta_fallbacks")
+        return None
 
     def _route_providers(self, info: ShardInfo) -> Optional[List[str]]:
         """Live manifest hints for one shard, least-loaded first, or ``None``.
@@ -870,19 +1111,21 @@ class DistributedIndex:
 
     def refresh_rank_ceilings(
         self, term: str, ceilings_by_shard: Dict[int, float], rank_version: int
-    ) -> None:
+    ) -> Optional[TermManifest]:
         """Restamp one manifest's per-shard rank ceilings at ``rank_version``.
 
         Generations (term and per-shard) are untouched — shard *content*
         did not change, so posting/manifest caches stay valid and result
-        caches keep their keys; only the pruning metadata moves.
+        caches keep their keys; only the pruning metadata moves.  Returns
+        the refreshed manifest (the rank ceiling publisher derives the
+        gossiped ``rv`` hint from it), or ``None`` for an unknown term.
         """
         manifest = self._authoritative.get(term)
         if manifest is None:
             try:
                 manifest = self._decode_manifest(term, self.dht.get(term_key(term)))
             except (KeyNotFoundError, TermNotFoundError):
-                return
+                return None
         shards = tuple(
             replace(
                 info,
@@ -899,6 +1142,7 @@ class DistributedIndex:
         self.stats.rank_ceiling_refreshes += 1
         if term in self._manifests:
             self._manifests[term] = refreshed
+        return refreshed
 
     def refresh_shard_providers(
         self, term: str, providers_by_shard: Dict[int, Tuple[str, ...]]

@@ -7,7 +7,12 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import IndexError_
-from repro.index.compression import compress_postings, decompress_postings
+from repro.index.compression import (
+    apply_posting_delta,
+    compress_postings,
+    decompress_postings,
+    encode_posting_delta,
+)
 
 
 @dataclass(frozen=True)
@@ -274,6 +279,31 @@ class PostingList:
     def uncompressed_size(self) -> int:
         """Bytes needed without compression (8 bytes per doc_id + 4 per frequency)."""
         return len(self._postings) * 12
+
+    # -- patch channel -----------------------------------------------------------
+
+    def delta_to(self, target: "PostingList") -> bytes:
+        """The patch that rewrites this list into ``target``.
+
+        The patch channel ships this instead of the full shard when a reader
+        already caches this list; :meth:`apply_delta` inverts it.  An empty
+        diff encodes to a few bytes (two zero-count varints), so no-op
+        rounds are nearly free.
+        """
+        base_ids, base_tfs = self.arrays()
+        new_ids, new_tfs = target.arrays()
+        return encode_posting_delta(base_ids, base_tfs, new_ids, new_tfs)
+
+    def apply_delta(self, data: bytes) -> "PostingList":
+        """Patch this list with a :meth:`delta_to` payload (returns a new list)."""
+        base_ids, base_tfs = self.arrays()
+        doc_ids, frequencies = apply_posting_delta(base_ids, base_tfs, data)
+        result = PostingList()
+        result._postings = [
+            Posting(doc_id, frequency)
+            for doc_id, frequency in zip(doc_ids, frequencies)
+        ]
+        return result
 
     # -- internals -------------------------------------------------------------------
 

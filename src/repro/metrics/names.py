@@ -19,6 +19,10 @@ from __future__ import annotations
 COUNTERS = frozenset(
     {
         "publish.deletes",
+        "publish.delta_bytes",
+        "publish.full_bytes",
+        "cache.patched_in_place",
+        "cache.delta_fallbacks",
         "rank.rounds",
         "query.batches",
         "query.postings_scanned",

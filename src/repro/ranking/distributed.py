@@ -31,11 +31,12 @@ import json
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import AttackConfigError
 from repro.ranking.graph import LinkGraph
 from repro.ranking.pagerank import DEFAULT_DAMPING, PageRankResult
+from repro.storage.cid import compute_cid
 
 
 @dataclass
@@ -356,8 +357,20 @@ class RankCeilingPublisher:
         # Duck-typed: needs authoritative_manifests() + refresh_rank_ceilings().
         self.index = index
 
-    def publish(self, ranks: Dict[int, float], rank_version: int) -> int:
-        """Restamp every published manifest; returns the manifests touched."""
+    def publish(
+        self,
+        ranks: Dict[int, float],
+        rank_version: int,
+        hint_sink: Optional[Callable[[str, object], None]] = None,
+    ) -> int:
+        """Restamp every published manifest; returns the manifests touched.
+
+        ``hint_sink(term, refreshed_manifest)`` is invoked for every manifest
+        that was restamped — the engine uses it to gossip a per-term
+        ``rv:<term>`` rank-version hint so remote frontends holding a cached
+        manifest can adopt the new ceilings without a manifest refetch (and
+        without an epoch bump, which would invalidate posting caches).
+        """
         range_max = _DocRangeMax(dict(ranks))
         refreshed = 0
         for term, manifest in sorted(self.index.authoritative_manifests().items()):
@@ -369,6 +382,301 @@ class RankCeilingPublisher:
                 )
                 for info in manifest.shards
             }
-            self.index.refresh_rank_ceilings(term, ceilings, rank_version)
+            restamped = self.index.refresh_rank_ceilings(term, ceilings, rank_version)
             refreshed += 1
+            if hint_sink is not None and restamped is not None:
+                hint_sink(term, restamped)
         return refreshed
+
+
+# -- banded rank-vector publication ----------------------------------------------------
+
+# DHT record names of the published rank artifacts.  The full vector under
+# RANK_VECTOR_DHT_KEY is the **resync anchor**: delta rounds leave it at the
+# last wholesale version and readers reconstruct the current vector as
+# anchor + changed bands per the band manifest under RANK_BANDS_DHT_KEY.
+RANK_VECTOR_DHT_KEY = "rank:vector"
+RANK_BANDS_DHT_KEY = "rank:bands"
+
+RANK_BAND_MANIFEST_KIND = "qb-rank-bands"
+
+
+def rank_band_width(max_doc_id: int, bands: int) -> int:
+    """The fixed doc-id width of each band for this round's vector."""
+    if bands < 1:
+        raise ValueError(f"band count must be positive, got {bands!r}")
+    return max(1, -(-(max_doc_id + 1) // bands))
+
+
+def rank_band_payload(ranks: Mapping[int, float], lo: int, hi: int) -> str:
+    """Canonical JSON for the slice of ``ranks`` with doc ids in [lo, hi].
+
+    Both sides of the wire derive this independently (publisher from the
+    vector it just computed, reader from the vector it already holds), so
+    it must be a pure function of the slice: string keys, sorted, default
+    float repr.  Its CID doubles as the band fingerprint.
+    """
+    slice_ = {
+        str(doc_id): ranks[doc_id]
+        for doc_id in sorted(ranks)
+        if lo <= doc_id <= hi
+    }
+    return json.dumps(slice_, sort_keys=True)
+
+
+def rank_vector_fingerprint(ranks: Mapping[int, float]) -> str:
+    """Version-independent fingerprint of a whole rank vector.
+
+    Computed over the ranks alone (not the versioned publication envelope),
+    so a reader can verify a band-assembled vector against the manifest's
+    ``ffp`` regardless of which versions its parts came from.
+    """
+    canonical = json.dumps(
+        {str(doc_id): rank for doc_id, rank in sorted(ranks.items())}, sort_keys=True
+    )
+    return compute_cid(canonical)
+
+
+@dataclass
+class RankPublishReceipt:
+    """What one rank-vector publication round actually shipped."""
+
+    version: int
+    wholesale: bool
+    # Band manifest JSON (None when banding is disabled: pure wholesale).
+    manifest_json: Optional[str] = None
+    # CID of the full vector stored this round (wholesale rounds only).
+    full_cid: Optional[str] = None
+    bands_changed: int = 0
+    bands_total: int = 0
+    bytes_published: int = 0
+
+
+@dataclass
+class _BandState:
+    """Publisher-side carry state: the previous round's band layout."""
+
+    version: int
+    width: int
+    fingerprints: List[str]
+    cids: List[Optional[str]]
+    anchor_cid: str
+    anchor_version: int
+
+
+class RankVectorPublisher:
+    """Publishes the rank vector wholesale or as banded deltas.
+
+    The doc-id space is cut into ``bands`` fixed-width bands; each band's
+    canonical payload is fingerprinted, and a round whose vector moved only
+    a few bands stores just those bands plus a small **band manifest** —
+    remote frontends holding the previous vector then fetch only the moved
+    bands.  The last wholesale full vector stays published as the resync
+    anchor; the invariant (held by induction across delta rounds) is that a
+    band whose manifest entry carries no CID is bit-identical to its slice
+    of the anchor, so any reader can always reconstruct the *current*
+    vector as anchor + CID-carrying bands.
+
+    Fallback to wholesale is automatic whenever deltas stop paying: no
+    previous round, the band width changed (doc-id space grew past the old
+    grid), or more than half the bands moved (a link-graph change ripples
+    PageRank globally; text-only updates leave it bit-identical).  With
+    ``bands=0`` every round is wholesale and no manifest is published —
+    the ``delta_publication=False`` ablation is exactly the legacy path.
+
+    The manifest is ``dht.put`` under :data:`RANK_BANDS_DHT_KEY`
+    (authoritative); the engine additionally gossips it so frontends skip
+    the DHT lookup on the happy path.
+    """
+
+    def __init__(self, storage, dht, bands: int, metrics=None) -> None:
+        self.storage = storage
+        self.dht = dht
+        self.bands = bands
+        self.metrics = metrics
+        self._previous: Optional[_BandState] = None
+
+    def publish(
+        self,
+        ranks: Mapping[int, float],
+        version: int,
+        publisher: Optional[str] = None,
+    ) -> RankPublishReceipt:
+        """Ship ``ranks`` at ``version``; returns what went on the wire."""
+        if self.bands < 1 or not ranks:
+            full_cid, nbytes = self._store_full(ranks, version, publisher)
+            self._previous = None
+            return RankPublishReceipt(
+                version=version, wholesale=True, full_cid=full_cid,
+                bytes_published=nbytes,
+            )
+
+        width = rank_band_width(max(ranks), self.bands)
+        bounds = self._band_bounds(max(ranks), width)
+        fingerprints = [
+            compute_cid(rank_band_payload(ranks, lo, hi)) for lo, hi in bounds
+        ]
+        previous = self._previous
+        changed = (
+            [
+                index
+                for index, fingerprint in enumerate(fingerprints)
+                if index >= len(previous.fingerprints)
+                or fingerprint != previous.fingerprints[index]
+            ]
+            if previous is not None and previous.width == width
+            else list(range(len(bounds)))
+        )
+        wholesale = (
+            previous is None
+            or previous.width != width
+            or 2 * len(changed) > len(bounds)
+        )
+        if wholesale:
+            return self._publish_wholesale(ranks, version, width, bounds, fingerprints, publisher)
+        return self._publish_delta(
+            ranks, version, width, bounds, fingerprints, changed, previous, publisher
+        )
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _publish_wholesale(self, ranks, version, width, bounds, fingerprints, publisher):
+        full_cid, nbytes = self._store_full(ranks, version, publisher)
+        cids: List[Optional[str]] = [None] * len(bounds)
+        state = _BandState(
+            version=version, width=width, fingerprints=fingerprints, cids=cids,
+            anchor_cid=full_cid, anchor_version=version,
+        )
+        manifest_json = self._put_manifest(ranks, state, bounds)
+        self._previous = state
+        return RankPublishReceipt(
+            version=version, wholesale=True, manifest_json=manifest_json,
+            full_cid=full_cid, bands_changed=len(bounds), bands_total=len(bounds),
+            bytes_published=nbytes + len(manifest_json),
+        )
+
+    def _publish_delta(
+        self, ranks, version, width, bounds, fingerprints, changed, previous, publisher
+    ):
+        cids: List[Optional[str]] = [
+            previous.cids[index] if index < len(previous.cids) else None
+            for index in range(len(bounds))
+        ]
+        nbytes = 0
+        for index in changed:
+            lo, hi = bounds[index]
+            payload = rank_band_payload(ranks, lo, hi)
+            cids[index] = self.storage.add_text(payload, publisher=publisher).cid
+            nbytes += len(payload)
+            if self.metrics is not None:
+                self.metrics.increment("publish.delta_bytes", len(payload))
+        state = _BandState(
+            version=version, width=width, fingerprints=fingerprints, cids=cids,
+            anchor_cid=previous.anchor_cid, anchor_version=previous.anchor_version,
+        )
+        manifest_json = self._put_manifest(ranks, state, bounds)
+        self._previous = state
+        return RankPublishReceipt(
+            version=version, wholesale=False, manifest_json=manifest_json,
+            full_cid=None, bands_changed=len(changed), bands_total=len(bounds),
+            bytes_published=nbytes + len(manifest_json),
+        )
+
+    def _store_full(self, ranks, version, publisher) -> Tuple[str, int]:
+        """Store the full versioned vector (the legacy/anchor artifact)."""
+        payload = json.dumps(
+            {
+                "version": version,
+                # repro-lint: disable=RL004 -- sort_keys=True canonicalizes the payload
+                "ranks": {str(doc_id): rank for doc_id, rank in ranks.items()},
+            },
+            sort_keys=True,
+        )
+        cid = self.storage.add_text(payload, publisher=publisher).cid
+        self.dht.put(RANK_VECTOR_DHT_KEY, cid)
+        if self.metrics is not None:
+            self.metrics.increment("publish.full_bytes", len(payload))
+        return cid, len(payload)
+
+    def _put_manifest(self, ranks, state: _BandState, bounds) -> str:
+        body = {
+            "kind": RANK_BAND_MANIFEST_KIND,
+            "v": state.version,
+            "w": state.width,
+            "ffp": rank_vector_fingerprint(ranks),
+            "anchor": {"cid": state.anchor_cid, "v": state.anchor_version},
+            "bands": [
+                {
+                    "b": index,
+                    "lo": lo,
+                    "hi": hi,
+                    "fp": state.fingerprints[index],
+                    "cid": state.cids[index],
+                    "n": sum(1 for doc_id in ranks if lo <= doc_id <= hi),
+                }
+                for index, (lo, hi) in enumerate(bounds)
+            ],
+        }
+        manifest_json = json.dumps(body, sort_keys=True)
+        self.dht.put(RANK_BANDS_DHT_KEY, manifest_json)
+        return manifest_json
+
+    @staticmethod
+    def _band_bounds(max_doc_id: int, width: int) -> List[Tuple[int, int]]:
+        bounds = []
+        lo = 0
+        while lo <= max_doc_id:
+            bounds.append((lo, lo + width - 1))
+            lo += width
+        return bounds
+
+
+def assemble_banded_ranks(
+    manifest_json: str,
+    fetch_text: Callable[[str], str],
+    local_ranks: Optional[Mapping[int, float]] = None,
+) -> Optional[Dict[int, float]]:
+    """Reconstruct the current rank vector from a band manifest.
+
+    For each band: a locally-held slice whose fingerprint already matches is
+    reused without any fetch; otherwise the band's own CID is fetched; a
+    band with no CID is (by the publisher's invariant) bit-identical to its
+    slice of the wholesale anchor, which is fetched once and sliced.  The
+    assembled vector is verified against the manifest's whole-vector
+    fingerprint — any mismatch, parse failure, or unreachable part returns
+    None so the caller can fall back (authoritative DHT manifest, then the
+    legacy full-vector path) instead of adopting a torn vector.
+    """
+    try:
+        body = json.loads(manifest_json)
+        if body.get("kind") != RANK_BAND_MANIFEST_KIND:
+            return None
+        local = dict(local_ranks) if local_ranks else {}
+        anchor: Optional[Dict[int, float]] = None
+        assembled: Dict[int, float] = {}
+        for band in body["bands"]:
+            lo, hi = int(band["lo"]), int(band["hi"])
+            fingerprint = str(band["fp"])
+            if local and compute_cid(rank_band_payload(local, lo, hi)) == fingerprint:
+                for doc_id in sorted(local):
+                    if lo <= doc_id <= hi:
+                        assembled[doc_id] = local[doc_id]
+                continue
+            cid = band.get("cid")
+            if cid is not None:
+                slice_ = json.loads(fetch_text(str(cid)))
+            else:
+                if anchor is None:
+                    anchor_body = json.loads(fetch_text(str(body["anchor"]["cid"])))
+                    anchor = {
+                        int(doc_id): float(rank)
+                        for doc_id, rank in sorted(anchor_body["ranks"].items())
+                    }
+                slice_ = json.loads(rank_band_payload(anchor, lo, hi))
+            for doc_id, rank in sorted(slice_.items()):
+                assembled[int(doc_id)] = float(rank)
+        if rank_vector_fingerprint(assembled) != str(body["ffp"]):
+            return None
+        return assembled
+    except Exception:
+        return None
